@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark wraps one experiment from :mod:`repro.experiments` (the same
+code the CLI runs), executes it once under ``pytest-benchmark``, and attaches
+the measured table to ``benchmark.extra_info`` so the benchmark JSON/console
+output doubles as the reproduction record for the corresponding paper table
+or figure.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def run_experiment_benchmark(
+    benchmark,
+    runner: Callable[..., List[Dict]],
+    paper_reference: str,
+    claim: str,
+    key_columns: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> List[Dict]:
+    """Execute ``runner(**kwargs)`` once under the benchmark fixture.
+
+    The resulting rows (restricted to ``key_columns`` if given) are stored in
+    ``benchmark.extra_info['rows']`` together with the paper reference and the
+    claim being reproduced.
+    """
+    rows = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    if key_columns is not None:
+        compact = [{column: row.get(column) for column in key_columns} for row in rows]
+    else:
+        compact = rows
+    benchmark.extra_info["paper_reference"] = paper_reference
+    benchmark.extra_info["claim"] = claim
+    benchmark.extra_info["rows"] = _stringify(compact)
+    return rows
+
+
+def _stringify(rows: List[Dict]) -> List[Dict]:
+    """Round floats for readability in the benchmark JSON output."""
+    cleaned = []
+    for row in rows:
+        cleaned.append(
+            {
+                key: (round(value, 4) if isinstance(value, float) else value)
+                for key, value in row.items()
+            }
+        )
+    return cleaned

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness.
+
+The shared helper lives in ``bench_utils`` (imported directly by each
+benchmark module); run the harness with::
+
+    pytest benchmarks/ --benchmark-only
+"""

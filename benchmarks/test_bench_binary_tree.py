@@ -1,0 +1,23 @@
+"""E7: Lemma 4.1 / Figure 1 -- leader-driven binary-tree ranking is O(n)."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.optimal_silent_experiments import run_binary_tree_assignment
+
+
+def test_binary_tree_assignment_linear_time(benchmark):
+    """From one Settled leader plus n-1 Unsettled agents, ranking finishes in O(n)."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_binary_tree_assignment,
+        paper_reference="Lemma 4.1 / Figure 1",
+        claim="binary-tree rank assignment takes O(n) parallel time",
+        ns=(32, 64, 128, 256),
+        trials=10,
+        seed=0,
+    )
+    exponent = rows[-1]["fitted exponent"]
+    # Clearly sub-quadratic and roughly linear.
+    assert exponent < 1.5
+    for row in rows:
+        assert row["mean / n"] < 12.0

@@ -1,0 +1,29 @@
+"""E6: Lemmas 2.10 / 2.11 -- bounded-epidemic hitting times tau_k."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.epidemic_experiments import run_bounded_epidemic
+
+
+def test_bounded_epidemic_hitting_times(benchmark):
+    """tau_k <= k n^{1/k} for small k; tau_{3 log2 n} = O(log n).
+
+    This is the mechanism that makes Detect-Name-Collision faster as the depth
+    parameter H grows, so the measured tau_k must drop sharply with k.
+    """
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_bounded_epidemic,
+        paper_reference="Lemmas 2.10 and 2.11",
+        claim="E[tau_k] <= k n^{1/k}; tau_{3 log2 n} <= 3 ln n",
+        ns=(64, 256),
+        ks=(1, 2, 3),
+        trials=40,
+        seed=0,
+        include_log_level=True,
+    )
+    for row in rows:
+        assert row["mean tau_k (parallel)"] <= 2.0 * row["paper bound"]
+    by_k = {(row["n"], row["k"]): row["mean tau_k (parallel)"] for row in rows}
+    # Larger k (longer allowed paths) means strictly faster hitting times.
+    assert by_k[(256, 3)] < by_k[(256, 2)] < by_k[(256, 1)]

@@ -1,0 +1,21 @@
+"""E4: Lemma 2.7 / Corollary 2.8 -- the two-way epidemic takes ~n ln n interactions."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.epidemic_experiments import run_epidemic
+
+
+def test_epidemic_mean_and_tail(benchmark):
+    """Measured mean should track (n-1)H_{n-1}; the 3 n ln n tail is rarely exceeded."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_epidemic,
+        paper_reference="Lemma 2.7 / Corollary 2.8",
+        claim="E[T_n] = (n-1) H_{n-1} ~ n ln n; P[T_n > 3 n ln n] < 1/n^2",
+        ns=(64, 128, 256, 512),
+        trials=200,
+        seed=0,
+    )
+    for row in rows:
+        assert 0.85 < row["mean / predicted"] < 1.15
+        assert row["P[T_n > 3 n ln n] (measured)"] <= 0.02

@@ -1,0 +1,59 @@
+"""E3 and E13: the paper's lower bounds.
+
+* Observation 2.6: silent SSLE needs Omega(n) time (duplicated-leader witness).
+* Section 1.1: any SSLE needs Omega(log n) time (all-leaders coupon collector).
+"""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.lower_bounds import (
+    run_fratricide_failure,
+    run_log_lower_bound,
+    run_silent_lower_bound,
+)
+
+
+def test_silent_lower_bound_duplicate_leader(benchmark):
+    """Time to notice the duplicated leader grows linearly and exceeds n/3."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_silent_lower_bound,
+        paper_reference="Observation 2.6",
+        claim="silent protocols need >= n/3 expected time from the duplicated-leader configuration",
+        ns=(16, 32, 64, 128),
+        trials=20,
+        seed=0,
+    )
+    for row in rows:
+        assert row["mean time to notice"] > 0.5 * row["lower bound n/3"]
+    assert rows[-1]["mean time to notice"] > rows[0]["mean time to notice"]
+
+
+def test_log_lower_bound_all_leaders(benchmark):
+    """The coupon-collector floor grows like 0.5 ln n; fratricide itself is ~n."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_log_lower_bound,
+        paper_reference="Section 1.1 (Omega(log n) lower bound)",
+        claim="from all-leaders, n-1 agents must interact: Omega(log n) parallel time",
+        ns=(64, 256, 1024),
+        trials=100,
+        seed=0,
+    )
+    for row in rows:
+        assert row["mean all-interact time"] > 0.5 * row["0.5 ln n"]
+        assert 0.3 < row["fratricide / n"] < 3.0
+
+
+def test_fratricide_is_not_self_stabilizing(benchmark):
+    """The one-bit initialized protocol never recovers from the all-followers state."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_fratricide_failure,
+        paper_reference="Section 1 (Reliable leader election)",
+        claim="initialized leader election fails from the leaderless configuration",
+        n=64,
+        horizon_factor=100.0,
+        seed=0,
+    )
+    assert rows[0]["leaders at end"] == 0

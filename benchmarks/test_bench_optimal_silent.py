@@ -1,0 +1,39 @@
+"""E8: Theorem 4.3 / Corollary 4.4 -- Optimal-Silent-SSR stabilizes in O(n) time."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.optimal_silent_experiments import run_optimal_silent_scaling
+
+
+def test_optimal_silent_adversarial_scaling(benchmark):
+    """Stabilization from arbitrary configurations grows roughly linearly in n."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_optimal_silent_scaling,
+        paper_reference="Theorem 4.3 / Corollary 4.4",
+        claim="O(n) expected stabilization time from any configuration (silent-optimal)",
+        ns=(16, 32, 64, 128),
+        trials=8,
+        seed=0,
+        start="adversarial",
+    )
+    exponent = rows[-1]["fitted exponent"]
+    assert exponent < 1.6  # clearly sub-quadratic, i.e. beats the baseline's Theta(n^2)
+    for row in rows:
+        assert row["mean / n"] < 40.0
+
+
+def test_optimal_silent_duplicate_rank_start(benchmark):
+    """The all-agents-at-rank-1 start (maximal collision) also recovers in O(n)."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_optimal_silent_scaling,
+        paper_reference="Theorem 4.3",
+        claim="recovery from the maximally colliding configuration",
+        ns=(16, 32, 64),
+        trials=6,
+        seed=1,
+        start="duplicate-ranks",
+    )
+    for row in rows:
+        assert row["mean time"] > 0

@@ -1,0 +1,31 @@
+"""E11: Theorem 3.4 / Corollary 3.5 -- Propagate-Reset recovers in O(D_max) time."""
+
+import math
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.optimal_silent_experiments import run_propagate_reset
+
+
+def test_propagate_reset_recovery_time(benchmark):
+    """From one triggered agent, the population is fully computing again in O(log n).
+
+    The protocol instance used has D_max = Theta(log n), so the recovery time
+    divided by log2(n) should stay bounded as n grows (no super-logarithmic
+    blow-up).
+    """
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_propagate_reset,
+        paper_reference="Theorem 3.4 / Corollary 3.5",
+        claim="reset wave completes within O(log n + D_max) parallel time",
+        ns=(16, 32, 64, 128),
+        trials=15,
+        seed=0,
+    )
+    normalized = [row["mean recovery time"] / row["D_max"] for row in rows]
+    # Recovery is proportional to D_max (itself Theta(log n)), not to n.
+    assert max(normalized) < 6.0
+    growth = rows[-1]["mean recovery time"] / rows[0]["mean recovery time"]
+    size_growth = rows[-1]["n"] / rows[0]["n"]
+    assert growth < size_growth  # clearly sublinear in n

@@ -1,0 +1,36 @@
+"""E5: Lemma 2.9 -- the roll-call process takes ~1.5 n ln n interactions."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.epidemic_experiments import run_all_agents_interact, run_roll_call
+
+
+def test_roll_call_mean_and_tail(benchmark):
+    """Measured mean should track 1.5 n ln n, i.e. ~1.5x the plain epidemic."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_roll_call,
+        paper_reference="Lemma 2.9",
+        claim="E[R_n] ~ 1.5 n ln n; P[R_n > 3 n ln n] < 1/n",
+        ns=(32, 64, 128, 256),
+        trials=40,
+        seed=0,
+    )
+    for row in rows:
+        assert 1.2 < row["mean / epidemic mean"] < 2.0
+        assert row["P[R_n > 3 n ln n] (measured)"] <= 0.05
+
+
+def test_all_agents_interact_lower_bound_step(benchmark):
+    """The E_1 ~ 0.5 n ln n step used inside the roll-call lower bound."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_all_agents_interact,
+        paper_reference="Lemma 2.9 (lower-bound step)",
+        claim="every agent has interacted within ~0.5 n ln n interactions",
+        ns=(64, 256, 1024),
+        trials=100,
+        seed=0,
+    )
+    for row in rows:
+        assert 0.6 < row["mean / predicted"] < 1.6

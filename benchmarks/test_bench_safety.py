@@ -1,0 +1,23 @@
+"""E10: Lemmas 5.4 / 5.5 / Figure 2 -- history-tree safety (no false positives)."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.sublinear_experiments import run_safety
+
+
+def test_history_tree_safety(benchmark):
+    """No resets from clean configurations; recovery from corrupted trees."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_safety,
+        paper_reference="Lemmas 5.4 and 5.5 / Figure 2",
+        claim="no false collision detections after a clean reset; corrupted trees age out",
+        n=12,
+        depth=2,
+        trials=4,
+        horizon_factor=20.0,
+        seed=0,
+    )
+    row = rows[0]
+    assert row["clean runs with false positives"] == 0
+    assert row["corrupted runs recovered"] == row["trials"]

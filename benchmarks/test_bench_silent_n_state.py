@@ -1,0 +1,36 @@
+"""E2: Theorem 2.4 -- Silent-n-state-SSR takes Theta(n^2) time from the worst case."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.silent_n_state_experiments import run_silent_n_state_scaling
+
+
+def test_silent_n_state_worst_case_scaling(benchmark):
+    """The fitted growth exponent over n in {16..128} should be close to 2."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_silent_n_state_scaling,
+        paper_reference="Theorem 2.4",
+        claim="Theta(n^2) parallel time from the worst-case configuration",
+        ns=(16, 32, 64, 128),
+        trials=10,
+        seed=0,
+        start="worst-case",
+    )
+    exponent = rows[-1]["fitted exponent"]
+    assert 1.6 < exponent < 2.4
+
+
+def test_silent_n_state_random_start_scaling(benchmark):
+    """Random starts are also Theta(n^2) (the barrier argument is worst-case-free)."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_silent_n_state_scaling,
+        paper_reference="Theorem 2.4 (upper bound)",
+        claim="O(n^2) parallel time from arbitrary configurations",
+        ns=(16, 32, 64),
+        trials=10,
+        seed=1,
+        start="random",
+    )
+    assert rows[-1]["fitted exponent"] > 1.2

@@ -1,0 +1,44 @@
+"""E9: Theorem 5.7 / Table 1 rows 3-4 -- Sublinear-Time-SSR time vs depth H."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.sublinear_experiments import run_sublinear_scaling, run_sublinear_tradeoff
+
+
+def test_sublinear_detection_time_improves_with_depth(benchmark):
+    """From a planted collision, detection gets faster as H grows.
+
+    H = 0 (direct detection) needs the two duplicates to meet: Theta(n) time.
+    H = 1 routes through one intermediary: Theta(sqrt n).  H = 2 and the
+    log-depth variant are faster still.  The stabilization time adds the
+    (H-independent) reset + roll-call overhead on top.
+    """
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_sublinear_tradeoff,
+        paper_reference="Theorem 5.7 / Table 1",
+        claim="stabilization time Theta(H n^{1/(H+1)}), i.e. decreasing in H",
+        n=24,
+        depths=(0, 1, 2),
+        trials=8,
+        seed=0,
+    )
+    detection = {row["H"]: row["mean detection time"] for row in rows}
+    assert detection[1] < detection[0]
+    assert detection[2] <= detection[1] * 1.5  # allow noise, but no blow-up
+
+
+def test_sublinear_scaling_at_fixed_depth(benchmark):
+    """At fixed H = 1 the stabilization time grows sublinearly in n."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_sublinear_scaling,
+        paper_reference="Theorem 5.7",
+        claim="O(sqrt n) detection + O(log n) reset/roll-call at H = 1",
+        ns=(8, 16, 32),
+        depth=1,
+        trials=6,
+        seed=0,
+    )
+    times = [row["mean stabilization time"] for row in rows]
+    assert times[-1] / times[0] < (rows[-1]["n"] / rows[0]["n"]) ** 1.2

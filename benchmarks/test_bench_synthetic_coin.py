@@ -1,0 +1,22 @@
+"""E14: Section 6 -- synthetic-coin derandomization."""
+
+from bench_utils import run_experiment_benchmark
+
+from repro.experiments.synthetic_coin_experiments import run_synthetic_coin
+
+
+def test_synthetic_coin_bias_and_rate(benchmark):
+    """Harvested bits are unbiased and cost ~4 interactions each."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_synthetic_coin,
+        paper_reference="Section 6",
+        claim="scheduler randomness yields unbiased bits at ~4 interactions per bit",
+        ns=(16, 64, 256),
+        bits_needed=16,
+        seed=0,
+    )
+    for row in rows:
+        assert row["completed"]
+        assert 0.42 < row["fraction of ones"] < 0.58
+        assert row["interactions per bit"] < 10.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Watch Detect-Name-Collision catch an impostor without a direct meeting.
+
+Recreates the scenario behind Sublinear-Time-SSR (Section 5): two agents end
+up with the same random name, and the population must notice *faster* than
+waiting for the two of them to bump into each other.  The example plants a
+name collision, runs the protocol for several depth parameters ``H``, and
+reports (a) how long until the collision is detected and (b) how long until
+the whole population has re-stabilized with fresh unique names and ranks.
+
+Run with::
+
+    python examples/name_collision_detection.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import SublinearTimeSSR, Simulation, make_rng
+from repro.core.propagate_reset import RESETTING
+
+
+def measure(n: int, depth, trials: int = 5):
+    detection_times, stabilization_times = [], []
+    for trial in range(trials):
+        rng = make_rng((depth if depth is not None else 99, trial))
+        protocol = SublinearTimeSSR(n, depth=depth, rmax_multiplier=3.0)
+        configuration = protocol.planted_collision_configuration(rng)
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        detection = simulation.run_until(
+            lambda config: any(state.role == RESETTING for state in config),
+            max_interactions=200 * n * n,
+            check_interval=max(1, n // 2),
+        )
+        detection_times.append(detection.parallel_time)
+        stabilization = simulation.run_until_stabilized(
+            max_interactions=200 * n * n, check_interval=n
+        )
+        stabilization_times.append(stabilization.parallel_time)
+    return (
+        sum(detection_times) / trials,
+        sum(stabilization_times) / trials,
+        protocol.depth,
+    )
+
+
+def main() -> None:
+    n = 24
+    print(f"Planted name collision among {n} agents (two agents share one name)\n")
+    print("  H (depth)   detect collision   fully re-stabilized   paper detection shape")
+    for depth in (0, 1, 2, None):
+        detect, stabilize, effective = measure(n, depth)
+        if effective == 0:
+            shape = f"Theta(n) = {n}"
+        elif effective >= math.log2(n):
+            shape = f"Theta(log n) = {math.log(n):.1f}"
+        else:
+            shape = (
+                f"Theta(H n^(1/(H+1))) = "
+                f"{(effective + 1) * n ** (1 / (effective + 1)):.1f}"
+            )
+        label = f"{effective}{' (log n)' if depth is None else ''}"
+        print(f"  {label:<11s} {detect:>16.1f} {stabilize:>21.1f}   {shape}")
+    print(
+        "\nDetection accelerates as H grows, exactly the time/space trade-off of"
+        "\nTable 1: deeper history trees mean exponentially more state but"
+        "\ncollision detection through longer chains of intermediaries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Visualize the dynamics behind Optimal-Silent-SSR as ASCII time series.
+
+Records, over one execution started from an adversarial configuration:
+
+* the number of agents per role (Settled / Unsettled / Resetting), showing the
+  error detection, the reset wave, the dormant phase, and the binary-tree
+  ranking that follows (Sections 3 and 4 of the paper);
+* the number of dormant leaders, showing the slow fratricide election
+  ``L, L -> L, F`` running during the dormant phase (Lemma 4.2);
+* the number of distinct ranks held, climbing to n as the tree fills
+  (Lemma 4.1 / Figure 1).
+
+Run with::
+
+    python examples/reset_wave_dynamics.py [population_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import OptimalSilentSSR, Simulation, make_rng
+from repro.analysis.traces import MetricsRecorder, render_series, sparkline
+from repro.core.optimal_silent import LEADER, SETTLED, UNSETTLED
+from repro.core.propagate_reset import RESETTING
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    rng = make_rng(11)
+    protocol = OptimalSilentSSR(n, rmax_multiplier=4.0, dmax_factor=6.0, emax_factor=16.0)
+    configuration = protocol.random_configuration(rng)
+
+    recorder = MetricsRecorder(
+        metrics={
+            "settled agents": lambda c: c.count_where(lambda s: s.role == SETTLED),
+            "unsettled agents": lambda c: c.count_where(lambda s: s.role == UNSETTLED),
+            "resetting agents": lambda c: c.count_where(lambda s: s.role == RESETTING),
+            "dormant leaders (L)": lambda c: c.count_where(
+                lambda s: s.role == RESETTING and s.leader == LEADER and s.resetcount == 0
+            ),
+            "distinct ranks": lambda c: len(
+                {s.rank for s in c if s.role == SETTLED and s.rank is not None}
+            ),
+        },
+        every=max(1, n // 2),
+        population_size=n,
+    )
+    recorder.record_now(configuration)
+
+    simulation = Simulation(protocol, configuration=configuration, rng=rng, hooks=[recorder])
+    result = simulation.run_until_stabilized()
+
+    print(f"Optimal-Silent-SSR, n = {n}, adversarial start")
+    print(f"stabilized after {result.parallel_time:.1f} parallel time\n")
+
+    print(render_series(recorder["resetting agents"], width=70, height=7))
+    print()
+    print(render_series(recorder["distinct ranks"], width=70, height=7))
+    print()
+    print("one-line views (low .:-=+*#%@ high):")
+    for name in ("settled agents", "unsettled agents", "dormant leaders (L)"):
+        print(f"  {name:<22s} {sparkline(recorder[name].values, width=70)}")
+    print(
+        "\nReading the plots: the reset wave first converts everyone to Resetting,"
+        "\nthe dormant leaders thin out under L,L -> L,F, and once the population"
+        "\nawakens the distinct-rank count climbs to n as the binary tree fills."
+    )
+
+
+if __name__ == "__main__":
+    main()

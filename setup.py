@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+PEP 660 editable-wheel path (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro: reproduction of "Time-Optimal Self-Stabilizing Leader Election in
+Population Protocols" (Burman, Chen, Chen, Doty, Nowak, Severson, Xu; PODC 2021).
+
+The package provides:
+
+* a population-protocol simulation engine (:mod:`repro.engine`),
+* the probabilistic processes of Section 2.1 (:mod:`repro.processes`),
+* the paper's protocols -- the ``Silent-n-state-SSR`` baseline,
+  ``Optimal-Silent-SSR``, and ``Sublinear-Time-SSR`` with history-tree
+  collision detection (:mod:`repro.core`),
+* adversarial configurations and fault injection (:mod:`repro.adversary`),
+* closed-form predictions, tail bounds, and scaling fits (:mod:`repro.analysis`),
+* the synthetic-coin derandomization of Section 6 (:mod:`repro.derandomize`),
+* an experiment harness reproducing Table 1 and every quantitative claim
+  (:mod:`repro.experiments`) with a CLI (``python -m repro``).
+
+Quickstart
+----------
+>>> from repro import OptimalSilentSSR, Simulation
+>>> protocol = OptimalSilentSSR(32, rmax_multiplier=4.0)
+>>> simulation = Simulation(protocol, rng=0)
+>>> result = simulation.run_until_stabilized()
+>>> sorted(state.rank for state in simulation.configuration) == list(range(1, 33))
+True
+"""
+
+from repro.core import (
+    FratricideLeaderElection,
+    OptimalSilentSSR,
+    SilentNStateSSR,
+    SublinearTimeSSR,
+    ThreeAgentSSLEWithoutRanking,
+)
+from repro.engine import (
+    Configuration,
+    PopulationProtocol,
+    Simulation,
+    SimulationResult,
+    TrialStatistics,
+    UniformPairScheduler,
+    make_rng,
+    run_trials,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Configuration",
+    "FratricideLeaderElection",
+    "OptimalSilentSSR",
+    "PopulationProtocol",
+    "SilentNStateSSR",
+    "Simulation",
+    "SimulationResult",
+    "SublinearTimeSSR",
+    "ThreeAgentSSLEWithoutRanking",
+    "TrialStatistics",
+    "UniformPairScheduler",
+    "__version__",
+    "make_rng",
+    "run_trials",
+]

@@ -1,0 +1,31 @@
+"""Adversarial initial configurations and transient fault injection.
+
+Self-stabilization means recovering from *any* configuration -- in particular
+from configurations an adversary (or an arbitrary burst of transient memory
+faults) has crafted.  This subpackage centralizes the nasty starting points
+used by the experiments and tests:
+
+* worst-case and maximally-colliding configurations for each protocol,
+* configurations with planted name collisions, ghost names, and corrupted
+  history trees for ``Sublinear-Time-SSR``,
+* the all-leaders / zero-leader configurations behind the lower bounds,
+* a transient fault injector that corrupts a chosen number of agents mid-run.
+"""
+
+from repro.adversary.faults import inject_transient_faults
+from repro.adversary.initial_configs import (
+    corrupted_tree_configuration,
+    duplicate_leader_silent_configuration,
+    optimal_silent_adversarial_configuration,
+    silent_n_state_worst_case,
+    sublinear_adversarial_configuration,
+)
+
+__all__ = [
+    "corrupted_tree_configuration",
+    "duplicate_leader_silent_configuration",
+    "inject_transient_faults",
+    "optimal_silent_adversarial_configuration",
+    "silent_n_state_worst_case",
+    "sublinear_adversarial_configuration",
+]

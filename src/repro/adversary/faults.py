@@ -1,0 +1,56 @@
+"""Transient fault injection.
+
+Self-stabilization is exactly tolerance to transient faults: a burst of
+arbitrary memory corruptions leaves the system in some arbitrary configuration,
+from which it must re-stabilize on its own.  The injector below corrupts a
+chosen number of agents in place (using the protocol's adversarial state
+sampler), which examples and tests use to demonstrate recovery mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike, make_rng
+
+
+def inject_transient_faults(
+    protocol: PopulationProtocol,
+    configuration: Configuration,
+    count: int,
+    rng: RngLike = None,
+    agent_ids: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Corrupt ``count`` agents of ``configuration`` in place.
+
+    Each corrupted agent's state is replaced by ``protocol.random_state``.
+    Returns the list of corrupted agent indices.
+
+    Parameters
+    ----------
+    agent_ids:
+        Explicit victims; if omitted, ``count`` distinct agents are chosen
+        uniformly at random.
+    """
+    n = len(configuration)
+    if not 0 <= count <= n:
+        raise ValueError(f"fault count must be in [0, {n}], got {count}")
+    rng = make_rng(rng)
+    if agent_ids is None:
+        victims = list(rng.choice(n, size=count, replace=False)) if count else []
+    else:
+        victims = list(agent_ids)
+        if len(victims) != count:
+            raise ValueError("agent_ids length must equal count")
+        if any(not 0 <= v < n for v in victims):
+            raise ValueError("agent_ids must be valid agent indices")
+    for victim in victims:
+        configuration[int(victim)] = protocol.random_state(rng)
+    return [int(v) for v in victims]
+
+
+__all__ = ["inject_transient_faults"]

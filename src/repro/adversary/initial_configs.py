@@ -1,0 +1,92 @@
+"""Constructors for adversarial initial configurations.
+
+Each constructor documents which claim of the paper it stresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.optimal_silent import OptimalSilentSSR
+from repro.core.silent_n_state import SilentNStateSSR, SilentNStateState
+from repro.core.sublinear import SublinearTimeSSR
+from repro.core.sublinear.history_tree import TreeNode
+from repro.core.sublinear.names import random_name
+from repro.engine.configuration import Configuration
+from repro.engine.rng import RngLike, make_rng
+
+
+def silent_n_state_worst_case(protocol: SilentNStateSSR) -> Configuration:
+    """Theorem 2.4's Omega(n^2) configuration for ``Silent-n-state-SSR``."""
+    return protocol.worst_case_configuration()
+
+
+def duplicate_leader_silent_configuration(protocol: OptimalSilentSSR) -> Configuration:
+    """Observation 2.6's configuration: the stable ranking plus one duplicated leader.
+
+    Take the silent configuration (ranks ``1..n``) and overwrite one non-leader
+    agent with a copy of the rank-1 state.  Because the original configuration
+    is silent, the only productive interaction is the direct meeting of the two
+    rank-1 agents, which takes Omega(n) expected parallel time -- the silent
+    lower bound.
+    """
+    configuration = protocol.stable_configuration()
+    leader_state = configuration[0]
+    # Agents are listed in rank order; overwrite the last one (rank n != 1).
+    configuration[protocol.n - 1] = leader_state.clone()
+    return configuration
+
+
+def optimal_silent_adversarial_configuration(
+    protocol: OptimalSilentSSR, rng: RngLike = None
+) -> Configuration:
+    """Fully arbitrary configuration for ``Optimal-Silent-SSR`` (Theorem 4.3 setting)."""
+    rng = make_rng(rng)
+    return protocol.random_configuration(rng)
+
+
+def sublinear_adversarial_configuration(
+    protocol: SublinearTimeSSR, rng: RngLike = None
+) -> Configuration:
+    """Fully arbitrary configuration for ``Sublinear-Time-SSR`` (Theorem 5.7 setting)."""
+    rng = make_rng(rng)
+    return protocol.random_configuration(rng)
+
+
+def corrupted_tree_configuration(
+    protocol: SublinearTimeSSR,
+    rng: RngLike = None,
+    fake_sync: int = 1,
+) -> Configuration:
+    """Unique names but adversarially planted, mutually inconsistent history trees.
+
+    Every agent's tree claims a fabricated interaction (with sync value
+    ``fake_sync + agent index``, so no two agents agree) with the *next* agent
+    in a cycle, with fresh timers.  Lemma 5.5 says such data either triggers at
+    most one extra reset or ages out within ``O(T_H)`` time, after which the
+    configuration is safe; the experiments verify stabilization still happens
+    quickly.
+    """
+    if protocol.depth < 1:
+        raise ValueError("corrupted trees require the history-tree detector (H >= 1)")
+    rng = make_rng(rng)
+    configuration = protocol.unique_names_configuration(rng)
+    timer_max = protocol.detector.timer_max
+    n = protocol.n
+    for index in range(n):
+        state = configuration[index]
+        neighbour = configuration[(index + 1) % n]
+        planted_child = TreeNode.singleton(neighbour.name)
+        state.tree.attach(planted_child, sync=fake_sync + index, timer=timer_max)
+    return configuration
+
+
+__all__ = [
+    "corrupted_tree_configuration",
+    "duplicate_leader_silent_configuration",
+    "optimal_silent_adversarial_configuration",
+    "silent_n_state_worst_case",
+    "sublinear_adversarial_configuration",
+]

@@ -1,0 +1,72 @@
+"""Analysis utilities: theoretical predictions, tail bounds, and scaling fits.
+
+This subpackage implements the closed-form quantities the paper derives
+(harmonic numbers, expected epidemic / roll-call / fratricide times, the
+Table 1 complexity entries) and the statistical machinery the experiments use
+to compare simulated measurements against those predictions (Janson-style
+geometric tail bounds, Chernoff bounds, power-law fitting, and growth-model
+classification).
+"""
+
+from repro.analysis.harmonic import harmonic_number
+from repro.analysis.scaling import (
+    GrowthFit,
+    classify_growth,
+    fit_growth_model,
+    fit_power_law,
+)
+from repro.analysis.state_space import ObservedStateCounter, count_observed_states
+from repro.analysis.statistics import summarize
+from repro.analysis.traces import (
+    MetricSeries,
+    MetricsRecorder,
+    render_series,
+    sparkline,
+)
+from repro.analysis.tail_bounds import (
+    chernoff_interaction_bound,
+    epidemic_upper_tail,
+    janson_lower_tail,
+    janson_upper_tail,
+)
+from repro.analysis.theory import (
+    TABLE1_ROWS,
+    Table1Row,
+    expected_all_interact_interactions,
+    expected_binary_tree_assignment_time,
+    expected_bounded_epidemic_time,
+    expected_epidemic_interactions,
+    expected_fratricide_interactions,
+    expected_roll_call_interactions,
+    expected_silent_n_state_worst_case_interactions,
+    predicted_parallel_time,
+)
+
+__all__ = [
+    "GrowthFit",
+    "MetricSeries",
+    "MetricsRecorder",
+    "ObservedStateCounter",
+    "render_series",
+    "sparkline",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "chernoff_interaction_bound",
+    "classify_growth",
+    "count_observed_states",
+    "epidemic_upper_tail",
+    "expected_all_interact_interactions",
+    "expected_binary_tree_assignment_time",
+    "expected_bounded_epidemic_time",
+    "expected_epidemic_interactions",
+    "expected_fratricide_interactions",
+    "expected_roll_call_interactions",
+    "expected_silent_n_state_worst_case_interactions",
+    "fit_growth_model",
+    "fit_power_law",
+    "harmonic_number",
+    "janson_lower_tail",
+    "janson_upper_tail",
+    "predicted_parallel_time",
+    "summarize",
+]

@@ -1,0 +1,27 @@
+"""Harmonic numbers and related elementary quantities."""
+
+from __future__ import annotations
+
+import math
+
+#: Euler-Mascheroni constant, used by the asymptotic approximation.
+EULER_MASCHERONI = 0.5772156649015329
+
+
+def harmonic_number(k: int) -> float:
+    """The ``k``-th harmonic number ``H_k = sum_{i=1}^{k} 1/i`` (``H_0 = 0``).
+
+    Computed exactly for small ``k`` and via the asymptotic expansion
+    ``ln k + gamma + 1/(2k) - 1/(12k^2)`` for large ``k`` (error below 1e-12
+    in that regime).
+    """
+    if k < 0:
+        raise ValueError(f"harmonic numbers are defined for k >= 0, got {k}")
+    if k == 0:
+        return 0.0
+    if k <= 10_000:
+        return sum(1.0 / i for i in range(1, k + 1))
+    return math.log(k) + EULER_MASCHERONI + 1.0 / (2 * k) - 1.0 / (12 * k * k)
+
+
+__all__ = ["EULER_MASCHERONI", "harmonic_number"]

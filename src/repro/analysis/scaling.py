@@ -1,0 +1,102 @@
+"""Fitting growth laws to measured running times.
+
+The paper's claims are asymptotic (Theta(n^2), Theta(n), Theta(log n), ...);
+the reproduction validates them by sweeping the population size, fitting
+candidate growth models to the measured parallel times, and checking that the
+best-fitting model (or the fitted power-law exponent) matches the claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+#: Candidate growth models, mapping a label to f(n) up to a constant factor.
+GROWTH_MODELS: Dict[str, Callable[[float], float]] = {
+    "constant": lambda n: 1.0,
+    "log n": lambda n: math.log(n),
+    "sqrt n": lambda n: math.sqrt(n),
+    "n^(2/3)": lambda n: n ** (2.0 / 3.0),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log(n),
+    "n^2": lambda n: float(n) ** 2,
+    "n^3": lambda n: float(n) ** 3,
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of fitting a single growth model ``value ~ c * f(n)``."""
+
+    model: str
+    coefficient: float
+    residual: float
+
+    def predict(self, n: float) -> float:
+        """Predicted value at population size ``n``."""
+        return self.coefficient * GROWTH_MODELS[self.model](n)
+
+
+def fit_power_law(ns: Sequence[float], values: Sequence[float]) -> Tuple[float, float, float]:
+    """Fit ``value ~ c * n^alpha`` by least squares in log-log space.
+
+    Returns ``(alpha, c, r_squared)``.
+    """
+    if len(ns) != len(values):
+        raise ValueError("ns and values must have the same length")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if any(n <= 0 for n in ns) or any(v <= 0 for v in values):
+        raise ValueError("power-law fitting requires positive data")
+    log_n = np.log(np.asarray(ns, dtype=float))
+    log_v = np.log(np.asarray(values, dtype=float))
+    alpha, intercept = np.polyfit(log_n, log_v, 1)
+    predictions = alpha * log_n + intercept
+    ss_res = float(np.sum((log_v - predictions) ** 2))
+    ss_tot = float(np.sum((log_v - np.mean(log_v)) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(alpha), float(math.exp(intercept)), r_squared
+
+
+def fit_growth_model(
+    ns: Sequence[float], values: Sequence[float], model: str
+) -> GrowthFit:
+    """Least-squares fit of ``value ~ c * f(n)`` for a single named model.
+
+    The residual reported is the root-mean-square error of the fit in
+    *relative* terms (normalized by the mean measured value), so residuals are
+    comparable across models and data scales.
+    """
+    if model not in GROWTH_MODELS:
+        raise ValueError(f"unknown growth model {model!r}")
+    if len(ns) != len(values):
+        raise ValueError("ns and values must have the same length")
+    if not ns:
+        raise ValueError("need at least one data point")
+    f = GROWTH_MODELS[model]
+    basis = np.asarray([f(n) for n in ns], dtype=float)
+    measured = np.asarray(values, dtype=float)
+    denominator = float(np.dot(basis, basis))
+    coefficient = float(np.dot(basis, measured) / denominator) if denominator > 0 else 0.0
+    residuals = measured - coefficient * basis
+    scale = float(np.mean(np.abs(measured))) or 1.0
+    rmse = float(np.sqrt(np.mean(residuals**2))) / scale
+    return GrowthFit(model=model, coefficient=coefficient, residual=rmse)
+
+
+def classify_growth(
+    ns: Sequence[float],
+    values: Sequence[float],
+    candidates: Sequence[str] = ("log n", "sqrt n", "n", "n log n", "n^2"),
+) -> GrowthFit:
+    """Return the candidate growth model with the smallest relative residual."""
+    if not candidates:
+        raise ValueError("need at least one candidate model")
+    fits = [fit_growth_model(ns, values, model) for model in candidates]
+    return min(fits, key=lambda fit: fit.residual)
+
+
+__all__ = ["GROWTH_MODELS", "GrowthFit", "classify_growth", "fit_growth_model", "fit_power_law"]

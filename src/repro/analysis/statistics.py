@@ -1,0 +1,74 @@
+"""Small statistical helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary (for report rows)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute count / mean / std / min / median / max of ``values``."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    middle = count // 2
+    if count % 2 == 1:
+        median = ordered[middle]
+    else:
+        median = 0.5 * (ordered[middle - 1] + ordered[middle])
+    return Summary(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """``|measured - predicted| / |predicted|`` (``inf`` when predicted is 0)."""
+    if predicted == 0:
+        return math.inf if measured != 0 else 0.0
+    return abs(measured - predicted) / abs(predicted)
+
+
+def ratio(measured: float, predicted: float) -> float:
+    """``measured / predicted`` (``inf`` when predicted is 0)."""
+    if predicted == 0:
+        return math.inf if measured != 0 else 1.0
+    return measured / predicted
+
+
+__all__ = ["Summary", "ratio", "relative_error", "summarize"]

@@ -1,0 +1,93 @@
+"""Tail bounds used throughout the paper's analysis.
+
+* Janson's bounds for sums of independent geometric random variables
+  (Theorems 2.1 and 3.1 of [43]), used in Theorem 2.4.
+* The explicit epidemic upper tail of Lemma 2.7: ``P[T_n > (1 + d) E[T_n]]
+  <= 2.5 ln(n) n^{-2d}`` for ``n >= 8``.
+* A Chernoff-style bound on how many interactions a single agent participates
+  in over a span of interactions, used when arguing about per-agent counters
+  (``delaytimer``, ``errorcount``, edge timers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def janson_upper_tail(mu: float, p_min: float, lam: float) -> float:
+    """Janson Theorem 2.1: ``P[X >= lam * mu] <= exp(-p_min * mu * (lam - 1 - ln lam))``.
+
+    ``X`` is a sum of independent geometric random variables with expectation
+    ``mu`` and smallest success probability ``p_min``; ``lam >= 1``.
+    """
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    if not 0 < p_min <= 1:
+        raise ValueError(f"p_min must be in (0, 1], got {p_min}")
+    if lam < 1:
+        raise ValueError(f"lambda must be at least 1, got {lam}")
+    return math.exp(-p_min * mu * (lam - 1 - math.log(lam)))
+
+
+def janson_lower_tail(mu: float, p_min: float, lam: float) -> float:
+    """Janson Theorem 3.1: ``P[X <= lam * mu] <= exp(-p_min * mu * (lam - 1 - ln lam))``.
+
+    Here ``0 < lam <= 1``; note ``lam - 1 - ln lam >= 0`` in this range.
+    """
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    if not 0 < p_min <= 1:
+        raise ValueError(f"p_min must be in (0, 1], got {p_min}")
+    if not 0 < lam <= 1:
+        raise ValueError(f"lambda must be in (0, 1], got {lam}")
+    return math.exp(-p_min * mu * (lam - 1 - math.log(lam)))
+
+
+def epidemic_upper_tail(n: int, delta: float) -> float:
+    """Lemma 2.7: ``P[T_n > (1 + delta) E[T_n]] <= 2.5 ln(n) * n^{-2 delta}`` (``n >= 8``)."""
+    if n < 8:
+        raise ValueError(f"the bound of Lemma 2.7 requires n >= 8, got {n}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return 2.5 * math.log(n) * n ** (-2.0 * delta)
+
+
+def chernoff_interaction_bound(n: int, interactions: int, per_agent_cap: int) -> float:
+    """Upper bound on the probability one fixed agent exceeds ``per_agent_cap`` interactions.
+
+    Over ``interactions`` scheduler steps a fixed agent participates in a
+    Binomial(``interactions``, ``2/n``) number of them; this returns the
+    standard multiplicative Chernoff upper-tail bound for exceeding the cap.
+    Returns 1.0 when the cap is below the mean (the bound is vacuous there).
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    if interactions < 0 or per_agent_cap < 0:
+        raise ValueError("interaction counts must be non-negative")
+    mean = 2.0 * interactions / n
+    if mean == 0:
+        return 0.0 if per_agent_cap >= 0 else 1.0
+    if per_agent_cap <= mean:
+        return 1.0
+    delta = per_agent_cap / mean - 1.0
+    exponent = -(delta * delta) * mean / (2.0 + delta)
+    return math.exp(exponent)
+
+
+def sum_of_geometrics_mean(probabilities: Sequence[float]) -> float:
+    """Expectation of a sum of independent geometric variables (``sum 1/p_i``)."""
+    if not probabilities:
+        return 0.0
+    if any(not 0 < p <= 1 for p in probabilities):
+        raise ValueError("all success probabilities must lie in (0, 1]")
+    return sum(1.0 / p for p in probabilities)
+
+
+__all__ = [
+    "chernoff_interaction_bound",
+    "epidemic_upper_tail",
+    "janson_lower_tail",
+    "janson_upper_tail",
+    "sum_of_geometrics_mean",
+]

@@ -1,0 +1,186 @@
+"""Closed-form predictions derived in the paper.
+
+Every function returns the quantity the corresponding lemma/theorem predicts
+(in *interactions* unless the name says otherwise), so experiments can print a
+paper-vs-measured comparison for each table and figure entry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.harmonic import harmonic_number
+
+
+# -- Section 2.1: probabilistic tools ------------------------------------------------------
+
+
+def expected_epidemic_interactions(n: int) -> float:
+    """Lemma 2.7: ``E[T_n] = (n - 1) H_{n-1}`` for the two-way epidemic."""
+    if n < 1:
+        raise ValueError(f"population size must be positive, got {n}")
+    return (n - 1) * harmonic_number(n - 1)
+
+
+def expected_roll_call_interactions(n: int) -> float:
+    """Lemma 2.9: ``E[R_n] ~ 1.5 n ln n`` for the roll-call process."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return 1.5 * n * math.log(n)
+
+
+def expected_all_interact_interactions(n: int) -> float:
+    """``E_1 ~ 0.5 n ln n``: interactions until every agent has interacted."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return 0.5 * n * math.log(n)
+
+
+def expected_bounded_epidemic_time(n: int, k: int) -> float:
+    """Lemma 2.10 / 2.11: upper bound on ``E[tau_k]`` in parallel time.
+
+    ``k n^{1/k}`` for constant ``k``; ``3 ln n`` once ``k >= 3 log2 n``.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    if k < 1:
+        raise ValueError(f"level bound k must be positive, got {k}")
+    if k >= 3 * math.log2(n):
+        return 3.0 * math.log(n)
+    return k * n ** (1.0 / k)
+
+
+def expected_fratricide_interactions(n: int, initial_leaders: Optional[int] = None) -> float:
+    """Lemma 4.2: expected interactions of ``L, L -> L, F`` down to one leader."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    if initial_leaders is None:
+        initial_leaders = n
+    if not 1 <= initial_leaders <= n:
+        raise ValueError(f"initial_leaders must be in [1, {n}], got {initial_leaders}")
+    total = 0.0
+    for leaders in range(2, initial_leaders + 1):
+        total += n * (n - 1) / (leaders * (leaders - 1))
+    return total
+
+
+# -- Theorem 2.4 and Lemma 4.1 ---------------------------------------------------------------
+
+
+def expected_silent_n_state_worst_case_interactions(n: int) -> float:
+    """Theorem 2.4 lower bound: ``(n - 1) * C(n, 2)`` interactions from the worst case."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return (n - 1) * n * (n - 1) / 2.0
+
+
+def expected_binary_tree_assignment_time(n: int, constant: float = 2.0) -> float:
+    """Lemma 4.1: the binary-tree rank assignment takes ``O(n)`` parallel time.
+
+    The lemma's level-by-level bound gives roughly ``constant * n``; the
+    default constant of 2 matches the geometric sum over levels.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return constant * n
+
+
+# -- Table 1: protocol-level predictions -------------------------------------------------------
+
+
+def predicted_parallel_time(protocol: str, n: int, depth: Optional[int] = None) -> float:
+    """Expected stabilization time (parallel) predicted by Table 1.
+
+    ``protocol`` is one of ``"silent-n-state"``, ``"optimal-silent"``,
+    ``"sublinear"`` (requires ``depth``); the returned value drops the
+    unspecified constants, i.e. it is the leading-order term only.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    if protocol == "silent-n-state":
+        return float(n * n)
+    if protocol == "optimal-silent":
+        return float(n)
+    if protocol == "sublinear":
+        if depth is None:
+            raise ValueError("the sublinear protocol needs the depth parameter H")
+        if depth >= math.log2(n):
+            return math.log(n)
+        return (depth + 1) * n ** (1.0 / (depth + 1))
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    protocol: str
+    expected_time: str
+    whp_time: str
+    states: str
+    silent: bool
+    expected_time_fn: Callable[[int], float]
+
+
+TABLE1_ROWS: List[Table1Row] = [
+    Table1Row(
+        protocol="Silent-n-state-SSR [21]",
+        expected_time="Theta(n^2)",
+        whp_time="Theta(n^2)",
+        states="n",
+        silent=True,
+        expected_time_fn=lambda n: predicted_parallel_time("silent-n-state", n),
+    ),
+    Table1Row(
+        protocol="Optimal-Silent-SSR (Sec. 4)",
+        expected_time="Theta(n)",
+        whp_time="Theta(n log n)",
+        states="O(n)",
+        silent=True,
+        expected_time_fn=lambda n: predicted_parallel_time("optimal-silent", n),
+    ),
+    Table1Row(
+        protocol="Sublinear-Time-SSR (H = Theta(log n))",
+        expected_time="Theta(log n)",
+        whp_time="Theta(log n)",
+        states="exp(O(n^{log n} log n))",
+        silent=False,
+        expected_time_fn=lambda n: predicted_parallel_time(
+            "sublinear", n, depth=max(1, math.ceil(math.log2(n)))
+        ),
+    ),
+    Table1Row(
+        protocol="Sublinear-Time-SSR (constant H)",
+        expected_time="Theta(H n^{1/(H+1)})",
+        whp_time="Theta(log n * n^{1/(H+1)})",
+        states="Theta(n^{Theta(n^H)} log n)",
+        silent=False,
+        expected_time_fn=lambda n: predicted_parallel_time("sublinear", n, depth=1),
+    ),
+]
+
+
+def predicted_state_count(protocol: str, n: int) -> Optional[int]:
+    """Number of states predicted by Table 1 where it is finite and closed-form."""
+    if protocol == "silent-n-state":
+        return n
+    if protocol == "optimal-silent":
+        return None  # O(n): the constant depends on parameter choices.
+    return None
+
+
+__all__ = [
+    "TABLE1_ROWS",
+    "Table1Row",
+    "expected_all_interact_interactions",
+    "expected_binary_tree_assignment_time",
+    "expected_bounded_epidemic_time",
+    "expected_epidemic_interactions",
+    "expected_fratricide_interactions",
+    "expected_roll_call_interactions",
+    "expected_silent_n_state_worst_case_interactions",
+    "predicted_parallel_time",
+    "predicted_state_count",
+]

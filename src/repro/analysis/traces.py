@@ -1,0 +1,176 @@
+"""Trajectory recording and lightweight text plotting.
+
+The paper's arguments are about how population-level quantities evolve over
+parallel time: the number of leaders shrinking under fratricide, the reset
+wave sweeping the population, rosters filling up, the count of Settled agents
+climbing level by level in the binary-tree assignment.  This module records
+such quantities during a simulation (as an engine hook) and renders them as
+compact ASCII sparklines/plots so examples and the CLI can show dynamics
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.configuration import Configuration
+from repro.engine.hooks import InteractionHook
+
+#: Characters used for sparklines, from lowest to highest.
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass
+class MetricSeries:
+    """A named time series of (parallel time, value) samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def final_value(self) -> Optional[float]:
+        """Last recorded value (``None`` if empty)."""
+        return self.values[-1] if self.values else None
+
+    def downsample(self, points: int) -> "MetricSeries":
+        """Return a copy with at most ``points`` evenly spaced samples."""
+        if points < 1:
+            raise ValueError(f"points must be positive, got {points}")
+        if len(self.values) <= points:
+            return MetricSeries(self.name, list(self.times), list(self.values))
+        step = len(self.values) / points
+        indices = [int(i * step) for i in range(points)]
+        if indices[-1] != len(self.values) - 1:
+            indices.append(len(self.values) - 1)
+        return MetricSeries(
+            self.name,
+            [self.times[i] for i in indices],
+            [self.values[i] for i in indices],
+        )
+
+
+class MetricsRecorder(InteractionHook):
+    """Engine hook recording several named configuration metrics over time.
+
+    Parameters
+    ----------
+    metrics:
+        Mapping from series name to a function of the configuration.
+    every:
+        Sampling interval in interactions.
+    """
+
+    def __init__(
+        self,
+        metrics: Dict[str, Callable[[Configuration], float]],
+        every: int = 1,
+        population_size: Optional[int] = None,
+    ):
+        if not metrics:
+            raise ValueError("at least one metric is required")
+        if every < 1:
+            raise ValueError(f"sampling interval must be positive, got {every}")
+        self._metrics = dict(metrics)
+        self._every = every
+        self._n = population_size
+        self.series: Dict[str, MetricSeries] = {name: MetricSeries(name) for name in metrics}
+
+    def _record(self, interaction_index: int, configuration: Configuration) -> None:
+        n = self._n if self._n is not None else len(configuration)
+        time = interaction_index / n
+        for name, metric in self._metrics.items():
+            self.series[name].append(time, float(metric(configuration)))
+
+    def record_now(self, configuration: Configuration, interaction_index: int = 0) -> None:
+        """Record a sample outside the hook mechanism (e.g. the initial state)."""
+        self._record(interaction_index, configuration)
+
+    def on_interaction(
+        self,
+        interaction_index: int,
+        initiator_id: int,
+        responder_id: int,
+        configuration: Configuration,
+    ) -> None:
+        if interaction_index % self._every == 0:
+            self._record(interaction_index, configuration)
+
+    def on_run_end(self, interaction_index: int, configuration: Configuration) -> None:
+        self._record(interaction_index, configuration)
+
+    def __getitem__(self, name: str) -> MetricSeries:
+        return self.series[name]
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render ``values`` as a one-line ASCII sparkline of at most ``width`` chars."""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        return ""
+    series = MetricSeries("", values=list(values), times=list(range(len(values))))
+    compact = series.downsample(width).values
+    low, high = min(compact), max(compact)
+    if high == low:
+        return SPARK_LEVELS[len(SPARK_LEVELS) // 2] * len(compact)
+    scale = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[round((value - low) / (high - low) * scale)] for value in compact
+    )
+
+
+def render_series(
+    series: MetricSeries,
+    width: int = 60,
+    height: int = 8,
+) -> str:
+    """Render a time series as a small multi-line ASCII plot.
+
+    The plot shows ``height`` rows, value range on the left, and the parallel
+    time range underneath.
+    """
+    if width < 1 or height < 2:
+        raise ValueError("width must be >= 1 and height >= 2")
+    if not series.values:
+        return f"{series.name}: (no samples)"
+    compact = series.downsample(width)
+    low, high = min(compact.values), max(compact.values)
+    span = high - low or 1.0
+    columns = [
+        min(height - 1, int(round((value - low) / span * (height - 1))))
+        for value in compact.values
+    ]
+    rows = []
+    for row in range(height - 1, -1, -1):
+        line = "".join("#" if column >= row else " " for column in columns)
+        label = f"{low + span * row / (height - 1):>10.2f} |"
+        rows.append(label + line)
+    time_low = compact.times[0]
+    time_high = compact.times[-1]
+    footer = " " * 11 + f"t = {time_low:.1f} .. {time_high:.1f} (parallel time)"
+    return f"{series.name}\n" + "\n".join(rows) + "\n" + footer
+
+
+def leader_count_metric(is_leader: Callable) -> Callable[[Configuration], float]:
+    """Convenience metric: number of agents satisfying ``is_leader``."""
+    return lambda configuration: float(configuration.count_where(is_leader))
+
+
+__all__ = [
+    "MetricSeries",
+    "MetricsRecorder",
+    "SPARK_LEVELS",
+    "leader_count_metric",
+    "render_series",
+    "sparkline",
+]

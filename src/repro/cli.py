@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro list
+
+Run one experiment at the quick scale and print its table::
+
+    python -m repro run epidemic --scale quick
+
+Run every experiment (used to regenerate ``EXPERIMENTS.md`` material)::
+
+    python -m repro run all --scale quick --markdown
+
+Simulate one protocol from an adversarial configuration and watch it
+stabilize::
+
+    python -m repro simulate optimal-silent --n 32 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.report import format_table, rows_to_markdown
+
+#: Protocols available to the ``simulate`` subcommand.
+SIMULATABLE_PROTOCOLS = ("silent-n-state", "optimal-silent", "sublinear", "fratricide")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Time-Optimal Self-Stabilizing Leader Election in "
+            "Population Protocols' (PODC 2021)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run an experiment and print its table")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment identifier (see 'repro list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="parameterization to use (default: quick)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    run_parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables instead of text"
+    )
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run one protocol from an adversarial configuration"
+    )
+    simulate_parser.add_argument(
+        "protocol",
+        choices=SIMULATABLE_PROTOCOLS,
+        help="which protocol to simulate",
+    )
+    simulate_parser.add_argument("--n", type=int, default=32, help="population size")
+    simulate_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate_parser.add_argument(
+        "--depth",
+        type=int,
+        default=1,
+        help="history-tree depth H for the sublinear protocol (0 = direct detection)",
+    )
+    simulate_parser.add_argument(
+        "--clean",
+        action="store_true",
+        help="start from the protocol's clean initial configuration instead of an adversarial one",
+    )
+    return parser
+
+
+def _build_simulation(args):
+    """Create (protocol, configuration) for the ``simulate`` subcommand."""
+    from repro.core.fratricide import FratricideLeaderElection
+    from repro.core.optimal_silent import OptimalSilentSSR
+    from repro.core.silent_n_state import SilentNStateSSR
+    from repro.core.sublinear import SublinearTimeSSR
+    from repro.engine.rng import make_rng
+
+    rng = make_rng(args.seed)
+    if args.protocol == "silent-n-state":
+        protocol = SilentNStateSSR(args.n)
+    elif args.protocol == "optimal-silent":
+        protocol = OptimalSilentSSR(args.n, rmax_multiplier=4.0, dmax_factor=6.0, emax_factor=16.0)
+    elif args.protocol == "sublinear":
+        protocol = SublinearTimeSSR(args.n, depth=args.depth, rmax_multiplier=3.0)
+    else:
+        protocol = FratricideLeaderElection(args.n)
+    if args.clean:
+        configuration = protocol.initial_configuration(rng)
+    else:
+        try:
+            configuration = protocol.random_configuration(rng)
+        except NotImplementedError:
+            configuration = protocol.initial_configuration(rng)
+    return protocol, configuration, rng
+
+
+def _simulate(args) -> int:
+    from repro.core.problems import leaders_from_ranks
+    from repro.engine.simulation import Simulation
+
+    protocol, configuration, rng = _build_simulation(args)
+    print(f"protocol:      {protocol.name}")
+    print(f"population:    {protocol.n}")
+    print(f"start:         {'clean' if args.clean else 'adversarial'}")
+    print(f"correct at t=0: {protocol.is_correct(configuration)}")
+    simulation = Simulation(protocol, configuration=configuration, rng=rng)
+    result = simulation.run_until_stabilized()
+    print(f"stabilized:    {result.stopped}  ({result.reason})")
+    print(f"parallel time: {result.parallel_time:.1f}   interactions: {result.interactions}")
+    ranks = [getattr(state, "rank", None) for state in simulation.configuration]
+    if all(rank is not None for rank in ranks):
+        print(f"ranks:         {sorted(ranks)}")
+        leaders = leaders_from_ranks(simulation.configuration)
+        if leaders:
+            print(f"leader:        agent #{leaders[0]} (rank 1)")
+    return 0 if result.stopped else 1
+
+
+def _run_one(identifier: str, scale: str, seed: Optional[int], markdown: bool) -> None:
+    spec = get_experiment(identifier)
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    started = time.time()
+    rows = spec.run(scale=scale, **overrides)
+    elapsed = time.time() - started
+    header = f"== {spec.identifier}: {spec.title} ({spec.paper_reference}) =="
+    print(header)
+    if markdown:
+        print(rows_to_markdown(rows))
+    else:
+        print(format_table(rows))
+    print(f"-- {len(rows)} rows in {elapsed:.1f}s --\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for identifier in list_experiments():
+            spec = get_experiment(identifier)
+            print(f"{identifier:28s} {spec.title}  [{spec.paper_reference}]")
+        return 0
+
+    if args.command == "run":
+        identifiers = list_experiments() if args.experiment == "all" else [args.experiment]
+        for identifier in identifiers:
+            _run_one(identifier, args.scale, args.seed, args.markdown)
+        return 0
+
+    if args.command == "simulate":
+        return _simulate(args)
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

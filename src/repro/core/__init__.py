@@ -1,0 +1,66 @@
+"""The paper's protocols: self-stabilizing ranking and leader election.
+
+Protocols
+---------
+* :class:`~repro.core.silent_n_state.SilentNStateSSR` -- Protocol 1, the
+  Cai–Izumi–Wada baseline: ``n`` states, Theta(n^2) time, silent.
+* :class:`~repro.core.optimal_silent.OptimalSilentSSR` -- Protocols 3 + 4,
+  the paper's silent O(n)-state, Theta(n)-time protocol.
+* :class:`~repro.core.sublinear.SublinearTimeSSR` -- Protocols 5-8, the
+  paper's non-silent protocol parameterized by the path-depth ``H``:
+  Theta(H n^(1/(H+1))) time for constant ``H`` and Theta(log n) time for
+  ``H = Theta(log n)``.
+* :class:`~repro.core.fratricide.FratricideLeaderElection` -- the classic
+  initialized (non-self-stabilizing) leader election ``L, L -> L, F``.
+* :class:`~repro.core.observation25.ThreeAgentSSLEWithoutRanking` -- the
+  Observation 2.5 protocol showing SSLE does not imply ranking.
+
+Support
+-------
+* :mod:`repro.core.problems` -- correctness predicates for leader election and
+  ranking.
+* :mod:`repro.core.propagate_reset` -- the ``Propagate-Reset`` subprotocol
+  (Protocol 2) shared by both new protocols.
+"""
+
+from repro.core.composition import ComposedProtocol, ComposedState
+from repro.core.fratricide import FratricideLeaderElection, FratricideState
+from repro.core.initialized_ranking import (
+    InitializedLeaderDrivenRanking,
+    InitializedRankingState,
+)
+from repro.core.observation25 import ThreeAgentSSLEWithoutRanking
+from repro.core.optimal_silent import OptimalSilentSSR, OptimalSilentState
+from repro.core.problems import (
+    count_leaders,
+    has_unique_leader,
+    is_valid_ranking,
+    leaders_from_ranks,
+    ranking_defects,
+)
+from repro.core.propagate_reset import PropagateReset, ResettingFields
+from repro.core.silent_n_state import SilentNStateSSR, SilentNStateState
+from repro.core.sublinear import SublinearTimeSSR, SublinearState
+
+__all__ = [
+    "ComposedProtocol",
+    "ComposedState",
+    "FratricideLeaderElection",
+    "FratricideState",
+    "InitializedLeaderDrivenRanking",
+    "InitializedRankingState",
+    "OptimalSilentSSR",
+    "OptimalSilentState",
+    "PropagateReset",
+    "ResettingFields",
+    "SilentNStateSSR",
+    "SilentNStateState",
+    "SublinearState",
+    "SublinearTimeSSR",
+    "ThreeAgentSSLEWithoutRanking",
+    "count_leaders",
+    "has_unique_leader",
+    "is_valid_ranking",
+    "leaders_from_ranks",
+    "ranking_defects",
+]

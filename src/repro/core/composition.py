@@ -1,0 +1,144 @@
+"""Composition of a self-stabilizing protocol with an upstream computation.
+
+Section 1 of the paper points out one of the practical payoffs of
+self-stabilization: a self-stabilizing protocol ``S`` can be composed with a
+prior computation ``P`` even though population protocols have no way to detect
+when ``P`` has finished -- whatever garbage ``P``'s execution leaves in (or
+writes over) ``S``'s state before ``P`` stabilizes, ``S`` recovers from it.
+
+:class:`ComposedProtocol` realizes the standard parallel (product-state)
+composition: every agent carries a state of the upstream protocol and a state
+of the downstream self-stabilizing protocol, both transitions are applied on
+every interaction, and -- to model the upstream computation perturbing the
+downstream protocol, which is what makes composition non-trivial -- whenever
+the upstream transition changes an agent's upstream state, the downstream
+state of that agent can be scrambled with a configurable probability.  The
+composition is correct when both layers are correct; the tests verify that
+the downstream SSR protocol stabilizes once the upstream layer has converged,
+no matter how much it was disturbed before that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import AgentState
+
+
+class ComposedState(AgentState):
+    """Product state: one upstream and one downstream component."""
+
+    def __init__(self, upstream: AgentState, downstream: AgentState):
+        self.upstream = upstream
+        self.downstream = downstream
+
+    def signature(self):
+        return (self.upstream.signature(), self.downstream.signature())
+
+    def clone(self) -> "ComposedState":
+        return ComposedState(self.upstream.clone(), self.downstream.clone())
+
+
+class ComposedProtocol(PopulationProtocol):
+    """Run an upstream protocol and a downstream self-stabilizing protocol in parallel.
+
+    Parameters
+    ----------
+    upstream, downstream:
+        The two protocols; they must agree on the population size.
+    interference_probability:
+        Probability that an agent whose upstream state just changed has its
+        downstream state replaced by an adversarial one (sampled from
+        ``downstream.random_state``).  This models the upstream computation
+        sharing memory with -- and corrupting -- the downstream protocol
+        before the upstream computation settles, the scenario composition has
+        to survive.
+    """
+
+    name = "composed-protocol"
+
+    def __init__(
+        self,
+        upstream: PopulationProtocol,
+        downstream: PopulationProtocol,
+        interference_probability: float = 0.0,
+    ):
+        if upstream.n != downstream.n:
+            raise ValueError(
+                f"population sizes differ: upstream {upstream.n}, downstream {downstream.n}"
+            )
+        if not 0.0 <= interference_probability <= 1.0:
+            raise ValueError(
+                f"interference_probability must be in [0, 1], got {interference_probability}"
+            )
+        super().__init__(upstream.n)
+        self.upstream = upstream
+        self.downstream = downstream
+        self.interference_probability = interference_probability
+        self.name = f"{upstream.name} ; {downstream.name}"
+
+    # -- configurations ---------------------------------------------------------------
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> ComposedState:
+        return ComposedState(
+            self.upstream.initial_state(agent_id, rng),
+            self.downstream.initial_state(agent_id, rng),
+        )
+
+    def random_state(self, rng: np.random.Generator) -> ComposedState:
+        return ComposedState(
+            self.upstream.random_state(rng), self.downstream.random_state(rng)
+        )
+
+    # -- dynamics -----------------------------------------------------------------------
+
+    def transition(
+        self, initiator: ComposedState, responder: ComposedState, rng: np.random.Generator
+    ) -> None:
+        upstream_signatures = (
+            self.upstream.state_signature(initiator.upstream),
+            self.upstream.state_signature(responder.upstream),
+        )
+        self.upstream.transition(initiator.upstream, responder.upstream, rng)
+        if self.interference_probability > 0.0:
+            for agent, signature_before in zip((initiator, responder), upstream_signatures):
+                upstream_changed = (
+                    self.upstream.state_signature(agent.upstream) != signature_before
+                )
+                if upstream_changed and rng.random() < self.interference_probability:
+                    agent.downstream = self.downstream.random_state(rng)
+        self.downstream.transition(initiator.downstream, responder.downstream, rng)
+
+    # -- projections and predicates -----------------------------------------------------------
+
+    def upstream_configuration(self, configuration: Configuration) -> Configuration:
+        """Project out the upstream layer."""
+        return Configuration([state.upstream for state in configuration])
+
+    def downstream_configuration(self, configuration: Configuration) -> Configuration:
+        """Project out the downstream layer."""
+        return Configuration([state.downstream for state in configuration])
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        return self.upstream.is_correct(
+            self.upstream_configuration(configuration)
+        ) and self.downstream.is_correct(self.downstream_configuration(configuration))
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        return self.upstream.has_stabilized(
+            self.upstream_configuration(configuration)
+        ) and self.downstream.has_stabilized(self.downstream_configuration(configuration))
+
+    def theoretical_state_count(self) -> Optional[int]:
+        upstream_count = self.upstream.theoretical_state_count()
+        downstream_count = self.downstream.theoretical_state_count()
+        if upstream_count is None or downstream_count is None:
+            return None
+        return upstream_count * downstream_count
+
+
+__all__ = ["ComposedProtocol", "ComposedState"]

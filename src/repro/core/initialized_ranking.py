@@ -1,0 +1,131 @@
+"""Initialized (non-self-stabilizing) leader-driven ranking.
+
+The conclusion of the paper raises "initialized ranking" as its own question:
+without the self-stabilization requirement there are no ghost names or
+adversarial counters to defend against, and the binary-tree assignment at the
+heart of ``Optimal-Silent-SSR`` (Lemma 4.1, Figure 1) already solves the
+problem from a designated initial configuration in O(n) time with O(n) states.
+This module exposes that assignment as a standalone protocol: one designated
+leader starts Settled with rank 1, everyone else starts Unsettled, and Settled
+agents recruit Unsettled ones into the ranks of the full binary tree.
+
+It is used by the Lemma 4.1 experiments (without the reset machinery in the
+way) and doubles as the upstream computation in the composition example: its
+output (a ranking) is produced without any fault tolerance, which is exactly
+what the self-stabilizing protocols add.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problems import is_valid_ranking
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import AgentState
+
+#: Role labels.
+SETTLED = "Settled"
+UNSETTLED = "Unsettled"
+
+
+class InitializedRankingState(AgentState):
+    """State of an agent: Settled with (rank, children) or Unsettled."""
+
+    def __init__(
+        self,
+        role: str = UNSETTLED,
+        rank: Optional[int] = None,
+        children: Optional[int] = None,
+    ):
+        self.role = role
+        self.rank = rank
+        self.children = children
+
+    def signature(self):
+        if self.role == SETTLED:
+            return (SETTLED, self.rank, self.children)
+        return (UNSETTLED,)
+
+
+class InitializedLeaderDrivenRanking(PopulationProtocol):
+    """Binary-tree ranking from a designated leader (initialized setting).
+
+    The unique agent starting as the leader holds rank 1; an agent of rank
+    ``r`` assigns ranks ``2r`` and ``2r + 1`` (when they are at most ``n``) to
+    the first Unsettled agents it meets.  The protocol converges in O(n)
+    parallel time (Lemma 4.1) and is silent once every agent is Settled.  It
+    is *not* self-stabilizing: from a configuration with no Settled agent no
+    rank can ever be assigned.
+    """
+
+    name = "initialized-leader-driven-ranking"
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> InitializedRankingState:
+        if agent_id == 0:
+            return InitializedRankingState(role=SETTLED, rank=1, children=0)
+        return InitializedRankingState(role=UNSETTLED)
+
+    def random_state(self, rng: np.random.Generator) -> InitializedRankingState:
+        if rng.integers(0, 2):
+            return InitializedRankingState(
+                role=SETTLED,
+                rank=int(rng.integers(1, self.n + 1)),
+                children=int(rng.integers(0, 3)),
+            )
+        return InitializedRankingState(role=UNSETTLED)
+
+    def all_unsettled_configuration(self) -> Configuration:
+        """The leaderless configuration from which ranking can never complete."""
+        return Configuration([InitializedRankingState(role=UNSETTLED) for _ in range(self.n)])
+
+    def transition(
+        self,
+        initiator: InitializedRankingState,
+        responder: InitializedRankingState,
+        rng: np.random.Generator,
+    ) -> None:
+        for settled, unsettled in ((initiator, responder), (responder, initiator)):
+            if (
+                settled.role == SETTLED
+                and unsettled.role == UNSETTLED
+                and settled.children < 2
+                and 2 * settled.rank + settled.children <= self.n
+            ):
+                unsettled.role = SETTLED
+                unsettled.rank = 2 * settled.rank + settled.children
+                unsettled.children = 0
+                settled.children += 1
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        if any(state.role != SETTLED for state in configuration):
+            return False
+        return is_valid_ranking((state.rank for state in configuration), self.n)
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        return self.is_correct(configuration)
+
+    def is_silent(self, configuration: Configuration) -> bool:
+        """Silent once no Settled agent can recruit any remaining Unsettled agent."""
+        has_unsettled = any(state.role == UNSETTLED for state in configuration)
+        if not has_unsettled:
+            return True
+        open_slots = any(
+            state.role == SETTLED
+            and state.children < 2
+            and 2 * state.rank + state.children <= self.n
+            for state in configuration
+        )
+        return not open_slots
+
+    def settled_count(self, configuration: Configuration) -> int:
+        """Number of agents that already hold a rank."""
+        return configuration.count_where(lambda state: state.role == SETTLED)
+
+    def theoretical_state_count(self) -> int:
+        return 3 * self.n + 1  # (rank, children) pairs plus the Unsettled state
+
+
+__all__ = ["InitializedLeaderDrivenRanking", "InitializedRankingState", "SETTLED", "UNSETTLED"]

@@ -1,0 +1,152 @@
+"""Observation 2.5: a silent SSLE protocol that cannot be turned into ranking.
+
+The population size is fixed at ``n = 3``.  The state set is
+``{l, f0, f1, f2, f3, f4}`` and the silent (stable) configurations are exactly
+``{l, f_i, f_j}`` with ``|i - j| = 1 (mod 5)``.  Any "bad" pair -- two equal
+states, or two follower states whose indices are not adjacent modulo 5 --
+re-randomizes both agents uniformly.  Starting from any configuration the
+protocol stabilizes to one of the five silent configurations, hence it solves
+silent SSLE; but because ``|F| = 5`` is odd, no assignment of ranks 2 and 3 to
+the follower states is consistent with every silent configuration, so the
+protocol cannot be reinterpreted as a ranking protocol (Observation 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import AgentState
+
+#: The leader state label.
+LEADER = "l"
+#: The five follower state labels.
+FOLLOWERS = ("f0", "f1", "f2", "f3", "f4")
+#: The full state set.
+STATE_SET = (LEADER,) + FOLLOWERS
+
+
+class ThreeAgentState(AgentState):
+    """State of an agent: one of the six labels in :data:`STATE_SET`."""
+
+    def __init__(self, label: str):
+        if label not in STATE_SET:
+            raise ValueError(f"unknown state label {label!r}")
+        self.label = label
+
+    def signature(self):
+        return self.label
+
+    @property
+    def is_leader(self) -> bool:
+        """``True`` iff this is the leader state ``l``."""
+        return self.label == LEADER
+
+    @property
+    def follower_index(self) -> int:
+        """Index ``i`` of a follower state ``f_i`` (-1 for the leader)."""
+        if self.is_leader:
+            return -1
+        return int(self.label[1])
+
+
+def _followers_adjacent(i: int, j: int) -> bool:
+    """``True`` iff follower indices ``i`` and ``j`` differ by 1 modulo 5."""
+    return (i - j) % 5 in (1, 4)
+
+
+class ThreeAgentSSLEWithoutRanking(PopulationProtocol):
+    """The Observation 2.5 protocol (population size fixed to 3)."""
+
+    name = "Observation-2.5-SSLE"
+
+    def __init__(self, n: int = 3):
+        if n != 3:
+            raise ValueError("the Observation 2.5 protocol is defined only for n = 3")
+        super().__init__(n)
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> ThreeAgentState:
+        return ThreeAgentState(STATE_SET[agent_id % len(STATE_SET)])
+
+    def random_state(self, rng: np.random.Generator) -> ThreeAgentState:
+        return ThreeAgentState(STATE_SET[int(rng.integers(0, len(STATE_SET)))])
+
+    def _is_bad_pair(self, left: ThreeAgentState, right: ThreeAgentState) -> bool:
+        if left.label == right.label:
+            return True
+        if left.is_leader or right.is_leader:
+            return False
+        return not _followers_adjacent(left.follower_index, right.follower_index)
+
+    def transition(
+        self, initiator: ThreeAgentState, responder: ThreeAgentState, rng: np.random.Generator
+    ) -> None:
+        if self._is_bad_pair(initiator, responder):
+            initiator.label = STATE_SET[int(rng.integers(0, len(STATE_SET)))]
+            responder.label = STATE_SET[int(rng.integers(0, len(STATE_SET)))]
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        """Exactly one leader (the SSLE correctness condition)."""
+        return configuration.count_where(lambda state: state.is_leader) == 1
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        """Stably correct iff the configuration is one of the five silent ones."""
+        return self.is_silent(configuration)
+
+    def is_silent(self, configuration: Configuration) -> bool:
+        labels = sorted(state.label for state in configuration)
+        if labels.count(LEADER) != 1:
+            return False
+        follower_indices = [int(label[1]) for label in labels if label != LEADER]
+        if len(follower_indices) != 2 or follower_indices[0] == follower_indices[1]:
+            return False
+        return _followers_adjacent(follower_indices[0], follower_indices[1])
+
+    def silent_configurations(self) -> List[Tuple[str, str, str]]:
+        """The five silent configurations (as sorted label triples)."""
+        configurations = []
+        for i in range(5):
+            j = (i + 1) % 5
+            configurations.append(tuple(sorted((LEADER, f"f{i}", f"f{j}"))))
+        return configurations
+
+    def theoretical_state_count(self) -> int:
+        return len(STATE_SET)
+
+
+def ranking_assignment_exists() -> bool:
+    """Exhaustively verify the negative claim of Observation 2.5.
+
+    Tries every assignment of ranks {2, 3} to the five follower states (the
+    leader is forced to rank 1) and checks whether some assignment ranks all
+    five silent configurations correctly.  The paper's parity argument shows
+    none exists; this function returns ``False`` accordingly and is used by
+    the test suite as an executable proof check.
+    """
+    protocol = ThreeAgentSSLEWithoutRanking()
+    silent = protocol.silent_configurations()
+    for mask in range(2 ** len(FOLLOWERS)):
+        assignment = {
+            follower: 2 + ((mask >> position) & 1)
+            for position, follower in enumerate(FOLLOWERS)
+        }
+        assignment[LEADER] = 1
+        if all(
+            sorted(assignment[label] for label in configuration) == [1, 2, 3]
+            for configuration in silent
+        ):
+            return True
+    return False
+
+
+__all__ = [
+    "FOLLOWERS",
+    "LEADER",
+    "STATE_SET",
+    "ThreeAgentSSLEWithoutRanking",
+    "ThreeAgentState",
+    "ranking_assignment_exists",
+]

@@ -1,0 +1,119 @@
+"""Problem definitions: leader election and ranking correctness predicates.
+
+The paper studies two tasks over a population of ``n`` agents:
+
+* **Leader election** -- exactly one agent has ``leader = Yes``.
+* **Ranking** -- every rank in ``{1, ..., n}`` is held by exactly one agent.
+
+Ranking is strictly stronger: any ranking protocol solves leader election by
+declaring the agent of rank 1 the leader (``leaders_from_ranks``), whereas
+Observation 2.5 exhibits an SSLE protocol whose states cannot be ranked.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.engine.configuration import Configuration
+from repro.engine.state import AgentState
+
+
+def count_leaders(
+    configuration: Configuration,
+    is_leader: Optional[Callable[[AgentState], bool]] = None,
+) -> int:
+    """Number of agents considered leaders.
+
+    By default an agent is a leader if it has a truthy ``leader`` field or, as
+    in all of the paper's ranking protocols, if its ``rank`` field equals 1.
+    """
+    predicate = is_leader if is_leader is not None else _default_is_leader
+    return configuration.count_where(predicate)
+
+
+def has_unique_leader(
+    configuration: Configuration,
+    is_leader: Optional[Callable[[AgentState], bool]] = None,
+) -> bool:
+    """``True`` iff exactly one agent is a leader."""
+    return count_leaders(configuration, is_leader) == 1
+
+
+def _default_is_leader(state: AgentState) -> bool:
+    leader = getattr(state, "leader", None)
+    if leader is not None:
+        return leader is True or leader == "L" or leader == "Yes"
+    return getattr(state, "rank", None) == 1
+
+
+def is_valid_ranking(
+    ranks: Iterable[Optional[int]],
+    n: int,
+    lowest_rank: int = 1,
+) -> bool:
+    """``True`` iff ``ranks`` is exactly ``{lowest_rank, ..., lowest_rank + n - 1}``.
+
+    ``None`` entries (agents without a rank, e.g. Unsettled or Resetting ones)
+    make the ranking invalid.
+    """
+    rank_list = list(ranks)
+    if len(rank_list) != n or any(rank is None for rank in rank_list):
+        return False
+    return sorted(rank_list) == list(range(lowest_rank, lowest_rank + n))
+
+
+def ranking_defects(
+    ranks: Iterable[Optional[int]],
+    n: int,
+    lowest_rank: int = 1,
+) -> Dict[str, List[int]]:
+    """Describe how far ``ranks`` is from a valid ranking.
+
+    Returns a dictionary with:
+
+    * ``"missing"`` -- ranks in the target range held by no agent,
+    * ``"duplicated"`` -- ranks held by more than one agent,
+    * ``"out_of_range"`` -- rank values outside the target range (``None``
+      entries are reported as out of range using a placeholder of ``-1``).
+
+    A valid ranking has all three lists empty.  By the pigeonhole principle a
+    missing rank implies a duplicate (or an out-of-range value), which is the
+    reduction from leader-absence detection to collision detection that the
+    paper's ranking-based protocols exploit.
+    """
+    rank_list = list(ranks)
+    target = set(range(lowest_rank, lowest_rank + n))
+    counts = Counter(rank for rank in rank_list if rank is not None)
+    missing = sorted(target - set(counts))
+    duplicated = sorted(rank for rank, count in counts.items() if count > 1 and rank in target)
+    out_of_range = sorted(
+        (rank if rank is not None else -1)
+        for rank in rank_list
+        if rank is None or rank not in target
+    )
+    return {"missing": missing, "duplicated": duplicated, "out_of_range": out_of_range}
+
+
+def leaders_from_ranks(
+    configuration: Configuration,
+    rank_field: str = "rank",
+    leader_rank: int = 1,
+) -> List[int]:
+    """Indices of agents whose rank equals ``leader_rank``.
+
+    This is the paper's reduction from ranking to leader election: the agent
+    of rank 1 is the leader, so a valid ranking yields exactly one leader.
+    """
+    return configuration.agents_where(
+        lambda state: getattr(state, rank_field, None) == leader_rank
+    )
+
+
+__all__ = [
+    "count_leaders",
+    "has_unique_leader",
+    "is_valid_ranking",
+    "leaders_from_ranks",
+    "ranking_defects",
+]

@@ -1,0 +1,211 @@
+"""Protocol 1: ``Silent-n-state-SSR`` (Cai, Izumi, Wada).
+
+Each agent holds ``rank`` in ``{0, ..., n-1}``; when the initiator and
+responder have equal ranks, the responder moves up by one rank modulo ``n``.
+The protocol is silent, uses exactly ``n`` states (optimal by Theorem 2.1),
+and stabilizes to a valid ranking in Theta(n^2) parallel time (Theorem 2.4).
+
+The analysis rests on the *barrier rank* invariant (Lemmas 2.2 and 2.3):
+from any configuration there is a rank ``k`` such that no prefix of ranks
+counted cyclically downward from ``k`` ever holds more agents than it has
+slots, so rank ``k`` is never occupied by two agents and rank increments never
+wrap past it.  :func:`find_barrier_rank` and :func:`barrier_invariant_holds`
+expose this invariant for tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike, make_rng
+from repro.engine.state import AgentState
+
+
+class SilentNStateState(AgentState):
+    """State of an agent in Protocol 1: a single ``rank`` in ``{0, ..., n-1}``."""
+
+    def __init__(self, rank: int):
+        self.rank = int(rank)
+
+    def signature(self):
+        return self.rank
+
+
+class SilentNStateSSR(PopulationProtocol):
+    """The n-state Theta(n^2)-time silent self-stabilizing ranking protocol."""
+
+    name = "Silent-n-state-SSR"
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> SilentNStateState:
+        """Clean start: agent ``i`` already holds rank ``i`` (a correct ranking)."""
+        return SilentNStateState(rank=agent_id)
+
+    def random_state(self, rng: np.random.Generator) -> SilentNStateState:
+        return SilentNStateState(rank=int(rng.integers(0, self.n)))
+
+    def transition(
+        self,
+        initiator: SilentNStateState,
+        responder: SilentNStateState,
+        rng: np.random.Generator,
+    ) -> None:
+        if initiator.rank == responder.rank:
+            responder.rank = (responder.rank + 1) % self.n
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        ranks = [state.rank for state in configuration]
+        return len(set(ranks)) == self.n
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        # A correct configuration is silent (no two agents share a rank), and
+        # a silent configuration of this protocol cannot become incorrect.
+        return self.is_correct(configuration)
+
+    def is_silent(self, configuration: Configuration) -> bool:
+        return self.is_correct(configuration)
+
+    def theoretical_state_count(self) -> int:
+        return self.n
+
+    # -- worst-case initial configuration (Theorem 2.4 lower bound) ----------------
+
+    def worst_case_configuration(self) -> Configuration:
+        """The Theta(n^2) lower-bound configuration of Theorem 2.4.
+
+        Two agents at rank 0, no agent at rank ``n - 1``, and one agent at
+        every other rank: the single duplicate must climb through ``n - 1``
+        bottleneck meetings, each taking Theta(n) expected time.
+        """
+        ranks = [0] + list(range(self.n - 1))
+        return Configuration([SilentNStateState(rank) for rank in ranks])
+
+    def all_same_rank_configuration(self, rank: int = 0) -> Configuration:
+        """Every agent at the same rank (maximally colliding start)."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank must be in [0, {self.n - 1}], got {rank}")
+        return Configuration([SilentNStateState(rank) for _ in range(self.n)])
+
+
+# -- barrier rank invariant (Lemmas 2.2 / 2.3) -------------------------------------
+
+
+def rank_counts(configuration: Configuration, n: int) -> List[int]:
+    """``m_i``: number of agents holding each rank ``i`` in ``0 .. n-1``."""
+    counts = [0] * n
+    for state in configuration:
+        counts[state.rank] += 1
+    return counts
+
+
+def barrier_invariant_holds(counts: Sequence[int], k: int) -> bool:
+    """Check inequality (1) of the paper for barrier candidate ``k``.
+
+    For every ``r`` in ``0 .. n-1`` the number of agents in the ``r + 1`` ranks
+    counted cyclically downward from ``k`` must be at most ``r + 1``.
+    """
+    n = len(counts)
+    if not 0 <= k < n:
+        raise ValueError(f"barrier candidate must be in [0, {n - 1}], got {k}")
+    running = 0
+    for r in range(n):
+        running += counts[(k - r) % n]
+        if running > r + 1:
+            return False
+    return True
+
+
+def find_barrier_rank(counts: Sequence[int]) -> int:
+    """Return a barrier rank ``k`` for the given rank counts (Lemma 2.2).
+
+    Follows the constructive proof: with ``S_i = sum_{j<=i} (m_j - 1)``, any
+    ``k`` minimizing ``S_k`` satisfies inequality (1).
+    """
+    n = len(counts)
+    if sum(counts) != n:
+        raise ValueError("rank counts must sum to the population size")
+    best_k = 0
+    best_s = None
+    running = 0
+    for i, count in enumerate(counts):
+        running += count - 1
+        if best_s is None or running < best_s:
+            best_s = running
+            best_k = i
+    return best_k
+
+
+# -- fast specialized simulator ------------------------------------------------------
+
+
+def simulate_silent_n_state(
+    n: int,
+    initial_ranks: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+    max_interactions: Optional[int] = None,
+) -> int:
+    """Fast simulation of Protocol 1; returns interactions until stabilization.
+
+    Tracks the total number of rank collisions (``sum_i max(m_i - 1, 0)``)
+    incrementally so the stopping condition is O(1) per interaction, and draws
+    scheduler pairs in NumPy batches.  Semantically identical to running
+    :class:`SilentNStateSSR` through the generic engine; used by benchmarks to
+    reach larger ``n`` despite the Theta(n^3) interaction count.
+
+    Raises ``RuntimeError`` if ``max_interactions`` is exceeded.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    rng = make_rng(rng)
+    if initial_ranks is None:
+        ranks = [0] + list(range(n - 1))  # worst case of Theorem 2.4
+    else:
+        ranks = [int(rank) for rank in initial_ranks]
+        if len(ranks) != n:
+            raise ValueError(f"initial_ranks must have length {n}, got {len(ranks)}")
+        if any(not 0 <= rank < n for rank in ranks):
+            raise ValueError("initial ranks must lie in [0, n-1]")
+    counts = [0] * n
+    for rank in ranks:
+        counts[rank] += 1
+    collisions = sum(count - 1 for count in counts if count > 1)
+    if collisions == 0:
+        return 0
+
+    interactions = 0
+    batch = max(4096, 8 * n)
+    while True:
+        initiators = rng.integers(0, n, size=batch)
+        responders = rng.integers(0, n - 1, size=batch)
+        responders = responders + (responders >= initiators)
+        for i, j in zip(initiators.tolist(), responders.tolist()):
+            interactions += 1
+            rank_i = ranks[i]
+            if rank_i == ranks[j]:
+                new_rank = (rank_i + 1) % n
+                counts[rank_i] -= 1
+                if counts[rank_i] >= 1:
+                    collisions -= 1
+                counts[new_rank] += 1
+                if counts[new_rank] >= 2:
+                    collisions += 1
+                ranks[j] = new_rank
+                if collisions == 0:
+                    return interactions
+            if max_interactions is not None and interactions >= max_interactions:
+                raise RuntimeError(
+                    f"Silent-n-state-SSR did not stabilize within {max_interactions} interactions"
+                )
+
+
+__all__ = [
+    "SilentNStateSSR",
+    "SilentNStateState",
+    "barrier_invariant_holds",
+    "find_barrier_rank",
+    "rank_counts",
+    "simulate_silent_n_state",
+]

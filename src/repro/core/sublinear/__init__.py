@@ -1,0 +1,49 @@
+"""Protocols 5-8: ``Sublinear-Time-SSR``.
+
+The paper's non-silent self-stabilizing ranking protocol, parameterized by the
+path-depth ``H``:
+
+* agents carry random names of ``3 log2 n`` bits,
+* the set of names spreads by the roll-call process in the ``roster`` field,
+  and an agent outputs its rank as the lexicographic position of its own name
+  once its roster holds ``n`` names,
+* name collisions are detected *indirectly* by ``Detect-Name-Collision``
+  (Protocol 7): each agent maintains a depth-``H`` history tree of who-heard-
+  what-sync-value-from-whom, and ``Check-Path-Consistency`` (Protocol 8)
+  catches impostors whose sync values cannot be explained,
+* any detected error (collision or a roster larger than ``n``) triggers
+  ``Propagate-Reset`` (Protocol 2), after which dormant agents draw fresh
+  random names bit by bit.
+
+Stabilization time is Theta(H * n^(1/(H+1))) for constant ``H`` and
+Theta(log n) for ``H = Theta(log n)`` (Theorem 5.7); ``H = 0`` degenerates to
+direct collision detection and Theta(n) time.
+"""
+
+from repro.core.sublinear.collision import (
+    CollisionDetector,
+    DirectCollisionDetector,
+    HistoryTreeCollisionDetector,
+)
+from repro.core.sublinear.history_tree import TreeEdge, TreeNode, check_path_consistency
+from repro.core.sublinear.names import lexicographic_ranks, name_length, random_name
+from repro.core.sublinear.protocol import (
+    COLLECTING,
+    SublinearState,
+    SublinearTimeSSR,
+)
+
+__all__ = [
+    "COLLECTING",
+    "CollisionDetector",
+    "DirectCollisionDetector",
+    "HistoryTreeCollisionDetector",
+    "SublinearState",
+    "SublinearTimeSSR",
+    "TreeEdge",
+    "TreeNode",
+    "check_path_consistency",
+    "lexicographic_ranks",
+    "name_length",
+    "random_name",
+]

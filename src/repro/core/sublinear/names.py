@@ -1,0 +1,67 @@
+"""Random names for ``Sublinear-Time-SSR``.
+
+Names are bitstrings of length ``3 log2 n``; with ``n^3`` possible values a
+union bound over all pairs makes the probability of a collision after a clean
+reset ``O(1/n)`` (Lemma 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.rng import make_rng
+
+
+def name_length(n: int) -> int:
+    """Name length in bits: ``ceil(3 log2 n)`` (at least 1)."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return max(1, math.ceil(3 * math.log2(n)))
+
+
+def random_name(rng: np.random.Generator, length: int) -> str:
+    """A uniformly random bitstring of the given length."""
+    if length < 0:
+        raise ValueError(f"name length must be non-negative, got {length}")
+    rng = make_rng(rng)
+    if length == 0:
+        return ""
+    bits = rng.integers(0, 2, size=length)
+    return "".join("1" if bit else "0" for bit in bits)
+
+
+def distinct_random_names(rng: np.random.Generator, count: int, length: int) -> list:
+    """``count`` distinct random names (resampling on the rare collision)."""
+    if count > 2 ** length:
+        raise ValueError(f"cannot draw {count} distinct names of length {length}")
+    names = set()
+    while len(names) < count:
+        names.add(random_name(rng, length))
+    return sorted(names, key=lambda _: rng.random())
+
+
+def lexicographic_ranks(names: Iterable[str]) -> Dict[str, int]:
+    """Map each name to its 1-based lexicographic rank within the collection."""
+    ordered = sorted(set(names))
+    return {name: index + 1 for index, name in enumerate(ordered)}
+
+
+def rank_of(name: str, roster: Sequence[str]) -> int:
+    """The 1-based lexicographic position of ``name`` within ``roster``."""
+    ordered = sorted(set(roster))
+    try:
+        return ordered.index(name) + 1
+    except ValueError:
+        raise ValueError(f"name {name!r} is not in the roster") from None
+
+
+__all__ = [
+    "distinct_random_names",
+    "lexicographic_ranks",
+    "name_length",
+    "random_name",
+    "rank_of",
+]

@@ -1,0 +1,26 @@
+"""Section 6: derandomization via synthetic coins.
+
+The model allows probabilistic transitions for convenience, but all of the
+paper's protocols can be made deterministic by extracting randomness from the
+scheduler itself.  This subpackage implements the "time-multiplexed" synthetic
+coin: each agent alternates between an ``Alg`` role and a ``Flip`` role on
+every interaction, and harvests one unbiased bit whenever it is in ``Alg`` and
+its partner is in ``Flip`` (heads iff it was the initiator), at an expected
+cost of four interactions per bit.
+"""
+
+from repro.derandomize.synthetic_coin import (
+    ALG,
+    FLIP,
+    SyntheticCoinProtocol,
+    SyntheticCoinState,
+    expected_interactions_per_bit,
+)
+
+__all__ = [
+    "ALG",
+    "FLIP",
+    "SyntheticCoinProtocol",
+    "SyntheticCoinState",
+    "expected_interactions_per_bit",
+]

@@ -1,0 +1,49 @@
+"""Population-protocol simulation engine.
+
+This subpackage implements the standard population protocol model used by the
+paper: ``n`` anonymous agents, a complete interaction graph, and a scheduler
+that at each discrete step selects a uniformly random *ordered* pair of agents
+(initiator, responder).  Parallel time is the number of interactions divided
+by ``n``.
+
+Public surface
+--------------
+* :class:`~repro.engine.state.AgentState` -- base class for field-based agent
+  states.
+* :class:`~repro.engine.protocol.PopulationProtocol` -- abstract base class a
+  protocol implements (transition function, correctness predicate,
+  initial/adversarial configurations).
+* :class:`~repro.engine.configuration.Configuration` -- a snapshot of all
+  agents' states with multiset-style helpers.
+* :class:`~repro.engine.scheduler.UniformPairScheduler` -- the uniformly random
+  ordered-pair scheduler (batched for speed).
+* :class:`~repro.engine.simulation.Simulation` -- the interaction loop with
+  convergence / stabilization / silence detection and instrumentation hooks.
+* :class:`~repro.engine.results.SimulationResult` /
+  :class:`~repro.engine.results.TrialStatistics` -- result records.
+"""
+
+from repro.engine.configuration import Configuration
+from repro.engine.hooks import CountingHook, InteractionHook, TraceRecorder
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import SimulationResult, TrialStatistics
+from repro.engine.rng import make_rng, spawn_rngs
+from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.simulation import Simulation, run_trials
+from repro.engine.state import AgentState
+
+__all__ = [
+    "AgentState",
+    "Configuration",
+    "CountingHook",
+    "InteractionHook",
+    "PopulationProtocol",
+    "Simulation",
+    "SimulationResult",
+    "TraceRecorder",
+    "TrialStatistics",
+    "UniformPairScheduler",
+    "make_rng",
+    "run_trials",
+    "spawn_rngs",
+]

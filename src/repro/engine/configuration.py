@@ -1,0 +1,94 @@
+"""Configuration: a snapshot of every agent's state.
+
+A configuration maps each of the ``n`` agents to its local state.  Since
+agents are anonymous, most reasoning is about the *multiset* of states; this
+class exposes both the indexed view (needed by the scheduler) and multiset
+helpers (needed by correctness predicates and analysis).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.engine.state import AgentState
+
+
+class Configuration:
+    """A snapshot of the states of all agents in the population."""
+
+    def __init__(self, states: Sequence[AgentState]):
+        if len(states) == 0:
+            raise ValueError("a configuration must contain at least one agent")
+        self._states: List[AgentState] = list(states)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[AgentState]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> AgentState:
+        return self._states[index]
+
+    def __setitem__(self, index: int, state: AgentState) -> None:
+        self._states[index] = state
+
+    @property
+    def states(self) -> List[AgentState]:
+        """The underlying list of agent states (mutable, shared)."""
+        return self._states
+
+    @property
+    def population_size(self) -> int:
+        """Number of agents ``n``."""
+        return len(self._states)
+
+    # -- multiset helpers ----------------------------------------------------------
+
+    def signature_counts(
+        self, signature: Optional[Callable[[AgentState], Hashable]] = None
+    ) -> Counter:
+        """Return a ``Counter`` of state signatures present in the configuration."""
+        key = signature if signature is not None else (lambda state: state.signature())
+        return Counter(key(state) for state in self._states)
+
+    def distinct_state_count(
+        self, signature: Optional[Callable[[AgentState], Hashable]] = None
+    ) -> int:
+        """Number of distinct states present in the configuration."""
+        return len(self.signature_counts(signature))
+
+    def count_where(self, predicate: Callable[[AgentState], bool]) -> int:
+        """Number of agents whose state satisfies ``predicate``."""
+        return sum(1 for state in self._states if predicate(state))
+
+    def agents_where(self, predicate: Callable[[AgentState], bool]) -> List[int]:
+        """Indices of agents whose state satisfies ``predicate``."""
+        return [index for index, state in enumerate(self._states) if predicate(state)]
+
+    def field_values(self, field: str) -> List:
+        """Collect ``getattr(state, field)`` for every agent (missing -> ``None``)."""
+        return [getattr(state, field, None) for state in self._states]
+
+    # -- copying -------------------------------------------------------------------
+
+    def clone(self) -> "Configuration":
+        """Deep copy of the configuration (states are cloned)."""
+        return Configuration([state.clone() for state in self._states])
+
+    @classmethod
+    def from_states(cls, states: Iterable[AgentState]) -> "Configuration":
+        """Build a configuration from an iterable of states."""
+        return cls(list(states))
+
+    def __repr__(self) -> str:
+        counts = self.signature_counts()
+        most_common = ", ".join(f"{count}x{sig!r}" for sig, count in counts.most_common(3))
+        suffix = ", ..." if len(counts) > 3 else ""
+        return f"Configuration(n={len(self)}, states=[{most_common}{suffix}])"
+
+
+__all__ = ["Configuration"]

@@ -1,0 +1,90 @@
+"""Instrumentation hooks for the simulation loop.
+
+Hooks observe interactions without influencing them.  They are used by
+experiments to record trajectories (e.g. the number of leaders over time, the
+size of history trees) without modifying protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.configuration import Configuration
+from repro.engine.state import AgentState
+
+
+class InteractionHook:
+    """Base class: receives a callback after every interaction."""
+
+    def on_interaction(
+        self,
+        interaction_index: int,
+        initiator_id: int,
+        responder_id: int,
+        configuration: Configuration,
+    ) -> None:
+        """Called after each interaction has been applied."""
+
+    def on_run_end(self, interaction_index: int, configuration: Configuration) -> None:
+        """Called once when the simulation stops."""
+
+
+class CountingHook(InteractionHook):
+    """Counts interactions in which a predicate on the pair of agents holds."""
+
+    def __init__(self, predicate: Callable[[AgentState, AgentState], bool]):
+        self._predicate = predicate
+        self.count = 0
+
+    def on_interaction(
+        self,
+        interaction_index: int,
+        initiator_id: int,
+        responder_id: int,
+        configuration: Configuration,
+    ) -> None:
+        if self._predicate(configuration[initiator_id], configuration[responder_id]):
+            self.count += 1
+
+
+class TraceRecorder(InteractionHook):
+    """Records a scalar summary of the configuration at a fixed interval.
+
+    Parameters
+    ----------
+    metric:
+        Function mapping a configuration to a float (e.g. number of leaders).
+    every:
+        Record every ``every`` interactions (also records at stop time).
+    """
+
+    def __init__(self, metric: Callable[[Configuration], float], every: int = 1):
+        if every < 1:
+            raise ValueError(f"recording interval must be positive, got {every}")
+        self._metric = metric
+        self._every = every
+        self.samples: List[Tuple[int, float]] = []
+
+    def on_interaction(
+        self,
+        interaction_index: int,
+        initiator_id: int,
+        responder_id: int,
+        configuration: Configuration,
+    ) -> None:
+        if interaction_index % self._every == 0:
+            self.samples.append((interaction_index, self._metric(configuration)))
+
+    def on_run_end(self, interaction_index: int, configuration: Configuration) -> None:
+        if not self.samples or self.samples[-1][0] != interaction_index:
+            self.samples.append((interaction_index, self._metric(configuration)))
+
+    def as_series(self) -> Tuple[List[int], List[float]]:
+        """Return the recorded samples as (interaction indices, values)."""
+        if not self.samples:
+            return [], []
+        indices, values = zip(*self.samples)
+        return list(indices), list(values)
+
+
+__all__ = ["CountingHook", "InteractionHook", "TraceRecorder"]

@@ -1,0 +1,124 @@
+"""Result records for simulations and repeated trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single simulation run.
+
+    Attributes
+    ----------
+    n:
+        Population size.
+    interactions:
+        Number of interactions executed before the stopping condition fired
+        (or the interaction cap was reached).
+    parallel_time:
+        ``interactions / n``, the paper's notion of time.
+    stopped:
+        ``True`` if the stopping predicate fired, ``False`` if the interaction
+        cap was hit first.
+    reason:
+        Short label of the stopping condition (``"stabilized"``, ``"correct"``,
+        ``"silent"``, ``"predicate"``, ``"cap"``).
+    extra:
+        Free-form per-run measurements recorded by hooks or experiments.
+    """
+
+    n: int
+    interactions: int
+    stopped: bool
+    reason: str
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size."""
+        return self.interactions / self.n
+
+
+@dataclass
+class TrialStatistics:
+    """Summary statistics over repeated independent trials of one setting."""
+
+    label: str
+    n: int
+    trials: int
+    values: List[float]
+
+    @classmethod
+    def from_values(cls, label: str, n: int, values: Sequence[float]) -> "TrialStatistics":
+        """Build statistics from raw per-trial values."""
+        return cls(label=label, n=n, trials=len(values), values=list(values))
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0.0 for a single trial)."""
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return max(self.values) if self.values else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile ``q`` in [0, 1] (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        position = q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if len(self.values) < 2:
+            return 0.0
+        return self.std / math.sqrt(len(self.values))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval for the mean."""
+        return (self.mean - z * self.stderr, self.mean + z * self.stderr)
+
+    def fraction_exceeding(self, threshold: float) -> float:
+        """Fraction of trials whose value exceeds ``threshold``."""
+        if not self.values:
+            return math.nan
+        return sum(1 for v in self.values if v > threshold) / len(self.values)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialStatistics(label={self.label!r}, n={self.n}, trials={self.trials}, "
+            f"mean={self.mean:.4g}, std={self.std:.4g})"
+        )
+
+
+__all__ = ["SimulationResult", "TrialStatistics"]

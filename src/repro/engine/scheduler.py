@@ -1,0 +1,79 @@
+"""The uniformly random ordered-pair scheduler.
+
+At each step the scheduler picks an ordered pair of distinct agents uniformly
+at random from the ``n * (n - 1)`` possibilities; the first agent is the
+*initiator*, the second the *responder*.  Pairs are drawn in batches with
+NumPy to keep the pure-Python interaction loop fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.rng import RngLike, make_rng
+
+
+class UniformPairScheduler:
+    """Batched generator of uniformly random ordered agent pairs."""
+
+    def __init__(self, n: int, rng: RngLike = None, batch_size: int = 4096):
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._n = n
+        self._rng = make_rng(rng)
+        self._batch_size = batch_size
+        self._initiators: np.ndarray = np.empty(0, dtype=np.int64)
+        self._responders: np.ndarray = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self._n
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Underlying random generator (shared with transition randomness)."""
+        return self._rng
+
+    def _refill(self) -> None:
+        size = self._batch_size
+        initiators = self._rng.integers(0, self._n, size=size)
+        # Sample responders from {0, ..., n-2} and shift values >= initiator by
+        # one, which yields a uniform responder distinct from the initiator.
+        responders = self._rng.integers(0, self._n - 1, size=size)
+        responders = responders + (responders >= initiators)
+        self._initiators = initiators
+        self._responders = responders
+        self._cursor = 0
+
+    def next_pair(self) -> Tuple[int, int]:
+        """Return the next (initiator, responder) pair."""
+        if self._cursor >= len(self._initiators):
+            self._refill()
+        i = int(self._initiators[self._cursor])
+        j = int(self._responders[self._cursor])
+        self._cursor += 1
+        return i, j
+
+    def pairs(self, count: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``count`` pairs."""
+        for _ in range(count):
+            yield self.next_pair()
+
+    def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``count`` pairs as two NumPy arrays (initiators, responders).
+
+        Bypasses the internal buffer; used by vectorized fast paths.
+        """
+        initiators = self._rng.integers(0, self._n, size=count)
+        responders = self._rng.integers(0, self._n - 1, size=count)
+        responders = responders + (responders >= initiators)
+        return initiators, responders
+
+
+__all__ = ["UniformPairScheduler"]

@@ -1,0 +1,202 @@
+"""The interaction loop.
+
+:class:`Simulation` repeatedly asks the scheduler for an ordered pair of
+agents and applies the protocol transition, tracking the number of
+interactions (and hence parallel time).  Stopping conditions -- correctness,
+stabilization, silence, or an arbitrary predicate -- are evaluated every
+``check_interval`` interactions since they can be expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.hooks import InteractionHook
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import SimulationResult, TrialStatistics
+from repro.engine.rng import RngLike, make_rng, spawn_rngs
+from repro.engine.scheduler import UniformPairScheduler
+
+#: Default cap on interactions, expressed as a multiple of ``n ** 2`` so the
+#: quadratic-time baseline protocol still finishes from its worst case.
+DEFAULT_CAP_QUADRATIC_FACTOR = 40.0
+
+
+class Simulation:
+    """Runs one execution of a population protocol."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Optional[Configuration] = None,
+        rng: RngLike = None,
+        hooks: Optional[Sequence[InteractionHook]] = None,
+        scheduler_batch_size: int = 4096,
+    ):
+        self.protocol = protocol
+        self.rng = make_rng(rng)
+        self.configuration = (
+            configuration if configuration is not None else protocol.initial_configuration(self.rng)
+        )
+        if len(self.configuration) != protocol.n:
+            raise ValueError(
+                f"configuration has {len(self.configuration)} agents but protocol expects {protocol.n}"
+            )
+        self.scheduler = UniformPairScheduler(
+            protocol.n, rng=self.rng, batch_size=scheduler_batch_size
+        )
+        self.hooks: List[InteractionHook] = list(hooks) if hooks else []
+        self.interactions = 0
+
+    # -- basic stepping -----------------------------------------------------------
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions executed so far divided by the population size."""
+        return self.interactions / self.protocol.n
+
+    def step(self) -> None:
+        """Execute a single interaction."""
+        initiator_id, responder_id = self.scheduler.next_pair()
+        states = self.configuration.states
+        self.protocol.transition(states[initiator_id], states[responder_id], self.rng)
+        self.interactions += 1
+        for hook in self.hooks:
+            hook.on_interaction(self.interactions, initiator_id, responder_id, self.configuration)
+
+    def run(self, num_interactions: int) -> None:
+        """Execute exactly ``num_interactions`` interactions."""
+        if num_interactions < 0:
+            raise ValueError(f"num_interactions must be non-negative, got {num_interactions}")
+        # Local-variable binding keeps the hot loop as tight as pure Python allows.
+        transition = self.protocol.transition
+        next_pair = self.scheduler.next_pair
+        states = self.configuration.states
+        rng = self.rng
+        hooks = self.hooks
+        if hooks:
+            for _ in range(num_interactions):
+                i, j = next_pair()
+                transition(states[i], states[j], rng)
+                self.interactions += 1
+                for hook in hooks:
+                    hook.on_interaction(self.interactions, i, j, self.configuration)
+        else:
+            for _ in range(num_interactions):
+                i, j = next_pair()
+                transition(states[i], states[j], rng)
+            self.interactions += num_interactions
+
+    # -- running until a condition --------------------------------------------------
+
+    def run_until(
+        self,
+        predicate: Callable[[Configuration], bool],
+        max_interactions: Optional[int] = None,
+        check_interval: Optional[int] = None,
+        reason: str = "predicate",
+    ) -> SimulationResult:
+        """Run until ``predicate(configuration)`` holds or the cap is reached.
+
+        The predicate is evaluated before the first interaction and then after
+        every ``check_interval`` interactions (default: ``n``), so the reported
+        stopping interaction count is accurate to within one check interval.
+        """
+        n = self.protocol.n
+        if max_interactions is None:
+            max_interactions = int(DEFAULT_CAP_QUADRATIC_FACTOR * n * n * n)
+        if check_interval is None:
+            check_interval = n
+        if check_interval < 1:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+
+        while True:
+            if predicate(self.configuration):
+                result = SimulationResult(
+                    n=n, interactions=self.interactions, stopped=True, reason=reason
+                )
+                self._notify_end()
+                return result
+            if self.interactions >= max_interactions:
+                result = SimulationResult(
+                    n=n, interactions=self.interactions, stopped=False, reason="cap"
+                )
+                self._notify_end()
+                return result
+            remaining = max_interactions - self.interactions
+            self.run(min(check_interval, remaining))
+
+    def run_until_correct(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's correctness predicate holds (convergence)."""
+        kwargs.setdefault("reason", "correct")
+        return self.run_until(self.protocol.is_correct, **kwargs)
+
+    def run_until_stabilized(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's stabilization predicate holds."""
+        kwargs.setdefault("reason", "stabilized")
+        return self.run_until(self.protocol.has_stabilized, **kwargs)
+
+    def run_until_silent(self, **kwargs) -> SimulationResult:
+        """Run until the configuration is silent (no transition changes it)."""
+        kwargs.setdefault("reason", "silent")
+        return self.run_until(self.protocol.is_silent, **kwargs)
+
+    def _notify_end(self) -> None:
+        for hook in self.hooks:
+            hook.on_run_end(self.interactions, self.configuration)
+
+
+def run_trials(
+    protocol_factory: Callable[[], PopulationProtocol],
+    trials: int,
+    seed: RngLike = None,
+    configuration_factory: Optional[
+        Callable[[PopulationProtocol, np.random.Generator], Configuration]
+    ] = None,
+    stop: str = "stabilized",
+    max_interactions: Optional[int] = None,
+    check_interval: Optional[int] = None,
+    label: str = "",
+) -> TrialStatistics:
+    """Run ``trials`` independent simulations and collect parallel times.
+
+    Parameters
+    ----------
+    protocol_factory:
+        Zero-argument callable building a fresh protocol instance per trial.
+    configuration_factory:
+        Optional callable ``(protocol, rng) -> Configuration`` building the
+        starting configuration (defaults to the protocol's clean initial
+        configuration; self-stabilization experiments pass adversarial ones).
+    stop:
+        One of ``"stabilized"``, ``"correct"``, or ``"silent"``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if stop not in ("stabilized", "correct", "silent"):
+        raise ValueError(f"unknown stop condition: {stop!r}")
+
+    rngs = spawn_rngs(seed, trials)
+    times: List[float] = []
+    n = None
+    for rng in rngs:
+        protocol = protocol_factory()
+        n = protocol.n
+        configuration = (
+            configuration_factory(protocol, rng) if configuration_factory is not None else None
+        )
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        runner = {
+            "stabilized": simulation.run_until_stabilized,
+            "correct": simulation.run_until_correct,
+            "silent": simulation.run_until_silent,
+        }[stop]
+        result = runner(max_interactions=max_interactions, check_interval=check_interval)
+        times.append(result.parallel_time)
+    return TrialStatistics.from_values(label or protocol_factory().name, n or 0, times)
+
+
+__all__ = ["DEFAULT_CAP_QUADRATIC_FACTOR", "Simulation", "run_trials"]

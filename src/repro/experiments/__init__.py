@@ -1,0 +1,29 @@
+"""Experiment harness reproducing the paper's table, figures, and claims.
+
+Each experiment module exposes one or more ``run_*`` functions that return a
+list of row dictionaries (one per measured setting) ready to be rendered with
+:func:`repro.experiments.report.format_table`.  The registry maps experiment
+identifiers (the ids used in ``DESIGN.md`` and ``EXPERIMENTS.md``) to those
+functions so the CLI and the benchmarks can invoke them uniformly:
+
+``python -m repro run table1 --scale quick``
+"""
+
+from repro.experiments.harness import (
+    ExperimentSpec,
+    measure_parallel_times,
+    sweep_parallel_time,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.report import format_table, rows_to_markdown
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+    "measure_parallel_times",
+    "rows_to_markdown",
+    "sweep_parallel_time",
+]

@@ -1,0 +1,156 @@
+"""Experiments E4-E6: the probabilistic tools of Section 2.1.
+
+These validate the building blocks whose constants drive every protocol-level
+running time:
+
+* E4 (Lemma 2.7 / Corollary 2.8): the two-way epidemic completes in
+  ``(n - 1) H_{n-1} ~ n ln n`` interactions, rarely exceeding ``3 n ln n``.
+* E5 (Lemma 2.9): the roll-call process completes in ``~ 1.5 n ln n``
+  interactions, i.e. 1.5x the plain epidemic.
+* E6 (Lemmas 2.10 / 2.11): the bounded-epidemic hitting time ``tau_k`` is at
+  most ``k n^{1/k}`` parallel time for constant ``k`` and ``O(log n)`` for
+  ``k = 3 log2 n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import summarize
+from repro.analysis.theory import (
+    expected_all_interact_interactions,
+    expected_bounded_epidemic_time,
+    expected_epidemic_interactions,
+    expected_roll_call_interactions,
+)
+from repro.engine.rng import RngLike, spawn_rngs
+from repro.processes.bounded_epidemic import simulate_level_hitting_times
+from repro.processes.coupon_collector import simulate_all_agents_interact
+from repro.processes.epidemic import simulate_epidemic_interactions
+from repro.processes.roll_call import simulate_roll_call_interactions
+
+
+def run_epidemic(
+    ns: Sequence[int] = (64, 128, 256, 512),
+    trials: int = 200,
+    seed: RngLike = 0,
+) -> List[Dict]:
+    """E4: measured vs predicted completion time of the two-way epidemic."""
+    rows: List[Dict] = []
+    rngs = spawn_rngs(seed, len(ns))
+    for n, rng in zip(ns, rngs):
+        samples = [simulate_epidemic_interactions(n, rng) for _ in range(trials)]
+        summary = summarize(samples)
+        predicted = expected_epidemic_interactions(n)
+        threshold = 3 * n * math.log(n)
+        exceed = sum(1 for sample in samples if sample > threshold) / len(samples)
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "mean interactions": summary.mean,
+                "predicted (n-1)H_{n-1}": predicted,
+                "mean / predicted": summary.mean / predicted,
+                "P[T_n > 3 n ln n] (measured)": exceed,
+                "P bound (Cor. 2.8)": 1.0 / (n * n),
+            }
+        )
+    return rows
+
+
+def run_roll_call(
+    ns: Sequence[int] = (32, 64, 128, 256),
+    trials: int = 50,
+    seed: RngLike = 0,
+) -> List[Dict]:
+    """E5: measured vs predicted completion time of the roll-call process."""
+    rows: List[Dict] = []
+    rngs = spawn_rngs(seed, len(ns))
+    for n, rng in zip(ns, rngs):
+        samples = [simulate_roll_call_interactions(n, rng) for _ in range(trials)]
+        summary = summarize(samples)
+        predicted = expected_roll_call_interactions(n)
+        epidemic_predicted = expected_epidemic_interactions(n)
+        threshold = 3 * n * math.log(n)
+        exceed = sum(1 for sample in samples if sample > threshold) / len(samples)
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "mean interactions": summary.mean,
+                "predicted 1.5 n ln n": predicted,
+                "mean / epidemic mean": summary.mean / epidemic_predicted,
+                "P[R_n > 3 n ln n] (measured)": exceed,
+                "P bound (Lem. 2.9)": 1.0 / n,
+            }
+        )
+    return rows
+
+
+def run_bounded_epidemic(
+    ns: Sequence[int] = (64, 256, 1024),
+    ks: Sequence[int] = (1, 2, 3),
+    trials: int = 50,
+    seed: RngLike = 0,
+    include_log_level: bool = True,
+) -> List[Dict]:
+    """E6: hitting times ``tau_k`` of the bounded epidemic vs the paper's bounds."""
+    rows: List[Dict] = []
+    rngs = spawn_rngs(seed, len(ns))
+    for n, rng in zip(ns, rngs):
+        levels = list(ks)
+        if include_log_level:
+            levels.append(int(3 * math.ceil(math.log2(n))))
+        max_level = max(levels)
+        per_level_samples: Dict[int, List[float]] = {k: [] for k in levels}
+        for _ in range(trials):
+            hitting = simulate_level_hitting_times(n, max_level=max_level, rng=rng)
+            for k in levels:
+                per_level_samples[k].append(hitting[k] / n)  # parallel time
+        for k in levels:
+            summary = summarize(per_level_samples[k])
+            bound = expected_bounded_epidemic_time(n, k)
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "trials": trials,
+                    "mean tau_k (parallel)": summary.mean,
+                    "paper bound": bound,
+                    "mean / bound": summary.mean / bound,
+                }
+            )
+    return rows
+
+
+def run_all_agents_interact(
+    ns: Sequence[int] = (64, 256, 1024),
+    trials: int = 100,
+    seed: RngLike = 0,
+) -> List[Dict]:
+    """Auxiliary for E5: interactions until every agent has interacted (~0.5 n ln n)."""
+    rows: List[Dict] = []
+    rngs = spawn_rngs(seed, len(ns))
+    for n, rng in zip(ns, rngs):
+        samples = [simulate_all_agents_interact(n, rng) for _ in range(trials)]
+        summary = summarize(samples)
+        predicted = expected_all_interact_interactions(n)
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "mean interactions": summary.mean,
+                "predicted 0.5 n ln n": predicted,
+                "mean / predicted": summary.mean / predicted,
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "run_all_agents_interact",
+    "run_bounded_epidemic",
+    "run_epidemic",
+    "run_roll_call",
+]

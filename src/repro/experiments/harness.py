@@ -1,0 +1,115 @@
+"""Shared experiment machinery: repeated trials and population-size sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.simulation import Simulation
+
+ProtocolFactory = Callable[[int], PopulationProtocol]
+ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Configuration]
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one experiment (used by the registry and CLI)."""
+
+    identifier: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., List[Dict]]
+    description: str = ""
+    quick_kwargs: Dict = field(default_factory=dict)
+    full_kwargs: Dict = field(default_factory=dict)
+
+    def run(self, scale: str = "quick", **overrides) -> List[Dict]:
+        """Run the experiment at the requested scale, applying overrides."""
+        if scale not in ("quick", "full"):
+            raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+        kwargs = dict(self.quick_kwargs if scale == "quick" else self.full_kwargs)
+        kwargs.update(overrides)
+        return self.runner(**kwargs)
+
+
+def measure_parallel_times(
+    protocol_factory: Callable[[], PopulationProtocol],
+    trials: int,
+    seed: RngLike = None,
+    configuration_factory: Optional[ConfigurationFactory] = None,
+    stop: str = "stabilized",
+    max_interactions: Optional[int] = None,
+    check_interval: Optional[int] = None,
+    label: str = "",
+) -> TrialStatistics:
+    """Run ``trials`` independent simulations and collect stabilization times.
+
+    A thin wrapper around the engine's simulation loop that accepts a
+    configuration factory for adversarial starts and returns
+    :class:`TrialStatistics` of the measured parallel times.  Trials that hit
+    the interaction cap contribute their (censored) cap time, so results stay
+    conservative rather than silently optimistic.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if stop not in ("stabilized", "correct", "silent"):
+        raise ValueError(f"unknown stop condition {stop!r}")
+    rngs = spawn_rngs(seed, trials)
+    times: List[float] = []
+    n = None
+    for rng in rngs:
+        protocol = protocol_factory()
+        n = protocol.n
+        configuration = (
+            configuration_factory(protocol, rng) if configuration_factory is not None else None
+        )
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        runner = {
+            "stabilized": simulation.run_until_stabilized,
+            "correct": simulation.run_until_correct,
+            "silent": simulation.run_until_silent,
+        }[stop]
+        result = runner(max_interactions=max_interactions, check_interval=check_interval)
+        times.append(result.parallel_time)
+    return TrialStatistics.from_values(label or protocol_factory().name, n or 0, times)
+
+
+def sweep_parallel_time(
+    ns: Sequence[int],
+    protocol_factory: ProtocolFactory,
+    trials: int,
+    seed: RngLike = None,
+    configuration_factory: Optional[ConfigurationFactory] = None,
+    stop: str = "stabilized",
+    max_interactions_factory: Optional[Callable[[int], int]] = None,
+    label: str = "",
+) -> List[TrialStatistics]:
+    """Measure stabilization time across a sweep of population sizes.
+
+    ``protocol_factory`` receives the population size; the per-``n`` seeds are
+    derived from ``seed`` so runs are reproducible yet independent.
+    """
+    results: List[TrialStatistics] = []
+    seeds = spawn_rngs(seed, len(ns))
+    for n, n_rng in zip(ns, seeds):
+        cap = max_interactions_factory(n) if max_interactions_factory is not None else None
+        statistics = measure_parallel_times(
+            protocol_factory=lambda n=n: protocol_factory(n),
+            trials=trials,
+            seed=n_rng,
+            configuration_factory=configuration_factory,
+            stop=stop,
+            max_interactions=cap,
+            label=f"{label or 'sweep'} (n={n})",
+        )
+        results.append(statistics)
+    return results
+
+
+__all__ = ["ExperimentSpec", "measure_parallel_times", "sweep_parallel_time"]

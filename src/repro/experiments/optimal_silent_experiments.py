@@ -1,0 +1,176 @@
+"""Experiments E7, E8, E11: ``Optimal-Silent-SSR`` and its ingredients.
+
+* E7 (Lemma 4.1, Figure 1): the leader-driven binary-tree rank assignment
+  completes in O(n) parallel time.
+* E8 (Theorem 4.3 / Corollary 4.4): the full protocol stabilizes from
+  arbitrary adversarial configurations in O(n) expected time.
+* E11 (Theorem 3.4 / Corollary 3.5): ``Propagate-Reset`` brings a partially
+  triggered population to an awakening configuration within O(D_max) time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.initial_configs import optimal_silent_adversarial_configuration
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.theory import expected_binary_tree_assignment_time
+from repro.core.optimal_silent import OptimalSilentSSR
+from repro.core.sublinear import SublinearTimeSSR
+from repro.engine.rng import RngLike, make_rng, spawn_rngs
+from repro.engine.simulation import Simulation
+from repro.experiments.harness import measure_parallel_times
+
+#: Reduced constants that keep small-n simulations representative of the
+#: asymptotic behaviour (the paper's R_max = 60 ln n swamps n <= 256).
+PRACTICAL_CONSTANTS = {"rmax_multiplier": 4.0, "dmax_factor": 6.0, "emax_factor": 16.0}
+
+
+def _make_protocol(n: int, paper_constants: bool) -> OptimalSilentSSR:
+    if paper_constants:
+        return OptimalSilentSSR(n)
+    return OptimalSilentSSR(n, **PRACTICAL_CONSTANTS)
+
+
+def run_binary_tree_assignment(
+    ns: Sequence[int] = (32, 64, 128, 256),
+    trials: int = 20,
+    seed: RngLike = 0,
+    paper_constants: bool = False,
+) -> List[Dict]:
+    """E7: time for one Settled leader to rank the whole population (Lemma 4.1)."""
+    rows: List[Dict] = []
+    mean_times: List[float] = []
+    for n in ns:
+        statistics = measure_parallel_times(
+            protocol_factory=lambda n=n: _make_protocol(n, paper_constants),
+            trials=trials,
+            seed=(seed, n),
+            configuration_factory=lambda protocol, rng: (
+                protocol.single_leader_awakening_configuration()
+            ),
+            stop="stabilized",
+            label=f"binary-tree (n={n})",
+        )
+        mean_times.append(statistics.mean)
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "mean time": statistics.mean,
+                "max time": statistics.maximum,
+                "paper bound O(n)": expected_binary_tree_assignment_time(n),
+                "mean / n": statistics.mean / n,
+            }
+        )
+    if len(ns) >= 2:
+        exponent, _, r_squared = fit_power_law(list(ns), mean_times)
+        for row in rows:
+            row["fitted exponent"] = exponent
+            row["fit R^2"] = r_squared
+    return rows
+
+
+def run_optimal_silent_scaling(
+    ns: Sequence[int] = (16, 32, 64, 128),
+    trials: int = 10,
+    seed: RngLike = 0,
+    paper_constants: bool = False,
+    start: str = "adversarial",
+) -> List[Dict]:
+    """E8: stabilization time of ``Optimal-Silent-SSR`` across population sizes.
+
+    ``start`` selects the initial configuration: ``"adversarial"`` (independent
+    uniformly random states per agent), ``"duplicate-ranks"`` (every agent
+    Settled at rank 1), or ``"clean"`` (the protocol's default dormant start).
+    """
+    starts = {
+        "adversarial": lambda protocol, rng: optimal_silent_adversarial_configuration(
+            protocol, rng
+        ),
+        "duplicate-ranks": lambda protocol, rng: protocol.duplicate_rank_configuration(),
+        "clean": None,
+    }
+    if start not in starts:
+        raise ValueError(f"unknown start {start!r}")
+    rows: List[Dict] = []
+    mean_times: List[float] = []
+    for n in ns:
+        statistics = measure_parallel_times(
+            protocol_factory=lambda n=n: _make_protocol(n, paper_constants),
+            trials=trials,
+            seed=(seed, n, hash(start) % (2**16)),
+            configuration_factory=starts[start],
+            stop="stabilized",
+            label=f"optimal-silent (n={n})",
+        )
+        mean_times.append(statistics.mean)
+        rows.append(
+            {
+                "n": n,
+                "start": start,
+                "trials": trials,
+                "mean time": statistics.mean,
+                "p90 time": statistics.quantile(0.9),
+                "mean / n": statistics.mean / n,
+            }
+        )
+    if len(ns) >= 2:
+        exponent, _, r_squared = fit_power_law(list(ns), mean_times)
+        for row in rows:
+            row["fitted exponent"] = exponent
+            row["fit R^2"] = r_squared
+    return rows
+
+
+def run_propagate_reset(
+    ns: Sequence[int] = (16, 32, 64, 128),
+    trials: int = 20,
+    seed: RngLike = 0,
+    rmax_multiplier: float = 4.0,
+) -> List[Dict]:
+    """E11: time from a partially triggered configuration back to full computation.
+
+    Uses ``Sublinear-Time-SSR`` (whose ``D_max`` is Theta(log n)) so the
+    measured recovery time tracks the O(log n) claim of Theorem 3.4 /
+    Corollary 3.5 rather than the deliberately long Theta(n) dormancy of
+    ``Optimal-Silent-SSR``.
+    """
+    rows: List[Dict] = []
+    rng_streams = spawn_rngs(seed, len(ns))
+    for n, n_rng in zip(ns, rng_streams):
+        times: List[float] = []
+        for _ in range(trials):
+            protocol = SublinearTimeSSR(n, depth=1, rmax_multiplier=rmax_multiplier)
+            configuration = protocol.unique_names_configuration(n_rng)
+            # Trigger a single agent, as an error detection would.
+            protocol.reset_machinery.trigger(configuration[0], n_rng)
+            simulation = Simulation(protocol, configuration=configuration, rng=n_rng)
+            result = simulation.run_until(
+                protocol.reset_machinery.fully_computing,
+                max_interactions=4000 * n * max(1, protocol.dmax),
+                check_interval=n,
+                reason="fully-computing",
+            )
+            times.append(result.parallel_time)
+        mean_time = sum(times) / len(times)
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "D_max": SublinearTimeSSR(n, depth=1, rmax_multiplier=rmax_multiplier).dmax,
+                "mean recovery time": mean_time,
+                "max recovery time": max(times),
+                "mean / log2 n": mean_time / max(1.0, math.log2(n)),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "PRACTICAL_CONSTANTS",
+    "run_binary_tree_assignment",
+    "run_optimal_silent_scaling",
+    "run_propagate_reset",
+]

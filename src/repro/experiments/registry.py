@@ -1,0 +1,271 @@
+"""Registry mapping experiment identifiers to their runners.
+
+The identifiers match the per-experiment index in ``DESIGN.md`` and the
+records in ``EXPERIMENTS.md``; the CLI resolves names through this table.
+Each entry carries a ``quick`` parameterization (seconds to a couple of
+minutes on a laptop) and a ``full`` one (closer to the ranges quoted in
+``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.ablations import (
+    run_dormancy_ablation,
+    run_sync_range_ablation,
+    run_timer_ablation,
+)
+from repro.experiments.epidemic_experiments import (
+    run_all_agents_interact,
+    run_bounded_epidemic,
+    run_epidemic,
+    run_roll_call,
+)
+from repro.experiments.harness import ExperimentSpec
+from repro.experiments.lower_bounds import (
+    run_fratricide_failure,
+    run_log_lower_bound,
+    run_silent_lower_bound,
+)
+from repro.experiments.optimal_silent_experiments import (
+    run_binary_tree_assignment,
+    run_optimal_silent_scaling,
+    run_propagate_reset,
+)
+from repro.experiments.silent_n_state_experiments import run_silent_n_state_scaling
+from repro.experiments.state_space_experiments import run_state_space
+from repro.experiments.sublinear_experiments import (
+    run_safety,
+    run_sublinear_scaling,
+    run_sublinear_tradeoff,
+)
+from repro.experiments.synthetic_coin_experiments import run_synthetic_coin
+from repro.experiments.table1 import run_table1
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    EXPERIMENTS[spec.identifier] = spec
+
+
+_register(
+    ExperimentSpec(
+        identifier="table1",
+        title="Table 1: time/space of the three SSR protocols",
+        paper_reference="Table 1",
+        runner=run_table1,
+        quick_kwargs={"ns": (12, 16), "trials": 3},
+        full_kwargs={"ns": (16, 24, 32), "trials": 5},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="silent_n_state_quadratic",
+        title="Silent-n-state-SSR is Theta(n^2) from the worst case",
+        paper_reference="Theorem 2.4",
+        runner=run_silent_n_state_scaling,
+        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
+        full_kwargs={"ns": (16, 32, 64, 128, 192), "trials": 20},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="silent_lower_bound",
+        title="Silent protocols need Omega(n) time",
+        paper_reference="Observation 2.6",
+        runner=run_silent_lower_bound,
+        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
+        full_kwargs={"ns": (16, 32, 64, 128), "trials": 30},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="log_lower_bound",
+        title="Any SSLE protocol needs Omega(log n) time",
+        paper_reference="Section 1.1 remark",
+        runner=run_log_lower_bound,
+        quick_kwargs={"ns": (64, 256), "trials": 50},
+        full_kwargs={"ns": (64, 256, 1024, 4096), "trials": 200},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="fratricide_failure",
+        title="Initialized leader election is not self-stabilizing",
+        paper_reference="Section 1 (Reliable leader election)",
+        runner=run_fratricide_failure,
+        quick_kwargs={"n": 32},
+        full_kwargs={"n": 128, "horizon_factor": 200.0},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="epidemic",
+        title="Two-way epidemic completes in ~n ln n interactions",
+        paper_reference="Lemma 2.7 / Corollary 2.8",
+        runner=run_epidemic,
+        quick_kwargs={"ns": (64, 128, 256), "trials": 100},
+        full_kwargs={"ns": (64, 128, 256, 512, 1024), "trials": 500},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="roll_call",
+        title="Roll-call process completes in ~1.5 n ln n interactions",
+        paper_reference="Lemma 2.9",
+        runner=run_roll_call,
+        quick_kwargs={"ns": (32, 64, 128), "trials": 30},
+        full_kwargs={"ns": (32, 64, 128, 256, 512), "trials": 100},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="all_agents_interact",
+        title="Every agent interacts within ~0.5 n ln n interactions",
+        paper_reference="Lemma 2.9 (lower-bound step)",
+        runner=run_all_agents_interact,
+        quick_kwargs={"ns": (64, 256), "trials": 50},
+        full_kwargs={"ns": (64, 256, 1024), "trials": 200},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="bounded_epidemic",
+        title="Bounded-epidemic hitting times tau_k",
+        paper_reference="Lemmas 2.10 and 2.11",
+        runner=run_bounded_epidemic,
+        quick_kwargs={"ns": (64, 256), "ks": (1, 2, 3), "trials": 20},
+        full_kwargs={"ns": (64, 256, 1024), "ks": (1, 2, 3, 4), "trials": 50},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="binary_tree_assignment",
+        title="Leader-driven binary-tree ranking is O(n)",
+        paper_reference="Lemma 4.1 / Figure 1",
+        runner=run_binary_tree_assignment,
+        quick_kwargs={"ns": (32, 64, 128), "trials": 10},
+        full_kwargs={"ns": (32, 64, 128, 256), "trials": 20},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="optimal_silent",
+        title="Optimal-Silent-SSR stabilizes in O(n) time",
+        paper_reference="Theorem 4.3 / Corollary 4.4",
+        runner=run_optimal_silent_scaling,
+        quick_kwargs={"ns": (16, 32, 64), "trials": 5},
+        full_kwargs={"ns": (16, 32, 64, 128), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="propagate_reset",
+        title="Propagate-Reset recovers in O(log n) time",
+        paper_reference="Theorem 3.4 / Corollary 3.5",
+        runner=run_propagate_reset,
+        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
+        full_kwargs={"ns": (16, 32, 64, 128), "trials": 20},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="sublinear_tradeoff",
+        title="Sublinear-Time-SSR: stabilization time vs depth H",
+        paper_reference="Theorem 5.7 / Table 1",
+        runner=run_sublinear_tradeoff,
+        quick_kwargs={"n": 20, "depths": (0, 1, 2), "trials": 5},
+        full_kwargs={"n": 32, "depths": (0, 1, 2, None), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="sublinear_scaling",
+        title="Sublinear-Time-SSR: stabilization time vs n at fixed H",
+        paper_reference="Theorem 5.7",
+        runner=run_sublinear_scaling,
+        quick_kwargs={"ns": (8, 16, 24), "depth": 1, "trials": 5},
+        full_kwargs={"ns": (8, 16, 32, 48), "depth": 1, "trials": 8},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="history_tree_safety",
+        title="No false collision detections after a clean reset",
+        paper_reference="Lemmas 5.4 and 5.5 / Figure 2",
+        runner=run_safety,
+        quick_kwargs={"n": 12, "depth": 2, "trials": 3},
+        full_kwargs={"n": 16, "depth": 2, "trials": 5},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="state_complexity",
+        title="Observed state usage per protocol",
+        paper_reference="Table 1 (states column) / Theorem 2.1",
+        runner=run_state_space,
+        quick_kwargs={"ns": (8, 16), "interactions_factor": 20},
+        full_kwargs={"ns": (8, 16, 32), "interactions_factor": 40},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="synthetic_coin",
+        title="Synthetic-coin derandomization",
+        paper_reference="Section 6",
+        runner=run_synthetic_coin,
+        quick_kwargs={"ns": (16, 64), "bits_needed": 16},
+        full_kwargs={"ns": (16, 64, 256), "bits_needed": 32},
+    )
+)
+
+
+_register(
+    ExperimentSpec(
+        identifier="ablation_dormancy",
+        title="Ablation: dormant-phase length D_max in Optimal-Silent-SSR",
+        paper_reference="Lemma 4.2 / Theorem 4.3",
+        runner=run_dormancy_ablation,
+        quick_kwargs={"n": 24, "dmax_factors": (1.0, 4.0, 8.0), "trials": 5},
+        full_kwargs={"n": 48, "dmax_factors": (1.0, 2.0, 4.0, 8.0), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="ablation_timer",
+        title="Ablation: edge-timer horizon T_H in Detect-Name-Collision",
+        paper_reference="Lemma 5.6",
+        runner=run_timer_ablation,
+        quick_kwargs={"n": 16, "timer_multipliers": (0.5, 8.0), "trials": 5},
+        full_kwargs={"n": 24, "timer_multipliers": (0.5, 2.0, 8.0), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="ablation_sync_range",
+        title="Ablation: sync-value range S_max in Detect-Name-Collision",
+        paper_reference="Lemma 5.6",
+        runner=run_sync_range_ablation,
+        quick_kwargs={"n": 16, "sync_values": (2, 0), "trials": 5},
+        full_kwargs={"n": 24, "sync_values": (2, 8, 0), "trials": 10},
+    )
+)
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of all registered experiments (sorted)."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(identifier: str) -> ExperimentSpec:
+    """Look up an experiment by identifier, raising ``KeyError`` with a hint."""
+    try:
+        return EXPERIMENTS[identifier]
+    except KeyError:
+        known = ", ".join(list_experiments())
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}") from None
+
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,74 @@
+"""Plain-text and Markdown rendering of experiment rows.
+
+Experiments return lists of row dictionaries; these helpers align them into
+fixed-width tables (for the CLI) or Markdown tables (for ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _collect_columns(rows: Sequence[Dict], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = _collect_columns(rows, columns)
+    cells = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(row_cells[i]) for row_cells in cells))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row_cells in cells:
+        lines.append("  ".join(row_cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as a Markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = _collect_columns(rows, columns)
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "rows_to_markdown"]

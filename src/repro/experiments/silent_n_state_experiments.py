@@ -1,0 +1,67 @@
+"""Experiment E2: the Theta(n^2) running time of ``Silent-n-state-SSR`` (Theorem 2.4).
+
+The protocol is run from the worst-case configuration of the theorem (two
+agents at rank 0, a hole at rank ``n - 1``) and from uniformly random rank
+assignments; the measured parallel times are compared against the predicted
+``~ n^2 / 2`` and a fitted power-law exponent is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.statistics import summarize
+from repro.analysis.theory import expected_silent_n_state_worst_case_interactions
+from repro.core.silent_n_state import simulate_silent_n_state
+from repro.engine.rng import RngLike, spawn_rngs
+
+
+def run_silent_n_state_scaling(
+    ns: Sequence[int] = (16, 32, 64, 128),
+    trials: int = 20,
+    seed: RngLike = 0,
+    start: str = "worst-case",
+) -> List[Dict]:
+    """Measure stabilization time of Protocol 1 across a sweep of ``n``.
+
+    ``start`` is ``"worst-case"`` (Theorem 2.4's lower-bound configuration) or
+    ``"random"`` (uniformly random ranks).
+    """
+    if start not in ("worst-case", "random"):
+        raise ValueError(f"start must be 'worst-case' or 'random', got {start!r}")
+    rows: List[Dict] = []
+    mean_times: List[float] = []
+    rngs = spawn_rngs(seed, len(ns))
+    for n, rng in zip(ns, rngs):
+        samples = []
+        for _ in range(trials):
+            if start == "worst-case":
+                initial_ranks = None
+            else:
+                initial_ranks = rng.integers(0, n, size=n).tolist()
+            interactions = simulate_silent_n_state(n, initial_ranks=initial_ranks, rng=rng)
+            samples.append(interactions / n)
+        summary = summarize(samples)
+        mean_times.append(summary.mean)
+        predicted = expected_silent_n_state_worst_case_interactions(n) / n
+        rows.append(
+            {
+                "n": n,
+                "start": start,
+                "trials": trials,
+                "mean time": summary.mean,
+                "max time": summary.maximum,
+                "predicted time (worst case)": predicted,
+                "mean / n^2": summary.mean / (n * n),
+            }
+        )
+    if len(ns) >= 2:
+        exponent, _, r_squared = fit_power_law(list(ns), mean_times)
+        for row in rows:
+            row["fitted exponent"] = exponent
+            row["fit R^2"] = r_squared
+    return rows
+
+
+__all__ = ["run_silent_n_state_scaling"]

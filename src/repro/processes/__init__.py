@@ -1,0 +1,47 @@
+"""Probabilistic processes from Section 2.1 of the paper.
+
+These are the building blocks the protocols' analyses rest on:
+
+* the **two-way epidemic** (Lemma 2.7 / Corollary 2.8),
+* the **roll-call process** (Lemma 2.9),
+* the **bounded epidemic** / level-propagation process (Lemmas 2.10 and 2.11),
+* the **coupon-collector** step used inside the roll-call lower bound,
+* the **fratricide** leader-election process ``L, L -> L, F``.
+
+Each process is available in two forms: a full agent-level
+:class:`~repro.engine.protocol.PopulationProtocol` (exercising the same
+engine code path as the ranking protocols) and a fast direct sampler that
+skips over uneventful interactions using geometric random variables, enabling
+much larger population sizes in the benchmarks.
+"""
+
+from repro.processes.bounded_epidemic import (
+    BoundedEpidemicProtocol,
+    simulate_bounded_epidemic_levels,
+    simulate_level_hitting_times,
+)
+from repro.processes.coupon_collector import (
+    expected_all_agents_interact_time,
+    simulate_all_agents_interact,
+    simulate_coupon_collector,
+)
+from repro.processes.epidemic import (
+    TwoWayEpidemicProtocol,
+    simulate_epidemic_interactions,
+)
+from repro.processes.fratricide_process import simulate_fratricide_interactions
+from repro.processes.roll_call import RollCallProtocol, simulate_roll_call_interactions
+
+__all__ = [
+    "BoundedEpidemicProtocol",
+    "RollCallProtocol",
+    "TwoWayEpidemicProtocol",
+    "expected_all_agents_interact_time",
+    "simulate_all_agents_interact",
+    "simulate_bounded_epidemic_levels",
+    "simulate_coupon_collector",
+    "simulate_epidemic_interactions",
+    "simulate_fratricide_interactions",
+    "simulate_level_hitting_times",
+    "simulate_roll_call_interactions",
+]

@@ -1,0 +1,81 @@
+"""Coupon-collector style processes.
+
+Two variants are used in the paper:
+
+* the classic coupon collector (used in the Omega(log n) lower bound for any
+  SSLE protocol starting from the all-leaders configuration), and
+* the "every agent interacts at least once" process used inside the roll-call
+  lower bound (Lemma 2.9), which collects two coupons per interaction and so
+  completes in ``~ (1/2) n ln n`` interactions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.rng import RngLike, make_rng
+
+
+def simulate_coupon_collector(n: int, rng: RngLike = None) -> int:
+    """Sample the number of uniform draws needed to see all ``n`` coupons."""
+    if n < 1:
+        raise ValueError(f"number of coupons must be positive, got {n}")
+    rng = make_rng(rng)
+    draws = 0
+    for seen in range(n):
+        probability = (n - seen) / n
+        draws += int(rng.geometric(probability))
+    return draws
+
+
+def simulate_all_agents_interact(n: int, rng: RngLike = None) -> int:
+    """Sample the number of interactions until every agent has interacted.
+
+    Each interaction involves two distinct agents, so this is a coupon
+    collector drawing an unordered pair per step.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    rng = make_rng(rng)
+    interactions = 0
+    remaining = n
+    while remaining > 0:
+        # Probability the next interaction touches at least one "new" agent.
+        total_pairs = n * (n - 1) / 2
+        stale_pairs = (n - remaining) * (n - remaining - 1) / 2
+        probability = 1.0 - stale_pairs / total_pairs
+        interactions += int(rng.geometric(probability))
+        # The interaction touches one or two new agents; the second is new with
+        # probability proportional to the remaining count.
+        if remaining >= 2:
+            new_pairs = remaining * (remaining - 1) / 2
+            touched_pairs = total_pairs - stale_pairs
+            both_new_probability = new_pairs / touched_pairs
+            remaining -= 2 if rng.random() < both_new_probability else 1
+        else:
+            remaining -= 1
+    return interactions
+
+
+def expected_coupon_collector_draws(n: int) -> float:
+    """Expected draws for the classic coupon collector: ``n * H_n``."""
+    if n < 1:
+        raise ValueError(f"number of coupons must be positive, got {n}")
+    return n * sum(1.0 / i for i in range(1, n + 1))
+
+
+def expected_all_agents_interact_time(n: int) -> float:
+    """Asymptotic expectation ``(1/2) n ln n`` of the all-agents-interact process."""
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    return 0.5 * n * math.log(n)
+
+
+__all__ = [
+    "expected_all_agents_interact_time",
+    "expected_coupon_collector_draws",
+    "simulate_all_agents_interact",
+    "simulate_coupon_collector",
+]

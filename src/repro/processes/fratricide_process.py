@@ -1,0 +1,44 @@
+"""The fratricide leader-election process ``L, L -> L, F``.
+
+Starting from ``k`` leaders, every meeting of two leaders demotes one of them.
+From the all-leaders configuration the process takes
+``sum_{i=2}^{n} Geometric(i (i - 1) / (n (n - 1)))`` interactions, with
+expectation ``~ n^2`` interactions, i.e. ``~ n`` parallel time (Lemma 4.2).
+It is the slow leader election run during the dormant phase of
+``Optimal-Silent-SSR``, and also the stochastic upper bound used in the
+analysis of ``Silent-n-state-SSR`` (Theorem 2.4).
+"""
+
+from __future__ import annotations
+
+from repro.engine.rng import RngLike, make_rng
+
+
+def simulate_fratricide_interactions(
+    n: int,
+    initial_leaders: int = -1,
+    rng: RngLike = None,
+) -> int:
+    """Sample the number of interactions to reduce the leaders to one.
+
+    Parameters
+    ----------
+    initial_leaders:
+        Starting number of leaders; ``-1`` (default) means all ``n`` agents.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    if initial_leaders == -1:
+        initial_leaders = n
+    if not 1 <= initial_leaders <= n:
+        raise ValueError(f"initial_leaders must be in [1, {n}], got {initial_leaders}")
+    rng = make_rng(rng)
+    total_ordered_pairs = n * (n - 1)
+    interactions = 0
+    for leaders in range(initial_leaders, 1, -1):
+        success_probability = leaders * (leaders - 1) / total_ordered_pairs
+        interactions += int(rng.geometric(success_probability))
+    return interactions
+
+
+__all__ = ["simulate_fratricide_interactions"]

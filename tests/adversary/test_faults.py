@@ -1,0 +1,63 @@
+"""Tests for transient fault injection."""
+
+import pytest
+
+from repro.adversary.faults import inject_transient_faults
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_optimal_silent
+
+
+class TestInjection:
+    def test_zero_faults_is_a_no_op(self):
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        before = [state.signature() for state in configuration]
+        victims = inject_transient_faults(protocol, configuration, count=0, rng=0)
+        assert victims == []
+        assert [state.signature() for state in configuration] == before
+
+    def test_victim_count(self):
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        victims = inject_transient_faults(protocol, configuration, count=3, rng=0)
+        assert len(victims) == len(set(victims)) == 3
+
+    def test_explicit_victims(self):
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        victims = inject_transient_faults(protocol, configuration, count=2, rng=0, agent_ids=[1, 5])
+        assert victims == [1, 5]
+
+    def test_invalid_count(self):
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        with pytest.raises(ValueError):
+            inject_transient_faults(protocol, configuration, count=9, rng=0)
+
+    def test_mismatched_explicit_victims(self):
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        with pytest.raises(ValueError):
+            inject_transient_faults(protocol, configuration, count=1, rng=0, agent_ids=[1, 2])
+        with pytest.raises(ValueError):
+            inject_transient_faults(protocol, configuration, count=1, rng=0, agent_ids=[99])
+
+
+class TestRecoveryAfterFaults:
+    def test_silent_n_state_recovers_after_faults(self):
+        protocol = SilentNStateSSR(8)
+        simulation = Simulation(protocol, rng=0)
+        simulation.run_until_stabilized()
+        inject_transient_faults(protocol, simulation.configuration, count=4, rng=1)
+        result = simulation.run_until_stabilized()
+        assert result.stopped and protocol.is_correct(simulation.configuration)
+
+    def test_optimal_silent_recovers_after_faults(self):
+        protocol = make_optimal_silent(10)
+        simulation = Simulation(protocol, rng=2)
+        simulation.run_until_stabilized()
+        inject_transient_faults(protocol, simulation.configuration, count=5, rng=3)
+        result = simulation.run_until_stabilized()
+        assert result.stopped and protocol.is_correct(simulation.configuration)

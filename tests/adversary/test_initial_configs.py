@@ -1,0 +1,96 @@
+"""Tests for the adversarial initial configurations."""
+
+import pytest
+
+from repro.adversary.initial_configs import (
+    corrupted_tree_configuration,
+    duplicate_leader_silent_configuration,
+    optimal_silent_adversarial_configuration,
+    silent_n_state_worst_case,
+    sublinear_adversarial_configuration,
+)
+from repro.core.silent_n_state import SilentNStateSSR, rank_counts
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_optimal_silent, make_sublinear
+
+
+class TestSilentNStateWorstCase:
+    def test_shape(self):
+        protocol = SilentNStateSSR(8)
+        counts = rank_counts(silent_n_state_worst_case(protocol), 8)
+        assert counts[0] == 2 and counts[7] == 0
+
+
+class TestDuplicateLeaderConfiguration:
+    def test_exactly_two_rank_one_agents(self):
+        protocol = make_optimal_silent(8)
+        configuration = duplicate_leader_silent_configuration(protocol)
+        ranks = [state.rank for state in configuration]
+        assert ranks.count(1) == 2
+        assert ranks.count(8) == 0  # the overwritten agent was the rank-n one
+
+    def test_not_correct_but_all_settled(self):
+        protocol = make_optimal_silent(8)
+        configuration = duplicate_leader_silent_configuration(protocol)
+        assert not protocol.is_correct(configuration)
+        assert all(state.role == "Settled" for state in configuration)
+
+    def test_only_productive_interaction_is_the_leader_meeting(self):
+        """Until the two rank-1 agents meet, no state changes (Observation 2.6)."""
+        protocol = make_optimal_silent(8)
+        configuration = duplicate_leader_silent_configuration(protocol)
+        signature_before = [state.signature() for state in configuration]
+        rng = make_rng(0)
+        # Exercise every pair except the two duplicates meeting each other.
+        duplicates = [i for i, state in enumerate(configuration) if state.rank == 1]
+        for i in range(8):
+            for j in range(8):
+                if i == j or (i in duplicates and j in duplicates):
+                    continue
+                protocol.transition(configuration[i], configuration[j], rng)
+        assert [state.signature() for state in configuration] == signature_before
+
+
+class TestAdversarialConfigurations:
+    def test_optimal_silent_adversarial_has_protocol_size(self):
+        protocol = make_optimal_silent(10)
+        configuration = optimal_silent_adversarial_configuration(protocol, rng=0)
+        assert len(configuration) == 10
+
+    def test_sublinear_adversarial_has_protocol_size(self):
+        protocol = make_sublinear(10)
+        configuration = sublinear_adversarial_configuration(protocol, rng=0)
+        assert len(configuration) == 10
+
+    def test_adversarial_configurations_differ_between_draws(self):
+        protocol = make_optimal_silent(10)
+        first = optimal_silent_adversarial_configuration(protocol, rng=0)
+        second = optimal_silent_adversarial_configuration(protocol, rng=1)
+        assert [s.signature() for s in first] != [s.signature() for s in second]
+
+
+class TestCorruptedTrees:
+    def test_every_agent_has_a_planted_edge(self):
+        protocol = make_sublinear(8, depth=2)
+        configuration = corrupted_tree_configuration(protocol, rng=0)
+        assert all(len(state.tree.edges) == 1 for state in configuration)
+
+    def test_planted_edges_are_mutually_inconsistent(self):
+        protocol = make_sublinear(8, depth=2)
+        configuration = corrupted_tree_configuration(protocol, rng=0)
+        syncs = [state.tree.edges[0].sync for state in configuration]
+        assert len(set(syncs)) == len(syncs)
+
+    def test_requires_history_tree_detector(self):
+        protocol = make_sublinear(8, depth=0)
+        with pytest.raises(ValueError):
+            corrupted_tree_configuration(protocol, rng=0)
+
+    def test_protocol_recovers_from_corrupted_trees(self):
+        n = 8
+        protocol = make_sublinear(n, depth=1)
+        configuration = corrupted_tree_configuration(protocol, rng=1)
+        simulation = Simulation(protocol, configuration=configuration, rng=1)
+        result = simulation.run_until_stabilized(max_interactions=600 * n * n, check_interval=n)
+        assert result.stopped

@@ -1,0 +1,31 @@
+"""Tests for harmonic numbers."""
+
+import math
+
+import pytest
+
+from repro.analysis.harmonic import harmonic_number
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(25.0 / 12.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+    def test_asymptotic_form_agrees_with_exact(self):
+        # Compare the asymptotic branch against the exact sum near the cutoff.
+        exact = sum(1.0 / i for i in range(1, 20_001))
+        assert harmonic_number(20_000) == pytest.approx(exact, rel=1e-9)
+
+    def test_monotone(self):
+        values = [harmonic_number(k) for k in range(1, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_close_to_log_plus_gamma(self):
+        assert harmonic_number(1000) == pytest.approx(math.log(1000) + 0.5772156649, abs=1e-3)

@@ -1,0 +1,81 @@
+"""Tests for growth-law fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import (
+    GROWTH_MODELS,
+    classify_growth,
+    fit_growth_model,
+    fit_power_law,
+)
+
+
+class TestPowerLaw:
+    def test_recovers_quadratic_exponent(self):
+        ns = [16, 32, 64, 128]
+        values = [0.5 * n**2 for n in ns]
+        alpha, coefficient, r2 = fit_power_law(ns, values)
+        assert alpha == pytest.approx(2.0, abs=1e-6)
+        assert coefficient == pytest.approx(0.5, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_recovers_linear_exponent_with_noise(self):
+        ns = [16, 32, 64, 128, 256]
+        values = [3.0 * n * (1 + 0.05 * ((-1) ** i)) for i, n in enumerate(ns)]
+        alpha, _, r2 = fit_power_law(ns, values)
+        assert 0.9 < alpha < 1.1
+        assert r2 > 0.99
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5])
+
+    def test_requires_positive_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [1.0, -2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [1.0])
+
+
+class TestGrowthModels:
+    def test_fit_recovers_coefficient(self):
+        ns = [8, 16, 32, 64]
+        values = [2.5 * n for n in ns]
+        fit = fit_growth_model(ns, values, "n")
+        assert fit.coefficient == pytest.approx(2.5)
+        assert fit.residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_predict(self):
+        fit = fit_growth_model([8, 16], [16.0, 32.0], "n")
+        assert fit.predict(100) == pytest.approx(200.0)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            fit_growth_model([8, 16], [1.0, 2.0], "n^42")
+
+    def test_classify_quadratic_data(self):
+        ns = [16, 32, 64, 128]
+        values = [0.4 * n**2 for n in ns]
+        assert classify_growth(ns, values).model == "n^2"
+
+    def test_classify_linear_data(self):
+        ns = [16, 32, 64, 128]
+        values = [7.0 * n + 5 for n in ns]
+        assert classify_growth(ns, values).model in ("n", "n log n")
+
+    def test_classify_logarithmic_data(self):
+        ns = [64, 256, 1024, 4096]
+        values = [3.0 * math.log(n) for n in ns]
+        assert classify_growth(ns, values).model == "log n"
+
+    def test_classify_requires_candidates(self):
+        with pytest.raises(ValueError):
+            classify_growth([1, 2], [1, 2], candidates=())
+
+    def test_all_models_are_positive_functions(self):
+        for model, f in GROWTH_MODELS.items():
+            assert f(100) > 0, model

@@ -1,0 +1,47 @@
+"""Tests for observed-state counting."""
+
+import pytest
+
+from repro.analysis.state_space import ObservedStateCounter, count_observed_states
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.core.fratricide import FratricideLeaderElection
+from tests.conftest import make_sublinear
+
+
+class TestObservedStateCounter:
+    def test_record_configuration(self):
+        protocol = SilentNStateSSR(6)
+        counter = ObservedStateCounter(protocol)
+        counter.record_configuration(protocol.worst_case_configuration())
+        # The worst case uses ranks 0..4 (rank 5 missing): 5 distinct states.
+        assert counter.count == 5
+
+    def test_invalid_sample_interval(self):
+        with pytest.raises(ValueError):
+            ObservedStateCounter(SilentNStateSSR(4), sample_every=0)
+
+
+class TestCountObservedStates:
+    def test_fratricide_uses_two_states(self):
+        assert count_observed_states(FratricideLeaderElection(10), interactions=300, rng=0) == 2
+
+    def test_silent_n_state_bounded_by_n(self):
+        protocol = SilentNStateSSR(10)
+        observed = count_observed_states(
+            protocol,
+            configuration=protocol.worst_case_configuration(),
+            interactions=2000,
+            rng=1,
+        )
+        assert observed <= 10
+
+    def test_sublinear_uses_many_more_states_than_n(self):
+        protocol = make_sublinear(8, depth=1)
+        observed = count_observed_states(
+            protocol,
+            configuration=protocol.unique_names_configuration(),
+            interactions=400,
+            rng=2,
+        )
+        # History trees and rosters change constantly: far more than n states.
+        assert observed > 8

@@ -1,0 +1,44 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import ratio, relative_error, summarize
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([4.0, 1.0, 3.0, 2.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_odd_length_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0 and summary.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        assert set(summarize([1.0]).as_dict()) == {"count", "mean", "std", "min", "median", "max"}
+
+
+class TestErrorMetrics:
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_prediction(self):
+        assert relative_error(1.0, 0.0) == math.inf
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_ratio(self):
+        assert ratio(50.0, 100.0) == pytest.approx(0.5)
+        assert ratio(1.0, 0.0) == math.inf
+        assert ratio(0.0, 0.0) == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the tail-bound helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.tail_bounds import (
+    chernoff_interaction_bound,
+    epidemic_upper_tail,
+    janson_lower_tail,
+    janson_upper_tail,
+    sum_of_geometrics_mean,
+)
+
+
+class TestJansonBounds:
+    def test_upper_tail_decreases_with_lambda(self):
+        values = [janson_upper_tail(100.0, 0.05, lam) for lam in (1.0, 1.5, 2.0, 3.0)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_upper_tail_at_lambda_one_is_one(self):
+        assert janson_upper_tail(100.0, 0.1, 1.0) == pytest.approx(1.0)
+
+    def test_lower_tail_decreases_with_smaller_lambda(self):
+        values = [janson_lower_tail(100.0, 0.05, lam) for lam in (1.0, 0.7, 0.5, 0.2)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_bounds_are_probabilities(self):
+        assert 0.0 <= janson_upper_tail(50.0, 0.1, 2.0) <= 1.0
+        assert 0.0 <= janson_lower_tail(50.0, 0.1, 0.5) <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            janson_upper_tail(-1.0, 0.1, 2.0)
+        with pytest.raises(ValueError):
+            janson_upper_tail(10.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            janson_upper_tail(10.0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            janson_lower_tail(10.0, 0.1, 1.5)
+
+    def test_theorem_2_4_style_bound_is_exponentially_small(self):
+        """The bound used for the Theta(n^2) concentration in Theorem 2.4."""
+        n = 64
+        mu = (n - 1) * n * (n - 1) / 2
+        p_min = 1.0 / (n * (n - 1) / 2)
+        assert janson_lower_tail(mu, p_min, 0.5) < math.exp(-10)
+
+
+class TestEpidemicTail:
+    def test_matches_lemma_2_7_formula(self):
+        assert epidemic_upper_tail(100, 0.5) == pytest.approx(2.5 * math.log(100) / 100)
+
+    def test_decreases_with_delta(self):
+        assert epidemic_upper_tail(64, 1.0) < epidemic_upper_tail(64, 0.5)
+
+    def test_requires_n_at_least_8(self):
+        with pytest.raises(ValueError):
+            epidemic_upper_tail(7, 0.5)
+
+
+class TestChernoffInteractionBound:
+    def test_vacuous_below_mean(self):
+        assert chernoff_interaction_bound(10, 1000, 100) == 1.0
+
+    def test_small_above_mean(self):
+        assert chernoff_interaction_bound(10, 1000, 600) < 0.01
+
+    def test_zero_interactions(self):
+        assert chernoff_interaction_bound(10, 0, 5) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chernoff_interaction_bound(1, 10, 5)
+        with pytest.raises(ValueError):
+            chernoff_interaction_bound(10, -1, 5)
+
+
+class TestGeometricSums:
+    def test_mean(self):
+        assert sum_of_geometrics_mean([0.5, 0.25]) == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert sum_of_geometrics_mean([]) == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            sum_of_geometrics_mean([0.5, 0.0])

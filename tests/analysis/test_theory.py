@@ -1,0 +1,99 @@
+"""Tests for the closed-form predictions module."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    TABLE1_ROWS,
+    expected_binary_tree_assignment_time,
+    expected_bounded_epidemic_time,
+    expected_epidemic_interactions,
+    expected_fratricide_interactions,
+    expected_roll_call_interactions,
+    expected_silent_n_state_worst_case_interactions,
+    predicted_parallel_time,
+    predicted_state_count,
+)
+
+
+class TestProcessPredictions:
+    def test_epidemic_small_case(self):
+        # n = 3: (n-1) * H_2 = 2 * 1.5 = 3.
+        assert expected_epidemic_interactions(3) == pytest.approx(3.0)
+
+    def test_epidemic_close_to_n_ln_n(self):
+        n = 1000
+        # (n - 1) H_{n-1} = n ln n + Theta(n); the ratio tends to 1 from above.
+        ratio = expected_epidemic_interactions(n) / (n * math.log(n))
+        assert 1.0 < ratio < 1.15
+
+    def test_roll_call_is_1_5x_epidemic_asymptotically(self):
+        # E[R_n] / E[T_n] -> 1.5; the finite-n ratio approaches it from below
+        # because E[T_n] = (n-1) H_{n-1} carries a +gamma*n lower-order term.
+        small = expected_roll_call_interactions(10_000) / expected_epidemic_interactions(10_000)
+        large = expected_roll_call_interactions(10**7) / expected_epidemic_interactions(10**7)
+        assert 1.3 < small < 1.5
+        assert small < large < 1.5
+
+    def test_bounded_epidemic_constant_k(self):
+        assert expected_bounded_epidemic_time(64, 2) == pytest.approx(2 * 8.0)
+
+    def test_bounded_epidemic_log_regime(self):
+        n = 64
+        k = 3 * math.ceil(math.log2(n))
+        assert expected_bounded_epidemic_time(n, k) == pytest.approx(3 * math.log(n))
+
+    def test_fratricide_closed_form(self):
+        # Lemma 4.2: sum equals n (n - 1) (1 - 1/n) = (n - 1)^2.
+        assert expected_fratricide_interactions(10) == pytest.approx(81.0)
+
+    def test_silent_n_state_worst_case(self):
+        assert expected_silent_n_state_worst_case_interactions(4) == pytest.approx(3 * 6)
+
+    def test_binary_tree_assignment_is_linear(self):
+        assert expected_binary_tree_assignment_time(100) == pytest.approx(200.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_epidemic_interactions(0)
+        with pytest.raises(ValueError):
+            expected_bounded_epidemic_time(10, 0)
+        with pytest.raises(ValueError):
+            expected_fratricide_interactions(1)
+
+
+class TestTable1Predictions:
+    def test_protocol_time_shapes(self):
+        assert predicted_parallel_time("silent-n-state", 32) == 1024
+        assert predicted_parallel_time("optimal-silent", 32) == 32
+        assert predicted_parallel_time("sublinear", 32, depth=1) == pytest.approx(
+            2 * 32 ** 0.5
+        )
+        assert predicted_parallel_time("sublinear", 32, depth=10) == pytest.approx(math.log(32))
+
+    def test_sublinear_requires_depth(self):
+        with pytest.raises(ValueError):
+            predicted_parallel_time("sublinear", 32)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            predicted_parallel_time("bogus", 32)
+
+    def test_table1_rows_cover_all_protocols(self):
+        protocols = [row.protocol for row in TABLE1_ROWS]
+        assert len(protocols) == 4
+        assert any("Silent-n-state" in p for p in protocols)
+        assert any("Optimal-Silent" in p for p in protocols)
+        assert sum("Sublinear" in p for p in protocols) == 2
+
+    def test_table1_expected_time_functions_are_ordered(self):
+        n = 256
+        silent_n_state, optimal_silent, sublinear_log, sublinear_const = (
+            row.expected_time_fn(n) for row in TABLE1_ROWS
+        )
+        assert silent_n_state > optimal_silent > sublinear_const > sublinear_log
+
+    def test_predicted_state_count(self):
+        assert predicted_state_count("silent-n-state", 42) == 42
+        assert predicted_state_count("optimal-silent", 42) is None

@@ -1,0 +1,108 @@
+"""Tests for trajectory recording and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.traces import (
+    MetricSeries,
+    MetricsRecorder,
+    leader_count_metric,
+    render_series,
+    sparkline,
+)
+from repro.core.fratricide import FratricideLeaderElection
+from repro.engine.simulation import Simulation
+
+
+class TestMetricSeries:
+    def test_append_and_final_value(self):
+        series = MetricSeries("x")
+        series.append(0.0, 1.0)
+        series.append(1.0, 3.0)
+        assert len(series) == 2 and series.final_value == 3.0
+
+    def test_empty_final_value(self):
+        assert MetricSeries("x").final_value is None
+
+    def test_downsample_preserves_endpoints(self):
+        series = MetricSeries("x", times=list(range(100)), values=[float(i) for i in range(100)])
+        compact = series.downsample(10)
+        assert compact.values[0] == 0.0 and compact.values[-1] == 99.0
+        assert len(compact) <= 11
+
+    def test_downsample_short_series_is_identity(self):
+        series = MetricSeries("x", times=[0, 1], values=[1.0, 2.0])
+        assert series.downsample(10).values == [1.0, 2.0]
+
+    def test_downsample_invalid(self):
+        with pytest.raises(ValueError):
+            MetricSeries("x").downsample(0)
+
+
+class TestMetricsRecorder:
+    def _run(self, n=12, interactions=300, every=5):
+        protocol = FratricideLeaderElection(n)
+        recorder = MetricsRecorder(
+            metrics={"leaders": leader_count_metric(lambda s: s.leader)},
+            every=every,
+            population_size=n,
+        )
+        simulation = Simulation(protocol, rng=0, hooks=[recorder])
+        recorder.record_now(simulation.configuration)
+        simulation.run(interactions)
+        return recorder
+
+    def test_records_initial_and_periodic_samples(self):
+        recorder = self._run()
+        series = recorder["leaders"]
+        assert series.values[0] == 12.0
+        assert len(series) >= 300 // 5
+
+    def test_leader_series_is_nonincreasing(self):
+        values = self._run()["leaders"].values
+        assert all(later <= earlier for earlier, later in zip(values, values[1:]))
+
+    def test_times_are_parallel_time(self):
+        series = self._run(n=10, interactions=100, every=10)["leaders"]
+        assert series.times[0] == 0.0
+        assert max(series.times) <= 100 / 10 + 1e-9
+
+    def test_requires_metrics_and_positive_interval(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(metrics={}, every=1)
+        with pytest.raises(ValueError):
+            MetricsRecorder(metrics={"x": lambda c: 0.0}, every=0)
+
+
+class TestRendering:
+    def test_sparkline_length_and_alphabet(self):
+        line = sparkline([float(i) for i in range(200)], width=40)
+        assert len(line) <= 41
+        assert set(line) <= set(" .:-=+*#%@")
+
+    def test_sparkline_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0], width=10)
+        assert len(set(line)) == 1
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_render_series_contains_name_and_time_range(self):
+        series = MetricSeries("leaders", times=[0.0, 1.0, 2.0], values=[3.0, 2.0, 1.0])
+        text = render_series(series, width=30, height=4)
+        assert text.startswith("leaders")
+        assert "t = 0.0 .. 2.0" in text
+        assert "#" in text
+
+    def test_render_series_empty(self):
+        assert "(no samples)" in render_series(MetricSeries("x"))
+
+    def test_render_series_invalid_dimensions(self):
+        series = MetricSeries("x", times=[0.0], values=[1.0])
+        with pytest.raises(ValueError):
+            render_series(series, width=0)
+        with pytest.raises(ValueError):
+            render_series(series, height=1)

@@ -1,0 +1,193 @@
+"""Tests for Detect-Name-Collision (Protocol 7)."""
+
+import pytest
+
+from repro.core.sublinear.collision import (
+    DirectCollisionDetector,
+    HistoryTreeCollisionDetector,
+)
+from repro.core.sublinear.protocol import SublinearState
+from repro.engine.rng import make_rng
+
+
+def collecting(name, detector):
+    return SublinearState(
+        role="Collecting", name=name, roster=frozenset({name}), tree=detector.fresh_tree(name)
+    )
+
+
+class TestDirectDetector:
+    def test_detects_equal_names(self):
+        detector = DirectCollisionDetector()
+        a, b = collecting("x", detector), collecting("x", detector)
+        assert detector.detect(a, b, make_rng(0))
+
+    def test_no_detection_for_distinct_names(self):
+        detector = DirectCollisionDetector()
+        a, b = collecting("x", detector), collecting("y", detector)
+        assert not detector.detect(a, b, make_rng(0))
+
+    def test_no_tree_state(self):
+        detector = DirectCollisionDetector()
+        assert detector.fresh_tree("x") is None
+        assert detector.state_bits(16) == 0.0
+
+
+class TestHistoryTreeDetectorConstruction:
+    def test_default_parameters(self):
+        detector = HistoryTreeCollisionDetector(16, depth=1)
+        assert detector.sync_values == 2 * 16 * 16
+        assert detector.timer_max >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HistoryTreeCollisionDetector(1, depth=1)
+        with pytest.raises(ValueError):
+            HistoryTreeCollisionDetector(8, depth=0)
+        with pytest.raises(ValueError):
+            HistoryTreeCollisionDetector(8, depth=1, sync_values=1)
+        with pytest.raises(ValueError):
+            HistoryTreeCollisionDetector(8, depth=1, timer_max=0)
+
+    def test_state_bits_grow_with_depth(self):
+        shallow = HistoryTreeCollisionDetector(8, depth=1).state_bits(8)
+        deep = HistoryTreeCollisionDetector(8, depth=2).state_bits(8)
+        assert deep > shallow
+
+
+class TestTreeUpdates:
+    def test_interaction_records_partner_at_depth_one(self):
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        a, b = collecting("a", detector), collecting("b", detector)
+        assert not detector.detect(a, b, make_rng(0))
+        assert [edge.child.name for edge in a.tree.edges] == ["b"]
+        assert [edge.child.name for edge in b.tree.edges] == ["a"]
+
+    def test_interaction_shares_a_single_sync_value(self):
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        a, b = collecting("a", detector), collecting("b", detector)
+        detector.detect(a, b, make_rng(0))
+        assert a.tree.edges[0].sync == b.tree.edges[0].sync
+
+    def test_repeat_interaction_replaces_depth_one_subtree(self):
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        a, b = collecting("a", detector), collecting("b", detector)
+        detector.detect(a, b, make_rng(0))
+        detector.detect(a, b, make_rng(1))
+        # The old depth-1 subtree for b is removed and replaced, not duplicated.
+        assert [edge.child.name for edge in a.tree.edges] == ["b"]
+        assert a.tree.edges[0].timer == detector.timer_max - 1
+
+    def test_trees_stay_simply_labelled(self):
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        rng = make_rng(0)
+        agents = [collecting(str(i), detector) for i in range(5)]
+        for _ in range(300):
+            i, j = rng.integers(0, 5), rng.integers(0, 4)
+            j = j + (j >= i)
+            detector.detect(agents[i], agents[j], rng)
+        assert all(agent.tree.is_simply_labelled() for agent in agents)
+
+    def test_tree_depth_never_exceeds_h(self):
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        rng = make_rng(1)
+        agents = [collecting(str(i), detector) for i in range(6)]
+        for _ in range(300):
+            i, j = rng.integers(0, 6), rng.integers(0, 5)
+            j = j + (j >= i)
+            detector.detect(agents[i], agents[j], rng)
+        assert all(agent.tree.depth() <= 2 for agent in agents)
+
+    def test_own_name_never_appears_in_own_tree(self):
+        detector = HistoryTreeCollisionDetector(8, depth=3)
+        rng = make_rng(2)
+        agents = [collecting(str(i), detector) for i in range(5)]
+        for _ in range(300):
+            i, j = rng.integers(0, 5), rng.integers(0, 4)
+            j = j + (j >= i)
+            detector.detect(agents[i], agents[j], rng)
+        for agent in agents:
+            names_in_tree = {edge.child.name for edge in agent.tree.iter_edges()}
+            assert agent.name not in names_in_tree
+
+    def test_timers_decrement_each_interaction(self):
+        detector = HistoryTreeCollisionDetector(8, depth=1, timer_max=5)
+        a, b, c = (collecting(name, detector) for name in "abc")
+        detector.detect(a, b, make_rng(0))
+        timer_after_first = a.tree.edges[0].timer
+        detector.detect(a, c, make_rng(1))
+        edge_to_b = next(edge for edge in a.tree.edges if edge.child.name == "b")
+        assert edge_to_b.timer == timer_after_first - 1
+
+
+class TestDetection:
+    def test_no_false_positive_among_unique_names(self):
+        detector = HistoryTreeCollisionDetector(10, depth=2)
+        rng = make_rng(3)
+        agents = [collecting(f"name{i}", detector) for i in range(10)]
+        for _ in range(2000):
+            i, j = rng.integers(0, 10), rng.integers(0, 9)
+            j = j + (j >= i)
+            assert not detector.detect(agents[i], agents[j], rng)
+
+    def test_duplicate_detected_through_intermediary(self):
+        """The H = 1 mechanism: b meets a, then meets the impostor a'."""
+        detector = HistoryTreeCollisionDetector(8, depth=1)
+        a = collecting("dup", detector)
+        impostor = collecting("dup", detector)
+        b = collecting("other", detector)
+        rng = make_rng(4)
+        assert not detector.detect(a, b, rng)
+        assert detector.detect(b, impostor, rng)
+
+    def test_duplicate_detected_through_two_hops_with_depth_two(self):
+        """The H = 2 mechanism: a -> b -> c, then c meets the impostor a'."""
+        detector = HistoryTreeCollisionDetector(8, depth=2)
+        a = collecting("dup", detector)
+        impostor = collecting("dup", detector)
+        b = collecting("b", detector)
+        c = collecting("c", detector)
+        rng = make_rng(5)
+        assert not detector.detect(a, b, rng)
+        assert not detector.detect(b, c, rng)
+        assert detector.detect(c, impostor, rng)
+
+    def test_two_hop_chain_not_detected_with_depth_one(self):
+        """With H = 1 the two-hop history is truncated away, so no detection."""
+        detector = HistoryTreeCollisionDetector(8, depth=1)
+        a = collecting("dup", detector)
+        impostor = collecting("dup", detector)
+        b = collecting("b", detector)
+        c = collecting("c", detector)
+        rng = make_rng(6)
+        detector.detect(a, b, rng)
+        detector.detect(b, c, rng)
+        assert not detector.detect(c, impostor, rng)
+
+    def test_direct_meeting_of_fresh_duplicates_is_not_detected(self):
+        """Protocol 7 never checks paths ending in the agent's own name.
+
+        Two fresh duplicates meeting directly therefore go unnoticed by the
+        tree detector; the collision is caught once an intermediary has heard
+        of one of them (the previous tests), which the paper shows happens
+        within O(T_H) time anyway.
+        """
+        detector = HistoryTreeCollisionDetector(8, depth=1)
+        a = collecting("dup", detector)
+        impostor = collecting("dup", detector)
+        assert not detector.detect(a, impostor, make_rng(7))
+        # The exchanged subtrees rooted at the agents' own name are pruned.
+        assert a.tree.node_count() == 1 and impostor.tree.node_count() == 1
+
+    def test_expired_timers_suppress_checking(self):
+        detector = HistoryTreeCollisionDetector(8, depth=1, timer_max=1)
+        a = collecting("dup", detector)
+        impostor = collecting("dup", detector)
+        b = collecting("b", detector)
+        c = collecting("c", detector)
+        rng = make_rng(8)
+        detector.detect(a, b, rng)
+        # b's edge to "dup" had timer 1 and is decremented to 0 in that same
+        # interaction, so when b later meets the impostor the stale path is
+        # not checked and no collision is declared.
+        assert not detector.detect(b, impostor, rng)

@@ -1,0 +1,108 @@
+"""Tests for the composition combinator (Section 1: composability of SSR)."""
+
+import pytest
+
+from repro.core.composition import ComposedProtocol, ComposedState
+from repro.core.fratricide import FratricideLeaderElection
+from repro.core.initialized_ranking import InitializedLeaderDrivenRanking
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_optimal_silent
+
+
+def make_composition(n=10, interference=0.5):
+    upstream = FratricideLeaderElection(n)
+    downstream = SilentNStateSSR(n)
+    return ComposedProtocol(upstream, downstream, interference_probability=interference)
+
+
+class TestConstruction:
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedProtocol(FratricideLeaderElection(4), SilentNStateSSR(5))
+
+    def test_invalid_interference_rejected(self):
+        with pytest.raises(ValueError):
+            make_composition(interference=1.5)
+
+    def test_name_combines_both_protocols(self):
+        protocol = make_composition()
+        assert "fratricide" in protocol.name and "Silent-n-state" in protocol.name
+
+    def test_state_count_is_product(self):
+        protocol = make_composition(n=7)
+        assert protocol.theoretical_state_count() == 2 * 7
+
+
+class TestStates:
+    def test_initial_state_has_both_layers(self):
+        protocol = make_composition(n=6)
+        state = protocol.initial_state(0, make_rng(0))
+        assert isinstance(state, ComposedState)
+        assert state.upstream.leader is True
+        assert state.downstream.rank == 0
+
+    def test_clone_is_deep(self):
+        protocol = make_composition(n=6)
+        state = protocol.initial_state(0, make_rng(0))
+        copy = state.clone()
+        copy.downstream.rank = 5
+        assert state.downstream.rank == 0
+
+    def test_signature_combines_layers(self):
+        protocol = make_composition(n=6)
+        a = protocol.initial_state(0, make_rng(0))
+        b = protocol.initial_state(1, make_rng(0))
+        assert a.signature() != b.signature()  # different downstream ranks
+
+    def test_random_state(self):
+        protocol = make_composition(n=6)
+        state = protocol.random_state(make_rng(0))
+        assert isinstance(state.upstream.leader, bool)
+        assert 0 <= state.downstream.rank < 6
+
+
+class TestDynamics:
+    def test_both_layers_progress(self):
+        protocol = make_composition(n=12, interference=0.0)
+        simulation = Simulation(protocol, rng=0)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_projections(self):
+        protocol = make_composition(n=8, interference=0.0)
+        configuration = protocol.initial_configuration(make_rng(0))
+        upstream = protocol.upstream_configuration(configuration)
+        downstream = protocol.downstream_configuration(configuration)
+        assert all(state.leader for state in upstream)
+        assert sorted(state.rank for state in downstream) == list(range(8))
+
+    def test_downstream_recovers_despite_interference(self):
+        """The composition claim: S is self-stabilizing, so P's interference is survived."""
+        protocol = make_composition(n=10, interference=1.0)
+        simulation = Simulation(protocol, rng=1)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        downstream = protocol.downstream_configuration(simulation.configuration)
+        assert protocol.downstream.is_correct(downstream)
+
+    def test_interference_actually_perturbs_downstream(self):
+        protocol = make_composition(n=10, interference=1.0)
+        simulation = Simulation(protocol, rng=2)
+        simulation.run(30)
+        downstream = protocol.downstream_configuration(simulation.configuration)
+        # The downstream layer started as a perfect ranking; total interference
+        # while the upstream layer is still changing must have corrupted it.
+        ranks = sorted(state.rank for state in downstream)
+        assert ranks != list(range(10)) or not protocol.downstream.is_correct(downstream)
+
+    def test_composition_with_ssr_downstream_and_ranking_upstream(self):
+        upstream = InitializedLeaderDrivenRanking(10)
+        downstream = make_optimal_silent(10)
+        protocol = ComposedProtocol(upstream, downstream, interference_probability=0.3)
+        simulation = Simulation(protocol, rng=3)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.has_stabilized(simulation.configuration)

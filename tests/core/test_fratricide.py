@@ -1,0 +1,83 @@
+"""Tests for the initialized fratricide leader election."""
+
+import pytest
+
+from repro.core.fratricide import FratricideLeaderElection, FratricideState
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+
+
+class TestTransition:
+    def test_two_leaders_demote_responder(self):
+        protocol = FratricideLeaderElection(4)
+        a, b = FratricideState(True), FratricideState(True)
+        protocol.transition(a, b, make_rng(0))
+        assert a.leader and not b.leader
+
+    def test_leader_follower_is_null(self):
+        protocol = FratricideLeaderElection(4)
+        a, b = FratricideState(True), FratricideState(False)
+        protocol.transition(a, b, make_rng(0))
+        assert a.leader and not b.leader
+
+    def test_followers_never_become_leaders(self):
+        protocol = FratricideLeaderElection(4)
+        a, b = FratricideState(False), FratricideState(False)
+        protocol.transition(a, b, make_rng(0))
+        assert not a.leader and not b.leader
+
+
+class TestConvergence:
+    def test_elects_unique_leader_from_all_leaders(self):
+        protocol = FratricideLeaderElection(32)
+        simulation = Simulation(protocol, rng=0)
+        result = simulation.run_until_correct()
+        assert result.stopped
+        assert protocol.leader_count(simulation.configuration) == 1
+
+    def test_leader_count_is_monotone(self):
+        protocol = FratricideLeaderElection(16)
+        simulation = Simulation(protocol, rng=1)
+        previous = protocol.leader_count(simulation.configuration)
+        for _ in range(500):
+            simulation.step()
+            current = protocol.leader_count(simulation.configuration)
+            assert current <= previous
+            previous = current
+
+    def test_convergence_time_is_roughly_linear(self):
+        times = {}
+        for n in (16, 64):
+            protocol = FratricideLeaderElection(n)
+            simulation = Simulation(protocol, rng=2)
+            times[n] = simulation.run_until_correct().parallel_time
+        # Theta(n) parallel time: quadrupling n should increase the time clearly.
+        assert times[64] > times[16]
+
+
+class TestSelfStabilizationFailure:
+    def test_all_followers_configuration_never_recovers(self):
+        """The motivating failure from Section 1: no leader can ever be created."""
+        protocol = FratricideLeaderElection(12)
+        configuration = protocol.all_followers_configuration()
+        simulation = Simulation(protocol, configuration=configuration, rng=3)
+        simulation.run(5000)
+        assert protocol.leader_count(simulation.configuration) == 0
+
+    def test_stabilized_means_single_leader_forever(self):
+        protocol = FratricideLeaderElection(8)
+        simulation = Simulation(protocol, rng=4)
+        simulation.run_until_correct()
+        simulation.run(2000)
+        assert protocol.leader_count(simulation.configuration) == 1
+
+
+class TestMisc:
+    def test_state_count(self):
+        assert FratricideLeaderElection(5).theoretical_state_count() == 2
+
+    def test_random_state_values(self):
+        protocol = FratricideLeaderElection(5)
+        rng = make_rng(0)
+        values = {protocol.random_state(rng).leader for _ in range(30)}
+        assert values == {True, False}

@@ -1,0 +1,96 @@
+"""Tests for the initialized leader-driven ranking protocol (Lemma 4.1 standalone)."""
+
+import pytest
+
+from repro.analysis.scaling import fit_power_law
+from repro.core.initialized_ranking import (
+    SETTLED,
+    UNSETTLED,
+    InitializedLeaderDrivenRanking,
+    InitializedRankingState,
+)
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+
+
+class TestBasics:
+    def test_initial_configuration_has_one_leader(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        assert protocol.settled_count(configuration) == 1
+        assert configuration[0].rank == 1
+
+    def test_transition_assigns_binary_tree_children(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        parent = InitializedRankingState(role=SETTLED, rank=3, children=0)
+        child = InitializedRankingState(role=UNSETTLED)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.rank == 6 and parent.children == 1
+
+    def test_rank_n_is_assignable(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        parent = InitializedRankingState(role=SETTLED, rank=4, children=0)
+        child = InitializedRankingState(role=UNSETTLED)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.rank == 8
+
+    def test_rank_above_n_is_never_assigned(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        parent = InitializedRankingState(role=SETTLED, rank=5, children=0)
+        child = InitializedRankingState(role=UNSETTLED)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.role == UNSETTLED
+
+    def test_state_count_is_linear(self):
+        assert InitializedLeaderDrivenRanking(20).theoretical_state_count() == 61
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [4, 9, 16, 33])
+    def test_reaches_a_valid_ranking(self, n):
+        protocol = InitializedLeaderDrivenRanking(n)
+        simulation = Simulation(protocol, rng=n)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert sorted(state.rank for state in simulation.configuration) == list(range(1, n + 1))
+
+    def test_settled_count_is_monotone(self):
+        protocol = InitializedLeaderDrivenRanking(16)
+        simulation = Simulation(protocol, rng=0)
+        previous = protocol.settled_count(simulation.configuration)
+        for _ in range(400):
+            simulation.step()
+            current = protocol.settled_count(simulation.configuration)
+            assert current >= previous
+            previous = current
+
+    def test_correct_configuration_is_silent(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        simulation = Simulation(protocol, rng=1)
+        simulation.run_until_stabilized()
+        assert protocol.is_silent(simulation.configuration)
+
+    def test_linear_time_shape(self):
+        """Lemma 4.1 without the reset machinery: time grows ~linearly in n."""
+        ns = [16, 32, 64, 128]
+        means = []
+        for n in ns:
+            times = []
+            for seed in range(5):
+                protocol = InitializedLeaderDrivenRanking(n)
+                simulation = Simulation(protocol, rng=(n, seed))
+                times.append(simulation.run_until_stabilized().parallel_time)
+            means.append(sum(times) / len(times))
+        exponent, _, _ = fit_power_law(ns, means)
+        assert exponent < 1.6
+
+
+class TestNotSelfStabilizing:
+    def test_leaderless_configuration_never_completes(self):
+        protocol = InitializedLeaderDrivenRanking(8)
+        configuration = protocol.all_unsettled_configuration()
+        simulation = Simulation(protocol, configuration=configuration, rng=0)
+        simulation.run(20_000)
+        assert protocol.settled_count(simulation.configuration) == 0
+        assert protocol.is_silent(simulation.configuration)
+        assert not protocol.is_correct(simulation.configuration)

@@ -1,0 +1,92 @@
+"""Tests for the Observation 2.5 protocol (SSLE without ranking)."""
+
+import pytest
+
+from repro.core.observation25 import (
+    FOLLOWERS,
+    LEADER,
+    STATE_SET,
+    ThreeAgentSSLEWithoutRanking,
+    ThreeAgentState,
+    ranking_assignment_exists,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+
+
+def config(labels):
+    return Configuration([ThreeAgentState(label) for label in labels])
+
+
+class TestStates:
+    def test_state_set_size(self):
+        assert len(STATE_SET) == 6
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeAgentState("x")
+
+    def test_population_size_is_fixed(self):
+        with pytest.raises(ValueError):
+            ThreeAgentSSLEWithoutRanking(4)
+
+    def test_follower_index(self):
+        assert ThreeAgentState("f3").follower_index == 3
+        assert ThreeAgentState(LEADER).follower_index == -1
+
+
+class TestSilentConfigurations:
+    def test_there_are_exactly_five(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        assert len(set(protocol.silent_configurations())) == 5
+
+    def test_adjacent_followers_with_leader_is_silent(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        assert protocol.is_silent(config([LEADER, "f0", "f1"]))
+        assert protocol.is_silent(config([LEADER, "f4", "f0"]))
+
+    def test_non_adjacent_followers_not_silent(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        assert not protocol.is_silent(config([LEADER, "f0", "f2"]))
+
+    def test_two_leaders_not_silent(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        assert not protocol.is_silent(config([LEADER, LEADER, "f0"]))
+
+    def test_no_leader_not_silent(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        assert not protocol.is_silent(config(["f0", "f1", "f2"]))
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stabilizes_from_random_configuration(self, seed):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        configuration = protocol.random_configuration(make_rng(seed))
+        simulation = Simulation(protocol, configuration=configuration, rng=seed)
+        result = simulation.run_until_stabilized(max_interactions=200_000, check_interval=1)
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_stabilizes_from_all_leaders(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        configuration = config([LEADER, LEADER, LEADER])
+        simulation = Simulation(protocol, configuration=configuration, rng=0)
+        assert simulation.run_until_stabilized(max_interactions=200_000).stopped
+
+    def test_silent_configuration_is_stable(self):
+        protocol = ThreeAgentSSLEWithoutRanking()
+        configuration = config([LEADER, "f2", "f3"])
+        simulation = Simulation(protocol, configuration=configuration, rng=1)
+        simulation.run(1000)
+        assert protocol.is_silent(simulation.configuration)
+
+
+class TestObservation:
+    def test_no_consistent_ranking_assignment_exists(self):
+        """The executable form of Observation 2.5's parity argument."""
+        assert not ranking_assignment_exists()
+
+    def test_state_count(self):
+        assert ThreeAgentSSLEWithoutRanking().theoretical_state_count() == 6

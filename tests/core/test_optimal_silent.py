@@ -1,0 +1,219 @@
+"""Tests for Optimal-Silent-SSR (Protocols 3 + 4, Section 4)."""
+
+import pytest
+
+from repro.core.optimal_silent import (
+    FOLLOWER,
+    LEADER,
+    SETTLED,
+    UNSETTLED,
+    OptimalSilentSSR,
+    OptimalSilentState,
+)
+from repro.core.propagate_reset import RESETTING
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_optimal_silent
+
+
+class TestConfigurations:
+    def test_stable_configuration_is_correct_and_silent(self):
+        protocol = make_optimal_silent(10)
+        configuration = protocol.stable_configuration()
+        assert protocol.is_correct(configuration)
+        assert protocol.is_silent(configuration)
+        assert protocol.has_stabilized(configuration)
+
+    def test_stable_configuration_children_counts_match_binary_tree(self):
+        protocol = make_optimal_silent(10)
+        configuration = protocol.stable_configuration()
+        by_rank = {state.rank: state for state in configuration}
+        assert by_rank[1].children == 2  # children 2 and 3 exist
+        assert by_rank[5].children == 1  # child 10 exists, 11 does not
+        assert by_rank[6].children == 0  # children 12, 13 do not exist
+
+    def test_single_leader_awakening_configuration(self):
+        protocol = make_optimal_silent(8)
+        configuration = protocol.single_leader_awakening_configuration()
+        roles = protocol.role_counts(configuration)
+        assert roles[SETTLED] == 1 and roles[UNSETTLED] == 7
+
+    def test_duplicate_rank_configuration_not_correct(self):
+        protocol = make_optimal_silent(8)
+        configuration = protocol.duplicate_rank_configuration()
+        assert not protocol.is_correct(configuration)
+
+    def test_all_dormant_configuration_roles(self):
+        protocol = make_optimal_silent(8)
+        configuration = protocol.all_dormant_configuration(leaders=3)
+        assert all(state.role == RESETTING for state in configuration)
+        leaders = sum(1 for state in configuration if state.leader == LEADER)
+        assert leaders == 3
+
+    def test_invalid_configuration_arguments(self):
+        protocol = make_optimal_silent(8)
+        with pytest.raises(ValueError):
+            protocol.duplicate_rank_configuration(rank=9)
+        with pytest.raises(ValueError):
+            protocol.all_dormant_configuration(leaders=9)
+
+    def test_random_state_roles_are_valid(self):
+        protocol = make_optimal_silent(8)
+        rng = make_rng(0)
+        roles = {protocol.random_state(rng).role for _ in range(60)}
+        assert roles == {SETTLED, UNSETTLED, RESETTING}
+
+
+class TestTransitionRules:
+    def test_rank_collision_triggers_reset(self):
+        protocol = make_optimal_silent(8)
+        a = OptimalSilentState(role=SETTLED, rank=3, children=0)
+        b = OptimalSilentState(role=SETTLED, rank=3, children=1)
+        protocol.transition(a, b, make_rng(0))
+        assert a.role == RESETTING and b.role == RESETTING
+        assert a.resetcount == protocol.rmax and b.resetcount == protocol.rmax
+        assert a.leader == LEADER and b.leader == LEADER
+
+    def test_distinct_settled_ranks_do_nothing(self):
+        protocol = make_optimal_silent(8)
+        a = OptimalSilentState(role=SETTLED, rank=3, children=0)
+        b = OptimalSilentState(role=SETTLED, rank=4, children=0)
+        protocol.transition(a, b, make_rng(0))
+        assert a.role == SETTLED and b.role == SETTLED
+        assert a.rank == 3 and b.rank == 4
+
+    def test_settled_assigns_first_child_rank(self):
+        protocol = make_optimal_silent(8)
+        parent = OptimalSilentState(role=SETTLED, rank=2, children=0)
+        child = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.role == SETTLED and child.rank == 4
+        assert parent.children == 1
+
+    def test_settled_assigns_second_child_rank(self):
+        protocol = make_optimal_silent(8)
+        parent = OptimalSilentState(role=SETTLED, rank=2, children=1)
+        child = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.rank == 5 and parent.children == 2
+
+    def test_full_parent_does_not_recruit(self):
+        protocol = make_optimal_silent(8)
+        parent = OptimalSilentState(role=SETTLED, rank=2, children=2)
+        child = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.role == UNSETTLED
+
+    def test_child_rank_may_equal_n(self):
+        """Regression for the <= n boundary (paper pseudocode says < n)."""
+        protocol = make_optimal_silent(8)
+        parent = OptimalSilentState(role=SETTLED, rank=4, children=0)
+        child = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.role == SETTLED and child.rank == 8
+
+    def test_child_rank_never_exceeds_n(self):
+        protocol = make_optimal_silent(8)
+        parent = OptimalSilentState(role=SETTLED, rank=4, children=1)  # next child would be 9
+        child = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        protocol.transition(parent, child, make_rng(0))
+        assert child.role == UNSETTLED
+
+    def test_unsettled_countdown_and_timeout_triggers_reset(self):
+        protocol = make_optimal_silent(8)
+        a = OptimalSilentState(role=UNSETTLED, errorcount=1)
+        b = OptimalSilentState(role=SETTLED, rank=4, children=2)
+        protocol.transition(a, b, make_rng(0))
+        assert a.role == RESETTING and b.role == RESETTING
+
+    def test_unsettled_countdown_without_timeout(self):
+        protocol = make_optimal_silent(8)
+        a = OptimalSilentState(role=UNSETTLED, errorcount=5)
+        b = OptimalSilentState(role=UNSETTLED, errorcount=7)
+        protocol.transition(a, b, make_rng(0))
+        assert a.errorcount == 4 and b.errorcount == 6
+        assert a.role == UNSETTLED and b.role == UNSETTLED
+
+    def test_dormant_leader_election_demotes_responder(self):
+        protocol = make_optimal_silent(8)
+        a = OptimalSilentState(role=RESETTING, leader=LEADER, resetcount=0, delaytimer=5)
+        b = OptimalSilentState(role=RESETTING, leader=LEADER, resetcount=0, delaytimer=5)
+        protocol.transition(a, b, make_rng(0))
+        assert a.leader == LEADER and b.leader == FOLLOWER
+
+    def test_reset_turns_leader_into_rank_one(self):
+        protocol = make_optimal_silent(8)
+        state = OptimalSilentState(role=RESETTING, leader=LEADER, resetcount=0, delaytimer=0)
+        protocol._reset(state, make_rng(0))
+        assert state.role == SETTLED and state.rank == 1 and state.children == 0
+
+    def test_reset_turns_follower_into_unsettled(self):
+        protocol = make_optimal_silent(8)
+        state = OptimalSilentState(role=RESETTING, leader=FOLLOWER, resetcount=0, delaytimer=0)
+        protocol._reset(state, make_rng(0))
+        assert state.role == UNSETTLED and state.errorcount == protocol.emax
+
+
+class TestPredicates:
+    def test_correct_requires_all_settled(self):
+        protocol = make_optimal_silent(4)
+        configuration = protocol.stable_configuration()
+        configuration[0] = OptimalSilentState(role=UNSETTLED, errorcount=protocol.emax)
+        assert not protocol.is_correct(configuration)
+
+    def test_correct_requires_permutation(self):
+        protocol = make_optimal_silent(4)
+        configuration = protocol.stable_configuration()
+        configuration[0].rank = 2  # duplicate
+        assert not protocol.is_correct(configuration)
+
+    def test_state_count_is_linear(self):
+        for n in (8, 16, 32):
+            protocol = make_optimal_silent(n)
+            assert protocol.theoretical_state_count() <= 60 * n
+
+    def test_signature_depends_on_role_fields_only(self):
+        a = OptimalSilentState(role=SETTLED, rank=2, children=1)
+        b = OptimalSilentState(role=SETTLED, rank=2, children=1, errorcount=99)
+        assert a.signature() == b.signature()
+
+
+class TestStabilization:
+    def test_stabilizes_from_clean_start(self):
+        protocol = make_optimal_silent(16)
+        simulation = Simulation(protocol, rng=0)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert sorted(state.rank for state in simulation.configuration) == list(range(1, 17))
+
+    def test_stabilizes_from_single_leader_awakening(self):
+        protocol = make_optimal_silent(16)
+        simulation = Simulation(
+            protocol, configuration=protocol.single_leader_awakening_configuration(), rng=1
+        )
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+
+    def test_stabilizes_from_duplicate_ranks(self):
+        protocol = make_optimal_silent(12)
+        simulation = Simulation(
+            protocol, configuration=protocol.duplicate_rank_configuration(), rng=2
+        )
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stabilizes_from_adversarial_configuration(self, seed):
+        protocol = make_optimal_silent(12)
+        configuration = protocol.random_configuration(make_rng(seed))
+        simulation = Simulation(protocol, configuration=configuration, rng=seed)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_stable_configuration_remains_stable(self):
+        protocol = make_optimal_silent(10)
+        simulation = Simulation(protocol, configuration=protocol.stable_configuration(), rng=3)
+        simulation.run(5000)
+        assert protocol.is_correct(simulation.configuration)

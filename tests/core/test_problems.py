@@ -1,0 +1,90 @@
+"""Tests for the leader-election / ranking problem predicates."""
+
+import pytest
+
+from repro.core.optimal_silent import SETTLED, OptimalSilentState
+from repro.core.problems import (
+    count_leaders,
+    has_unique_leader,
+    is_valid_ranking,
+    leaders_from_ranks,
+    ranking_defects,
+)
+from repro.engine.configuration import Configuration
+
+
+def settled(rank):
+    return OptimalSilentState(role=SETTLED, rank=rank, children=0)
+
+
+class TestIsValidRanking:
+    def test_valid_permutation(self):
+        assert is_valid_ranking([3, 1, 2], 3)
+
+    def test_rejects_duplicates(self):
+        assert not is_valid_ranking([1, 1, 3], 3)
+
+    def test_rejects_missing_and_extra(self):
+        assert not is_valid_ranking([1, 2, 4], 3)
+
+    def test_rejects_none(self):
+        assert not is_valid_ranking([1, None, 3], 3)
+
+    def test_rejects_wrong_length(self):
+        assert not is_valid_ranking([1, 2], 3)
+        assert not is_valid_ranking([1, 2, 3, 4], 3)
+
+    def test_zero_based_ranking(self):
+        assert is_valid_ranking([0, 2, 1], 3, lowest_rank=0)
+        assert not is_valid_ranking([1, 2, 3], 3, lowest_rank=0)
+
+
+class TestRankingDefects:
+    def test_no_defects_for_valid_ranking(self):
+        defects = ranking_defects([2, 3, 1], 3)
+        assert defects == {"missing": [], "duplicated": [], "out_of_range": []}
+
+    def test_missing_implies_duplicate_by_pigeonhole(self):
+        defects = ranking_defects([1, 1, 3], 3)
+        assert defects["missing"] == [2]
+        assert defects["duplicated"] == [1]
+
+    def test_out_of_range_and_none(self):
+        defects = ranking_defects([1, 7, None], 3)
+        assert 7 in defects["out_of_range"]
+        assert -1 in defects["out_of_range"]
+        assert defects["missing"] == [2, 3]
+
+
+class TestLeaders:
+    def test_count_leaders_from_rank(self):
+        configuration = Configuration([settled(1), settled(2), settled(3)])
+        assert count_leaders(configuration) == 1
+        assert has_unique_leader(configuration)
+
+    def test_multiple_leaders(self):
+        configuration = Configuration([settled(1), settled(1), settled(3)])
+        assert count_leaders(configuration) == 2
+        assert not has_unique_leader(configuration)
+
+    def test_custom_leader_predicate(self):
+        configuration = Configuration([settled(4), settled(2), settled(3)])
+        assert count_leaders(configuration, is_leader=lambda s: s.rank == 4) == 1
+
+    def test_leader_field_takes_precedence(self):
+        class WithLeaderBit(OptimalSilentState):
+            pass
+
+        state = WithLeaderBit(role=SETTLED, rank=2, children=0)
+        state.leader = "L"
+        configuration = Configuration([state, settled(1)])
+        # One agent via its leader field, one via rank 1.
+        assert count_leaders(configuration) == 2
+
+    def test_leaders_from_ranks(self):
+        configuration = Configuration([settled(2), settled(1), settled(3)])
+        assert leaders_from_ranks(configuration) == [1]
+
+    def test_leaders_from_ranks_custom_leader_rank(self):
+        configuration = Configuration([settled(2), settled(1), settled(3)])
+        assert leaders_from_ranks(configuration, leader_rank=3) == [2]

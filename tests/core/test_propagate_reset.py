@@ -1,0 +1,187 @@
+"""Tests for the Propagate-Reset subprotocol (Protocol 2, Section 3)."""
+
+import pytest
+
+from repro.core.propagate_reset import RESETTING, PropagateReset, default_rmax
+from repro.engine.configuration import Configuration
+from repro.engine.rng import make_rng
+from repro.engine.state import AgentState
+
+
+class HostState(AgentState):
+    """Minimal host state: Computing or Resetting with the Protocol 2 fields."""
+
+    def __init__(self, role="Computing"):
+        self.role = role
+        self.resetcount = None
+        self.delaytimer = None
+        self.resets_executed = 0
+
+
+def make_machinery(rmax=5, dmax=10):
+    def reset(state, rng):
+        state.role = "Computing"
+        state.resetcount = None
+        state.delaytimer = None
+        state.resets_executed += 1
+
+    return PropagateReset(rmax=rmax, dmax=dmax, reset=reset)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_machinery(rmax=0)
+        with pytest.raises(ValueError):
+            make_machinery(dmax=0)
+
+    def test_default_rmax_is_60_ln_n(self):
+        assert default_rmax(100) == pytest.approx(60 * 4.6052, abs=1.0)
+
+    def test_default_rmax_invalid_n(self):
+        with pytest.raises(ValueError):
+            default_rmax(1)
+
+
+class TestClassification:
+    def test_trigger_sets_full_resetcount(self):
+        machinery = make_machinery()
+        state = HostState()
+        machinery.trigger(state, make_rng(0))
+        assert machinery.is_triggered(state)
+        assert machinery.is_propagating(state)
+        assert not machinery.is_dormant(state)
+        assert not machinery.is_computing(state)
+
+    def test_computing_state_classification(self):
+        machinery = make_machinery()
+        state = HostState()
+        assert machinery.is_computing(state)
+        assert not machinery.is_resetting(state)
+
+    def test_configuration_level_predicates(self):
+        machinery = make_machinery()
+        computing = HostState()
+        triggered = HostState()
+        machinery.trigger(triggered, make_rng(0))
+        configuration = Configuration([computing, triggered])
+        assert machinery.partially_triggered(configuration)
+        assert machinery.partially_computing(configuration)
+        assert not machinery.fully_computing(configuration)
+        assert not machinery.fully_dormant(configuration)
+
+
+class TestInteraction:
+    def test_requires_a_resetting_agent(self):
+        machinery = make_machinery()
+        with pytest.raises(ValueError):
+            machinery.interact(HostState(), HostState(), make_rng(0))
+
+    def test_propagating_agent_recruits_computing_partner(self):
+        machinery = make_machinery(rmax=5)
+        a, b = HostState(), HostState()
+        machinery.trigger(a, make_rng(0))
+        machinery.interact(a, b, make_rng(0))
+        assert machinery.is_resetting(b)
+        # Both propagate downward: max(5 - 1, 0 - 1, 0) = 4.
+        assert a.resetcount == b.resetcount == 4
+
+    def test_resetcount_propagates_as_max_minus_one(self):
+        machinery = make_machinery(rmax=10)
+        a, b = HostState(), HostState()
+        machinery.trigger(a, make_rng(0))
+        machinery.trigger(b, make_rng(0))
+        a.resetcount = 7
+        b.resetcount = 3
+        machinery.interact(a, b, make_rng(0))
+        assert a.resetcount == b.resetcount == 6
+
+    def test_dormant_agent_decrements_delay_timer(self):
+        machinery = make_machinery(dmax=10)
+        a, b = HostState(), HostState()
+        machinery.trigger(a, make_rng(0))
+        machinery.trigger(b, make_rng(0))
+        a.resetcount = 0
+        a.delaytimer = 5
+        b.resetcount = 0
+        b.delaytimer = 7
+        machinery.interact(a, b, make_rng(0))
+        assert a.delaytimer == 4 and b.delaytimer == 6
+
+    def test_delay_timer_expiry_triggers_reset(self):
+        machinery = make_machinery(dmax=10)
+        a, b = HostState(), HostState()
+        for state in (a, b):
+            machinery.trigger(state, make_rng(0))
+            state.resetcount = 0
+        a.delaytimer = 1
+        b.delaytimer = 9
+        machinery.interact(a, b, make_rng(0))
+        assert a.resets_executed == 1 and a.role == "Computing"
+        assert b.resets_executed == 0 and machinery.is_dormant(b)
+
+    def test_computing_partner_awakens_dormant_agent(self):
+        machinery = make_machinery(dmax=10)
+        dormant, computing = HostState(), HostState()
+        machinery.trigger(dormant, make_rng(0))
+        dormant.resetcount = 0
+        dormant.delaytimer = 9
+        machinery.interact(dormant, computing, make_rng(0))
+        assert dormant.resets_executed == 1
+        assert dormant.role == "Computing"
+
+    def test_just_dormant_agent_gets_fresh_delay_timer(self):
+        machinery = make_machinery(rmax=1, dmax=10)
+        a, b = HostState(), HostState()
+        machinery.trigger(a, make_rng(0))  # resetcount = 1
+        machinery.trigger(b, make_rng(0))
+        machinery.interact(a, b, make_rng(0))
+        # Both dropped to 0 this interaction, so both get delaytimer = D_max.
+        assert a.resetcount == b.resetcount == 0
+        assert a.delaytimer == b.delaytimer == 10
+
+    def test_order_of_arguments_does_not_matter(self):
+        machinery = make_machinery(rmax=5)
+        for flipped in (False, True):
+            resetting, computing = HostState(), HostState()
+            machinery.trigger(resetting, make_rng(0))
+            pair = (computing, resetting) if flipped else (resetting, computing)
+            machinery.interact(*pair, make_rng(0))
+            assert machinery.is_resetting(computing)
+
+
+class TestResetWave:
+    def _run_wave(self, n=24, seed=0, max_interactions=300_000):
+        """Drive a full reset wave with paper-style constants.
+
+        With ``R_max = 60 ln n`` the recruitment epidemic covers the whole
+        population long before anyone goes dormant and wakes up, so each agent
+        resets exactly once per wave (the property Theorem 3.4 relies on).
+        """
+        rmax = default_rmax(n)
+        machinery = make_machinery(rmax=rmax, dmax=int(2.5 * rmax))
+        rng = make_rng(seed)
+        states = [HostState() for _ in range(n)]
+        machinery.trigger(states[0], rng)
+        for _ in range(max_interactions):
+            i, j = rng.integers(0, n), rng.integers(0, n - 1)
+            j = int(j + (j >= i))
+            i = int(i)
+            if machinery.is_resetting(states[i]) or machinery.is_resetting(states[j]):
+                machinery.interact(states[i], states[j], rng)
+            if all(
+                not machinery.is_resetting(state) and state.resets_executed >= 1
+                for state in states
+            ):
+                break
+        return machinery, states
+
+    def test_every_agent_eventually_resets_exactly_once(self):
+        machinery, states = self._run_wave()
+        assert all(state.resets_executed == 1 for state in states)
+
+    def test_population_returns_to_computing(self):
+        machinery, states = self._run_wave(seed=1)
+        configuration = Configuration(states)
+        assert machinery.fully_computing(configuration)
+        assert all(state.resets_executed >= 1 for state in states)

@@ -1,0 +1,165 @@
+"""Tests for Protocol 1 (Silent-n-state-SSR) and the barrier-rank invariant."""
+
+import pytest
+
+from repro.core.silent_n_state import (
+    SilentNStateSSR,
+    SilentNStateState,
+    barrier_invariant_holds,
+    find_barrier_rank,
+    rank_counts,
+    simulate_silent_n_state,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+
+
+class TestTransition:
+    def test_collision_moves_responder_up(self):
+        protocol = SilentNStateSSR(5)
+        a, b = SilentNStateState(2), SilentNStateState(2)
+        protocol.transition(a, b, make_rng(0))
+        assert a.rank == 2 and b.rank == 3
+
+    def test_rank_wraps_modulo_n(self):
+        protocol = SilentNStateSSR(5)
+        a, b = SilentNStateState(4), SilentNStateState(4)
+        protocol.transition(a, b, make_rng(0))
+        assert b.rank == 0
+
+    def test_distinct_ranks_do_nothing(self):
+        protocol = SilentNStateSSR(5)
+        a, b = SilentNStateState(1), SilentNStateState(2)
+        protocol.transition(a, b, make_rng(0))
+        assert (a.rank, b.rank) == (1, 2)
+
+
+class TestPredicatesAndConfigurations:
+    def test_clean_initial_configuration_is_already_ranked(self):
+        protocol = SilentNStateSSR(6)
+        configuration = protocol.initial_configuration(make_rng(0))
+        assert protocol.is_correct(configuration)
+        assert protocol.is_silent(configuration)
+        assert protocol.has_stabilized(configuration)
+
+    def test_worst_case_configuration_shape(self):
+        protocol = SilentNStateSSR(6)
+        counts = rank_counts(protocol.worst_case_configuration(), 6)
+        assert counts[0] == 2 and counts[5] == 0 and all(c == 1 for c in counts[1:5])
+
+    def test_all_same_rank_configuration(self):
+        protocol = SilentNStateSSR(4)
+        configuration = protocol.all_same_rank_configuration(2)
+        assert rank_counts(configuration, 4) == [0, 0, 4, 0]
+        assert not protocol.is_correct(configuration)
+
+    def test_all_same_rank_invalid_rank(self):
+        with pytest.raises(ValueError):
+            SilentNStateSSR(4).all_same_rank_configuration(4)
+
+    def test_theoretical_state_count_is_n(self):
+        assert SilentNStateSSR(17).theoretical_state_count() == 17
+
+    def test_random_state_in_range(self):
+        protocol = SilentNStateSSR(9)
+        rng = make_rng(0)
+        assert all(0 <= protocol.random_state(rng).rank < 9 for _ in range(50))
+
+
+class TestBarrierRank:
+    def test_find_barrier_satisfies_invariant(self):
+        counts = [2, 1, 1, 1, 1, 0]
+        k = find_barrier_rank(counts)
+        assert barrier_invariant_holds(counts, k)
+
+    def test_barrier_rank_has_at_most_one_agent(self):
+        counts = [3, 0, 2, 0, 1, 0]
+        k = find_barrier_rank(counts)
+        assert counts[k] <= 1
+
+    def test_invariant_rejects_bad_candidate(self):
+        counts = [2, 1, 1, 1, 1, 0]
+        # Rank 0 holds two agents, so it cannot be a barrier.
+        assert not barrier_invariant_holds(counts, 0)
+
+    def test_counts_must_sum_to_n(self):
+        with pytest.raises(ValueError):
+            find_barrier_rank([2, 2, 1])  # sums to 5 but describes only 3 ranks
+
+    def test_invariant_candidate_out_of_range(self):
+        with pytest.raises(ValueError):
+            barrier_invariant_holds([1, 1], 5)
+
+    def test_barrier_is_preserved_by_execution(self):
+        """Lemma 2.3: once (1) holds for k it holds forever."""
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.random_configuration(make_rng(3))
+        k = find_barrier_rank(rank_counts(configuration, 8))
+        simulation = Simulation(protocol, configuration=configuration, rng=4)
+        for _ in range(40):
+            simulation.run(10)
+            assert barrier_invariant_holds(rank_counts(simulation.configuration, 8), k)
+
+
+class TestStabilization:
+    def test_stabilizes_from_worst_case(self):
+        protocol = SilentNStateSSR(8)
+        simulation = Simulation(protocol, configuration=protocol.worst_case_configuration(), rng=0)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_stabilizes_from_all_same_rank(self):
+        protocol = SilentNStateSSR(8)
+        simulation = Simulation(
+            protocol, configuration=protocol.all_same_rank_configuration(), rng=1
+        )
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+
+    def test_stabilizes_from_random_configuration(self):
+        protocol = SilentNStateSSR(10)
+        simulation = Simulation(protocol, configuration=protocol.random_configuration(make_rng(2)), rng=2)
+        assert simulation.run_until_stabilized().stopped
+
+
+class TestFastSimulator:
+    def test_zero_for_already_ranked(self):
+        assert simulate_silent_n_state(6, initial_ranks=[0, 1, 2, 3, 4, 5], rng=0) == 0
+
+    def test_agrees_with_engine_in_distribution(self):
+        n = 8
+        trials = 40
+        rng = make_rng(5)
+        fast = [simulate_silent_n_state(n, rng=rng) for _ in range(trials)]
+        engine_times = []
+        protocol = SilentNStateSSR(n)
+        for seed in range(trials):
+            simulation = Simulation(
+                protocol, configuration=protocol.worst_case_configuration(), rng=seed
+            )
+            engine_times.append(simulation.run_until_stabilized(check_interval=1).interactions)
+        fast_mean = sum(fast) / trials
+        engine_mean = sum(engine_times) / trials
+        assert abs(fast_mean - engine_mean) / engine_mean < 0.35
+
+    def test_quadratic_growth(self):
+        rng = make_rng(6)
+        trials = 10
+        mean16 = sum(simulate_silent_n_state(16, rng=rng) for _ in range(trials)) / trials / 16
+        mean48 = sum(simulate_silent_n_state(48, rng=rng) for _ in range(trials)) / trials / 48
+        # Theta(n^2) parallel time: tripling n should grow time by far more than 3x.
+        assert mean48 / mean16 > 4.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_silent_n_state(1)
+        with pytest.raises(ValueError):
+            simulate_silent_n_state(4, initial_ranks=[0, 1])
+        with pytest.raises(ValueError):
+            simulate_silent_n_state(4, initial_ranks=[0, 1, 2, 9])
+
+    def test_max_interactions_cap(self):
+        with pytest.raises(RuntimeError):
+            simulate_silent_n_state(32, rng=0, max_interactions=10)

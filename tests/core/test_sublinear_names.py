@@ -1,0 +1,73 @@
+"""Tests for the name utilities of Sublinear-Time-SSR."""
+
+import math
+
+import pytest
+
+from repro.core.sublinear.names import (
+    distinct_random_names,
+    lexicographic_ranks,
+    name_length,
+    random_name,
+    rank_of,
+)
+from repro.engine.rng import make_rng
+
+
+class TestNameLength:
+    def test_is_three_log_two_n(self):
+        assert name_length(16) == 12
+        assert name_length(64) == 18
+
+    def test_rounds_up(self):
+        assert name_length(10) == math.ceil(3 * math.log2(10))
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            name_length(1)
+
+
+class TestRandomName:
+    def test_length_and_alphabet(self):
+        name = random_name(make_rng(0), 12)
+        assert len(name) == 12 and set(name) <= {"0", "1"}
+
+    def test_zero_length(self):
+        assert random_name(make_rng(0), 0) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_name(make_rng(0), -3)
+
+    def test_collision_probability_is_low(self):
+        rng = make_rng(1)
+        length = name_length(32)
+        names = [random_name(rng, length) for _ in range(32)]
+        assert len(set(names)) >= 31  # collisions should be very rare
+
+
+class TestDistinctNames:
+    def test_count_and_distinctness(self):
+        names = distinct_random_names(make_rng(0), 20, 12)
+        assert len(names) == 20 and len(set(names)) == 20
+
+    def test_impossible_request_rejected(self):
+        with pytest.raises(ValueError):
+            distinct_random_names(make_rng(0), 5, 2)
+
+
+class TestRanks:
+    def test_lexicographic_ranks_are_one_based_and_ordered(self):
+        ranks = lexicographic_ranks(["10", "00", "01"])
+        assert ranks == {"00": 1, "01": 2, "10": 3}
+
+    def test_duplicate_names_share_rank(self):
+        ranks = lexicographic_ranks(["0", "0", "1"])
+        assert ranks == {"0": 1, "1": 2}
+
+    def test_rank_of(self):
+        assert rank_of("01", ["10", "00", "01"]) == 2
+
+    def test_rank_of_missing_name(self):
+        with pytest.raises(ValueError):
+            rank_of("11", ["00", "01"])

@@ -1,0 +1,219 @@
+"""Tests for the top-level Sublinear-Time-SSR protocol (Protocols 5 + 6)."""
+
+import pytest
+
+from repro.core.propagate_reset import RESETTING
+from repro.core.sublinear import COLLECTING, SublinearState, SublinearTimeSSR
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_sublinear
+
+
+class TestConstruction:
+    def test_default_depth_is_log_n(self):
+        assert SublinearTimeSSR(16).depth == 4
+        assert SublinearTimeSSR(32).depth == 5
+
+    def test_depth_zero_uses_direct_detection(self):
+        protocol = SublinearTimeSSR(8, depth=0)
+        from repro.core.sublinear.collision import DirectCollisionDetector
+
+        assert isinstance(protocol.detector, DirectCollisionDetector)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            SublinearTimeSSR(8, depth=-1)
+
+    def test_dmax_is_long_enough_for_a_fresh_name(self):
+        protocol = make_sublinear(16)
+        assert protocol.dmax >= 3 * protocol.name_length
+
+    def test_state_bits_grow_with_depth(self):
+        shallow = make_sublinear(12, depth=1).theoretical_state_bits()
+        deep = make_sublinear(12, depth=2).theoretical_state_bits()
+        assert deep > shallow
+
+
+class TestConfigurations:
+    def test_unique_names_configuration(self):
+        protocol = make_sublinear(10)
+        configuration = protocol.unique_names_configuration(make_rng(0))
+        names = [state.name for state in configuration]
+        assert len(set(names)) == 10
+        assert all(len(name) == protocol.name_length for name in names)
+        assert all(state.roster == frozenset({state.name}) for state in configuration)
+
+    def test_planted_collision_configuration(self):
+        protocol = make_sublinear(10)
+        configuration = protocol.planted_collision_configuration(make_rng(0), duplicates=3)
+        names = [state.name for state in configuration]
+        assert len(set(names)) == 8
+        assert names.count(configuration[0].name) == 3
+
+    def test_planted_collision_invalid_duplicates(self):
+        protocol = make_sublinear(10)
+        with pytest.raises(ValueError):
+            protocol.planted_collision_configuration(make_rng(0), duplicates=1)
+
+    def test_ghostly_configuration(self):
+        protocol = make_sublinear(10)
+        configuration = protocol.ghostly_configuration(make_rng(0), ghosts=2)
+        real_names = {state.name for state in configuration}
+        all_roster_names = set().union(*(state.roster for state in configuration))
+        assert len(all_roster_names - real_names) == 2
+
+    def test_ranked_configuration_is_stabilized(self):
+        protocol = make_sublinear(10)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        assert protocol.is_correct(configuration)
+        assert protocol.has_stabilized(configuration)
+
+    def test_random_state_roles(self):
+        protocol = make_sublinear(10)
+        rng = make_rng(1)
+        roles = {protocol.random_state(rng).role for _ in range(60)}
+        assert roles == {COLLECTING, RESETTING}
+
+
+class TestTransition:
+    def test_roster_union_on_interaction(self):
+        protocol = make_sublinear(10)
+        configuration = protocol.unique_names_configuration(make_rng(0))
+        a, b = configuration[0], configuration[1]
+        protocol.transition(a, b, make_rng(0))
+        assert a.roster == b.roster == frozenset({a.name, b.name})
+
+    def test_rank_assigned_when_roster_full(self):
+        protocol = make_sublinear(4)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        # Clear two ranks and let one interaction restore them.
+        a, b = configuration[0], configuration[1]
+        a.rank = None
+        b.rank = None
+        protocol.transition(a, b, make_rng(0))
+        ordered = sorted(state.name for state in configuration)
+        assert a.rank == ordered.index(a.name) + 1
+        assert b.rank == ordered.index(b.name) + 1
+
+    def test_oversized_roster_triggers_reset(self):
+        protocol = make_sublinear(4)
+        configuration = protocol.unique_names_configuration(make_rng(0))
+        a, b = configuration[0], configuration[1]
+        # Plant enough ghost names to exceed the population size.
+        ghosts = frozenset({"g1" * protocol.name_length, "g2" * protocol.name_length,
+                            "g3" * protocol.name_length, "g4" * protocol.name_length})
+        a.roster = a.roster | ghosts
+        protocol.transition(a, b, make_rng(0))
+        assert a.role == RESETTING and b.role == RESETTING
+        assert a.resetcount == protocol.rmax
+
+    def test_direct_name_collision_triggers_reset_in_direct_mode(self):
+        protocol = make_sublinear(4, depth=0)
+        a = SublinearState(role=COLLECTING, name="00", roster=frozenset({"00"}))
+        b = SublinearState(role=COLLECTING, name="00", roster=frozenset({"00"}))
+        protocol.transition(a, b, make_rng(0))
+        assert a.role == RESETTING and b.role == RESETTING
+
+    def test_propagating_agent_clears_name(self):
+        protocol = make_sublinear(6)
+        configuration = protocol.unique_names_configuration(make_rng(0))
+        a, b = configuration[0], configuration[1]
+        protocol.reset_machinery.trigger(a, make_rng(0))
+        protocol.transition(a, b, make_rng(0))
+        assert a.name == ""
+        # The partner was recruited and is now resetting as well.
+        assert b.role == RESETTING
+
+    def test_dormant_agent_grows_a_fresh_name(self):
+        protocol = make_sublinear(6)
+        a = SublinearState(role=RESETTING, name="", resetcount=0, delaytimer=protocol.dmax)
+        b = SublinearState(role=RESETTING, name="", resetcount=0, delaytimer=protocol.dmax)
+        rng = make_rng(0)
+        protocol.transition(a, b, rng)
+        assert len(a.name) == 1 and len(b.name) == 1
+
+    def test_reset_restores_collecting_role(self):
+        protocol = make_sublinear(6)
+        state = SublinearState(role=RESETTING, name="010101", resetcount=0, delaytimer=0)
+        protocol._reset(state, make_rng(0))
+        assert state.role == COLLECTING
+        assert state.roster == frozenset({"010101"})
+        assert state.tree is not None and state.tree.name == "010101"
+
+
+class TestPredicates:
+    def test_correct_requires_all_collecting(self):
+        protocol = make_sublinear(6)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        protocol.reset_machinery.trigger(configuration[0], make_rng(0))
+        assert not protocol.is_correct(configuration)
+
+    def test_stabilized_requires_full_rosters(self):
+        protocol = make_sublinear(6)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        configuration[0].roster = frozenset({configuration[0].name})
+        assert not protocol.has_stabilized(configuration)
+
+    def test_stabilized_requires_unique_names(self):
+        protocol = make_sublinear(6)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        configuration[0].name = configuration[1].name
+        assert not protocol.has_stabilized(configuration)
+
+    def test_protocol_reports_non_silent(self):
+        protocol = make_sublinear(6)
+        assert not protocol.is_silent(protocol.ranked_configuration(make_rng(0)))
+
+    def test_diagnostics(self):
+        protocol = make_sublinear(6)
+        configuration = protocol.ranked_configuration(make_rng(0))
+        assert protocol.role_counts(configuration)[COLLECTING] == 6
+        assert protocol.distinct_names(configuration) == 6
+        assert protocol.max_tree_size(configuration) == 1
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("depth", [0, 1, 2])
+    def test_stabilizes_from_planted_collision(self, depth):
+        n = 10
+        protocol = make_sublinear(n, depth=depth)
+        configuration = protocol.planted_collision_configuration(make_rng(depth))
+        simulation = Simulation(protocol, configuration=configuration, rng=depth)
+        result = simulation.run_until_stabilized(max_interactions=400 * n * n, check_interval=n)
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_stabilizes_from_ghostly_configuration(self):
+        n = 10
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.ghostly_configuration(make_rng(3))
+        simulation = Simulation(protocol, configuration=configuration, rng=3)
+        result = simulation.run_until_stabilized(max_interactions=400 * n * n, check_interval=n)
+        assert result.stopped
+
+    def test_stabilizes_from_unique_names_without_reset(self):
+        n = 10
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.unique_names_configuration(make_rng(4))
+        simulation = Simulation(protocol, configuration=configuration, rng=4)
+        result = simulation.run_until_stabilized(max_interactions=200 * n * n, check_interval=n)
+        assert result.stopped
+        # Names never change when no collision is detected.
+        assert protocol.distinct_names(simulation.configuration) == n
+
+    def test_stabilizes_from_adversarial_configuration(self):
+        n = 8
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.random_configuration(make_rng(5))
+        simulation = Simulation(protocol, configuration=configuration, rng=5)
+        result = simulation.run_until_stabilized(max_interactions=600 * n * n, check_interval=n)
+        assert result.stopped
+
+    def test_stabilized_configuration_keeps_its_ranks(self):
+        n = 8
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.ranked_configuration(make_rng(6))
+        ranks_before = [state.rank for state in configuration]
+        simulation = Simulation(protocol, configuration=configuration, rng=6)
+        simulation.run(3000)
+        assert [state.rank for state in simulation.configuration] == ranks_before

@@ -1,0 +1,85 @@
+"""Tests for the synthetic-coin derandomization (Section 6)."""
+
+import pytest
+
+from repro.derandomize.synthetic_coin import (
+    ALG,
+    FLIP,
+    SyntheticCoinProtocol,
+    SyntheticCoinState,
+    expected_interactions_per_bit,
+)
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+
+
+class TestRoles:
+    def test_roles_toggle_every_interaction(self):
+        protocol = SyntheticCoinProtocol(4, bits_needed=0)
+        a = SyntheticCoinState(coin_role=ALG)
+        b = SyntheticCoinState(coin_role=FLIP)
+        protocol.transition(a, b, make_rng(0))
+        assert a.coin_role == FLIP and b.coin_role == ALG
+
+    def test_initiator_in_alg_with_flip_partner_harvests_one(self):
+        protocol = SyntheticCoinProtocol(4, bits_needed=4)
+        a = SyntheticCoinState(coin_role=ALG, bits_needed=4)
+        b = SyntheticCoinState(coin_role=FLIP, bits_needed=4)
+        protocol.transition(a, b, make_rng(0))
+        assert a.bits == "1" and b.bits == ""
+
+    def test_responder_in_alg_with_flip_partner_harvests_zero(self):
+        protocol = SyntheticCoinProtocol(4, bits_needed=4)
+        a = SyntheticCoinState(coin_role=FLIP, bits_needed=4)
+        b = SyntheticCoinState(coin_role=ALG, bits_needed=4)
+        protocol.transition(a, b, make_rng(0))
+        assert b.bits == "0" and a.bits == ""
+
+    def test_same_roles_harvest_nothing(self):
+        protocol = SyntheticCoinProtocol(4, bits_needed=4)
+        a = SyntheticCoinState(coin_role=ALG, bits_needed=4)
+        b = SyntheticCoinState(coin_role=ALG, bits_needed=4)
+        protocol.transition(a, b, make_rng(0))
+        assert a.bits == "" and b.bits == ""
+
+    def test_done_agent_stops_harvesting(self):
+        protocol = SyntheticCoinProtocol(4, bits_needed=1)
+        a = SyntheticCoinState(coin_role=ALG, bits="1", bits_needed=1)
+        b = SyntheticCoinState(coin_role=FLIP, bits_needed=1)
+        protocol.transition(a, b, make_rng(0))
+        assert a.bits == "1"
+
+
+class TestStatistics:
+    def test_all_agents_collect_their_bits(self):
+        protocol = SyntheticCoinProtocol(24, bits_needed=8)
+        simulation = Simulation(protocol, rng=0)
+        result = simulation.run_until_correct(max_interactions=200_000)
+        assert result.stopped
+        assert all(len(state.bits) == 8 for state in simulation.configuration)
+
+    def test_bits_are_roughly_unbiased(self):
+        protocol = SyntheticCoinProtocol(32, bits_needed=24)
+        simulation = Simulation(protocol, rng=1)
+        simulation.run_until_correct(max_interactions=400_000)
+        bits = "".join(protocol.harvested_bits(simulation.configuration))
+        fraction = bits.count("1") / len(bits)
+        assert 0.42 < fraction < 0.58
+
+    def test_harvest_rate_close_to_four_interactions_per_bit(self):
+        protocol = SyntheticCoinProtocol(32, bits_needed=16)
+        simulation = Simulation(protocol, rng=2)
+        simulation.run_until_correct(max_interactions=400_000)
+        total_interactions = sum(state.interactions for state in simulation.configuration)
+        total_bits = sum(len(state.bits) for state in simulation.configuration)
+        rate = total_interactions / total_bits
+        # Agents that finish early keep interacting, so the aggregate rate is
+        # biased upward; it must still be in the vicinity of 4.
+        assert 3.0 < rate < 8.0
+
+    def test_expected_interactions_constant(self):
+        assert expected_interactions_per_bit() == 4.0
+
+    def test_invalid_bits_needed(self):
+        with pytest.raises(ValueError):
+            SyntheticCoinProtocol(8, bits_needed=-1)

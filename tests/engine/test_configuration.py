@@ -1,0 +1,76 @@
+"""Unit tests for Configuration."""
+
+import pytest
+
+from repro.core.silent_n_state import SilentNStateState
+from repro.engine.configuration import Configuration
+
+
+def make_configuration(ranks):
+    return Configuration([SilentNStateState(rank) for rank in ranks])
+
+
+class TestBasics:
+    def test_len_and_population_size(self):
+        configuration = make_configuration([0, 1, 2])
+        assert len(configuration) == 3
+        assert configuration.population_size == 3
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration([])
+
+    def test_indexing_and_assignment(self):
+        configuration = make_configuration([0, 1])
+        assert configuration[1].rank == 1
+        configuration[1] = SilentNStateState(5)
+        assert configuration[1].rank == 5
+
+    def test_iteration_order(self):
+        configuration = make_configuration([3, 1, 2])
+        assert [state.rank for state in configuration] == [3, 1, 2]
+
+    def test_states_property_is_shared(self):
+        configuration = make_configuration([0, 1])
+        configuration.states[0].rank = 9
+        assert configuration[0].rank == 9
+
+
+class TestMultisetHelpers:
+    def test_signature_counts(self):
+        configuration = make_configuration([0, 0, 1])
+        counts = configuration.signature_counts()
+        assert counts[0] == 2 and counts[1] == 1
+
+    def test_signature_counts_custom_key(self):
+        configuration = make_configuration([0, 1, 2, 3])
+        counts = configuration.signature_counts(lambda state: state.rank % 2)
+        assert counts[0] == 2 and counts[1] == 2
+
+    def test_distinct_state_count(self):
+        assert make_configuration([0, 0, 1, 2]).distinct_state_count() == 3
+
+    def test_count_where_and_agents_where(self):
+        configuration = make_configuration([0, 5, 5, 2])
+        assert configuration.count_where(lambda s: s.rank == 5) == 2
+        assert configuration.agents_where(lambda s: s.rank == 5) == [1, 2]
+
+    def test_field_values_missing_field_yields_none(self):
+        configuration = make_configuration([0, 1])
+        assert configuration.field_values("rank") == [0, 1]
+        assert configuration.field_values("nonexistent") == [None, None]
+
+
+class TestCloning:
+    def test_clone_is_independent(self):
+        configuration = make_configuration([0, 1])
+        copy = configuration.clone()
+        copy[0].rank = 7
+        assert configuration[0].rank == 0
+
+    def test_from_states(self):
+        configuration = Configuration.from_states(SilentNStateState(i) for i in range(4))
+        assert len(configuration) == 4
+
+    def test_repr_mentions_population_size(self):
+        assert "n=3" in repr(make_configuration([0, 1, 2]))

@@ -1,0 +1,68 @@
+"""Unit tests for instrumentation hooks."""
+
+import pytest
+
+from repro.core.fratricide import FratricideLeaderElection
+from repro.engine.hooks import CountingHook, InteractionHook, TraceRecorder
+from repro.engine.simulation import Simulation
+
+
+class TestCountingHook:
+    def test_counts_matching_interactions(self):
+        protocol = FratricideLeaderElection(8)
+        # Hooks observe the configuration *after* the transition, so count
+        # interactions in which the initiator is (still) a leader.
+        hook = CountingHook(lambda a, b: a.leader or b.leader)
+        simulation = Simulation(protocol, rng=0, hooks=[hook])
+        simulation.run(200)
+        assert hook.count > 0
+
+    def test_zero_when_predicate_never_holds(self):
+        protocol = FratricideLeaderElection(8)
+        hook = CountingHook(lambda a, b: False)
+        simulation = Simulation(protocol, rng=0, hooks=[hook])
+        simulation.run(50)
+        assert hook.count == 0
+
+
+class TestTraceRecorder:
+    def test_records_at_interval(self):
+        protocol = FratricideLeaderElection(8)
+        recorder = TraceRecorder(lambda config: protocol.leader_count(config), every=10)
+        simulation = Simulation(protocol, rng=0, hooks=[recorder])
+        simulation.run(100)
+        indices, values = recorder.as_series()
+        assert indices == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        assert all(1 <= value <= 8 for value in values)
+
+    def test_leader_count_is_monotone_nonincreasing(self):
+        protocol = FratricideLeaderElection(16)
+        recorder = TraceRecorder(lambda config: protocol.leader_count(config), every=5)
+        simulation = Simulation(protocol, rng=1, hooks=[recorder])
+        simulation.run(2000)
+        _, values = recorder.as_series()
+        assert all(later <= earlier for earlier, later in zip(values, values[1:]))
+
+    def test_run_end_appends_final_sample(self):
+        protocol = FratricideLeaderElection(8)
+        recorder = TraceRecorder(lambda config: protocol.leader_count(config), every=1000)
+        simulation = Simulation(protocol, rng=0, hooks=[recorder])
+        simulation.run_until_correct(max_interactions=5000)
+        indices, _ = recorder.as_series()
+        assert indices[-1] == simulation.interactions
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(lambda config: 0.0, every=0)
+
+    def test_empty_series(self):
+        recorder = TraceRecorder(lambda config: 0.0)
+        assert recorder.as_series() == ([], [])
+
+
+class TestBaseHook:
+    def test_base_hook_is_a_no_op(self):
+        protocol = FratricideLeaderElection(4)
+        simulation = Simulation(protocol, rng=0, hooks=[InteractionHook()])
+        simulation.run(10)
+        assert simulation.interactions == 10

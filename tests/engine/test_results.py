@@ -1,0 +1,65 @@
+"""Unit tests for result records."""
+
+import math
+
+import pytest
+
+from repro.engine.results import SimulationResult, TrialStatistics
+
+
+class TestSimulationResult:
+    def test_parallel_time(self):
+        result = SimulationResult(n=10, interactions=250, stopped=True, reason="stabilized")
+        assert result.parallel_time == 25.0
+
+    def test_extra_dict_defaults_empty(self):
+        result = SimulationResult(n=4, interactions=0, stopped=False, reason="cap")
+        assert result.extra == {}
+
+
+class TestTrialStatistics:
+    def test_mean_std(self):
+        stats = TrialStatistics.from_values("x", 8, [1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_single_value_std_is_zero(self):
+        stats = TrialStatistics.from_values("x", 8, [3.0])
+        assert stats.std == 0.0 and stats.stderr == 0.0
+
+    def test_min_max(self):
+        stats = TrialStatistics.from_values("x", 8, [5.0, 1.0, 9.0])
+        assert stats.minimum == 1.0 and stats.maximum == 9.0
+
+    def test_quantile_endpoints(self):
+        stats = TrialStatistics.from_values("x", 8, [1.0, 2.0, 3.0])
+        assert stats.quantile(0.0) == 1.0
+        assert stats.quantile(1.0) == 3.0
+        assert stats.quantile(0.5) == 2.0
+
+    def test_quantile_interpolates(self):
+        stats = TrialStatistics.from_values("x", 8, [0.0, 10.0])
+        assert stats.quantile(0.25) == pytest.approx(2.5)
+
+    def test_quantile_out_of_range(self):
+        stats = TrialStatistics.from_values("x", 8, [1.0])
+        with pytest.raises(ValueError):
+            stats.quantile(1.5)
+
+    def test_empty_values_give_nan(self):
+        stats = TrialStatistics(label="x", n=8, trials=0, values=[])
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.quantile(0.5))
+        assert math.isnan(stats.fraction_exceeding(1.0))
+
+    def test_fraction_exceeding(self):
+        stats = TrialStatistics.from_values("x", 8, [1.0, 2.0, 3.0, 4.0])
+        assert stats.fraction_exceeding(2.5) == 0.5
+
+    def test_confidence_interval_contains_mean(self):
+        stats = TrialStatistics.from_values("x", 8, [1.0, 2.0, 3.0, 4.0, 5.0])
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+
+    def test_repr_contains_label(self):
+        assert "label='x'" in repr(TrialStatistics.from_values("x", 8, [1.0]))

@@ -1,0 +1,77 @@
+"""Unit tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import geometric_interactions, make_rng, random_bits, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_is_reproducible(self):
+        assert make_rng(7).integers(0, 100, 10).tolist() == make_rng(7).integers(0, 100, 10).tolist()
+
+    def test_passthrough_of_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_streams_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 1000, 20).tolist() != b.integers(0, 1000, 20).tolist()
+
+    def test_spawn_is_reproducible(self):
+        first = [r.integers(0, 1000) for r in spawn_rngs(3, 4)]
+        second = [r.integers(0, 1000) for r in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(children) == 3
+
+
+class TestRandomBits:
+    def test_length_and_alphabet(self):
+        bits = random_bits(make_rng(0), 64)
+        assert len(bits) == 64 and set(bits) <= {"0", "1"}
+
+    def test_zero_length(self):
+        assert random_bits(make_rng(0), 0) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_bits(make_rng(0), -1)
+
+    def test_roughly_unbiased(self):
+        bits = random_bits(make_rng(1), 4000)
+        assert 0.45 < bits.count("1") / len(bits) < 0.55
+
+
+class TestGeometric:
+    def test_support_is_at_least_one(self):
+        rng = make_rng(0)
+        assert all(geometric_interactions(rng, 0.5) >= 1 for _ in range(100))
+
+    def test_probability_one_gives_one(self):
+        assert geometric_interactions(make_rng(0), 1.0) == 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_interactions(make_rng(0), 0.0)
+        with pytest.raises(ValueError):
+            geometric_interactions(make_rng(0), 1.5)
+
+    def test_mean_matches_inverse_probability(self):
+        rng = make_rng(2)
+        samples = [geometric_interactions(rng, 0.2) for _ in range(4000)]
+        assert abs(sum(samples) / len(samples) - 5.0) < 0.4

@@ -1,0 +1,60 @@
+"""Unit tests for the uniform ordered-pair scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.engine.scheduler import UniformPairScheduler
+
+
+class TestValidity:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            UniformPairScheduler(1)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            UniformPairScheduler(4, batch_size=0)
+
+    def test_pairs_are_distinct_and_in_range(self):
+        scheduler = UniformPairScheduler(7, rng=0, batch_size=16)
+        for i, j in scheduler.pairs(500):
+            assert 0 <= i < 7 and 0 <= j < 7
+            assert i != j
+
+    def test_pair_batch_shape_and_distinctness(self):
+        scheduler = UniformPairScheduler(5, rng=1)
+        initiators, responders = scheduler.pair_batch(1000)
+        assert len(initiators) == len(responders) == 1000
+        assert np.all(initiators != responders)
+
+
+class TestUniformity:
+    def test_all_ordered_pairs_occur(self):
+        n = 4
+        scheduler = UniformPairScheduler(n, rng=2, batch_size=64)
+        seen = set(scheduler.pairs(3000))
+        assert len(seen) == n * (n - 1)
+
+    def test_marginal_distribution_is_roughly_uniform(self):
+        n = 5
+        scheduler = UniformPairScheduler(n, rng=3)
+        counts = np.zeros(n)
+        samples = 20000
+        for i, j in scheduler.pairs(samples):
+            counts[i] += 1
+            counts[j] += 1
+        expected = 2 * samples / n
+        assert np.all(np.abs(counts - expected) < 0.1 * expected)
+
+    def test_reproducibility_with_same_seed(self):
+        first = list(UniformPairScheduler(6, rng=42).pairs(50))
+        second = list(UniformPairScheduler(6, rng=42).pairs(50))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = list(UniformPairScheduler(6, rng=1).pairs(50))
+        second = list(UniformPairScheduler(6, rng=2).pairs(50))
+        assert first != second
+
+    def test_n_property(self):
+        assert UniformPairScheduler(9).n == 9

@@ -1,0 +1,81 @@
+"""Unit tests for the AgentState base class."""
+
+import pytest
+
+from repro.engine.state import AgentState, _freeze
+
+
+class Example(AgentState):
+    def __init__(self, rank=0, tags=None, _cache=None):
+        self.rank = rank
+        self.tags = tags if tags is not None else []
+        self._cache = _cache
+
+
+class TestFields:
+    def test_fields_excludes_private_attributes(self):
+        state = Example(rank=3, _cache="hidden")
+        assert state.fields() == {"rank": 3, "tags": []}
+
+    def test_fields_reflect_mutation(self):
+        state = Example(rank=1)
+        state.rank = 7
+        assert state.fields()["rank"] == 7
+
+
+class TestSignatureAndEquality:
+    def test_equal_states_have_equal_signatures(self):
+        assert Example(rank=2, tags=[1, 2]).signature() == Example(rank=2, tags=[1, 2]).signature()
+
+    def test_different_states_have_different_signatures(self):
+        assert Example(rank=2).signature() != Example(rank=3).signature()
+
+    def test_private_fields_do_not_affect_signature(self):
+        assert Example(rank=2, _cache="a").signature() == Example(rank=2, _cache="b").signature()
+
+    def test_equality_and_hash(self):
+        a, b = Example(rank=5), Example(rank=5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Example(rank=6)
+
+    def test_equality_against_non_state(self):
+        assert Example(rank=1) != 42
+
+    def test_different_types_are_not_equal(self):
+        class Other(AgentState):
+            def __init__(self):
+                self.rank = 1
+
+        assert Example(rank=1) != Other()
+
+    def test_signature_is_hashable_with_nested_containers(self):
+        state = Example(rank=1, tags=[{"a": 1}, {2, 3}, (4, [5])])
+        hash(state.signature())
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        state = Example(rank=1, tags=[1, 2])
+        copy = state.clone()
+        copy.tags.append(3)
+        assert state.tags == [1, 2]
+
+    def test_clone_preserves_equality(self):
+        state = Example(rank=4, tags=["x"])
+        assert state.clone() == state
+
+
+class TestFreeze:
+    def test_freeze_dict_is_order_insensitive(self):
+        assert _freeze({"a": 1, "b": 2}) == _freeze({"b": 2, "a": 1})
+
+    def test_freeze_handles_nested_state(self):
+        inner = Example(rank=9)
+        assert _freeze([inner]) == (inner.signature(),)
+
+
+class TestRepr:
+    def test_repr_contains_fields(self):
+        text = repr(Example(rank=3))
+        assert "rank=3" in text and "Example" in text

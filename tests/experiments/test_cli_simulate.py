@@ -1,0 +1,45 @@
+"""Tests for the ``repro simulate`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import SIMULATABLE_PROTOCOLS, main
+
+
+class TestSimulateCommand:
+    @pytest.mark.parametrize("protocol", ["silent-n-state", "optimal-silent", "fratricide"])
+    def test_simulate_stabilizes_and_reports(self, protocol, capsys):
+        code = main(["simulate", protocol, "--n", "12", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "stabilized:    True" in output
+        assert "parallel time:" in output
+
+    def test_simulate_sublinear_with_depth(self, capsys):
+        code = main(["simulate", "sublinear", "--n", "10", "--seed", "2", "--depth", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Sublinear-Time-SSR" in output
+        assert "ranks:" in output
+
+    def test_simulate_clean_start(self, capsys):
+        code = main(["simulate", "optimal-silent", "--n", "10", "--seed", "3", "--clean"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "start:         clean" in output
+
+    def test_simulate_reports_leader_for_ranking_protocols(self, capsys):
+        main(["simulate", "silent-n-state", "--n", "8", "--seed", "0"])
+        output = capsys.readouterr().out
+        assert "ranks:" in output
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "bogus"])
+
+    def test_protocol_list_is_exposed(self):
+        assert set(SIMULATABLE_PROTOCOLS) == {
+            "silent-n-state",
+            "optimal-silent",
+            "sublinear",
+            "fratricide",
+        }

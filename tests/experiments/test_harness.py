@@ -1,0 +1,86 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.core.fratricide import FratricideLeaderElection
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.experiments.harness import (
+    ExperimentSpec,
+    measure_parallel_times,
+    sweep_parallel_time,
+)
+
+
+class TestMeasureParallelTimes:
+    def test_returns_requested_trial_count(self):
+        stats = measure_parallel_times(
+            lambda: FratricideLeaderElection(8), trials=4, seed=0, stop="correct"
+        )
+        assert stats.trials == 4 and stats.n == 8
+
+    def test_reproducible_with_same_seed(self):
+        first = measure_parallel_times(
+            lambda: FratricideLeaderElection(8), trials=3, seed=1, stop="correct"
+        )
+        second = measure_parallel_times(
+            lambda: FratricideLeaderElection(8), trials=3, seed=1, stop="correct"
+        )
+        assert first.values == second.values
+
+    def test_configuration_factory(self):
+        stats = measure_parallel_times(
+            lambda: SilentNStateSSR(6),
+            trials=2,
+            seed=0,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+        )
+        assert all(value > 0 for value in stats.values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            measure_parallel_times(lambda: FratricideLeaderElection(8), trials=0)
+        with pytest.raises(ValueError):
+            measure_parallel_times(lambda: FratricideLeaderElection(8), trials=1, stop="bogus")
+
+
+class TestSweep:
+    def test_one_result_per_population_size(self):
+        results = sweep_parallel_time(
+            [6, 12], lambda n: FratricideLeaderElection(n), trials=2, seed=0, stop="correct"
+        )
+        assert [stats.n for stats in results] == [6, 12]
+
+    def test_max_interactions_factory_is_applied(self):
+        results = sweep_parallel_time(
+            [6],
+            lambda n: FratricideLeaderElection(n),
+            trials=1,
+            seed=0,
+            stop="correct",
+            max_interactions_factory=lambda n: 10 * n * n,
+        )
+        assert results[0].mean <= 10 * 6
+
+
+class TestExperimentSpec:
+    def _spec(self):
+        return ExperimentSpec(
+            identifier="demo",
+            title="Demo",
+            paper_reference="none",
+            runner=lambda trials=1, bonus=0: [{"trials": trials, "bonus": bonus}],
+            quick_kwargs={"trials": 1},
+            full_kwargs={"trials": 5},
+        )
+
+    def test_quick_and_full_scales(self):
+        spec = self._spec()
+        assert spec.run("quick")[0]["trials"] == 1
+        assert spec.run("full")[0]["trials"] == 5
+
+    def test_overrides(self):
+        assert self._spec().run("quick", bonus=7)[0]["bonus"] == 7
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            self._spec().run("medium")

@@ -1,0 +1,65 @@
+"""Tests for the experiment registry and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_all_design_doc_experiments_are_registered(self):
+        expected = {
+            "table1",
+            "silent_n_state_quadratic",
+            "silent_lower_bound",
+            "log_lower_bound",
+            "epidemic",
+            "roll_call",
+            "bounded_epidemic",
+            "binary_tree_assignment",
+            "optimal_silent",
+            "propagate_reset",
+            "sublinear_tradeoff",
+            "history_tree_safety",
+            "state_complexity",
+            "synthetic_coin",
+        }
+        assert expected <= set(list_experiments())
+
+    def test_every_spec_has_quick_and_full_kwargs(self):
+        for spec in EXPERIMENTS.values():
+            assert isinstance(spec.quick_kwargs, dict)
+            assert isinstance(spec.full_kwargs, dict)
+            assert spec.title and spec.paper_reference
+
+    def test_get_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("nonexistent")
+
+    def test_list_is_sorted(self):
+        identifiers = list_experiments()
+        assert identifiers == sorted(identifiers)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "epidemic" in output
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            ["run", "log_lower_bound", "--scale", "quick", "--seed", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "log_lower_bound" in output and "rows in" in output
+
+    def test_run_markdown_output(self, capsys):
+        code = main(["run", "fratricide_failure", "--markdown"])
+        assert code == 0
+        assert "|" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "does_not_exist"])

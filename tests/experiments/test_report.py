@@ -1,0 +1,45 @@
+"""Tests for report rendering."""
+
+from repro.experiments.report import format_table, rows_to_markdown
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_contains_all_columns_and_values(self):
+        rows = [{"n": 8, "time": 1.5}, {"n": 16, "time": 3.25}]
+        text = format_table(rows)
+        assert "n" in text and "time" in text
+        assert "8" in text and "3.25" in text
+
+    def test_title_is_included(self):
+        assert format_table([{"a": 1}], title="My table").startswith("My table")
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000123456, "y": 123456.0, "z": 0.5}])
+        assert "0.000123" in text and "1.23e+05" in text and "0.500" in text
+
+
+class TestMarkdown:
+    def test_empty(self):
+        assert rows_to_markdown([]) == "(no rows)"
+
+    def test_structure(self):
+        rows = [{"n": 8, "time": 1.0}]
+        markdown = rows_to_markdown(rows)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| n | time |".replace(" |", " |"))
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert "| 8 |" in lines[2]

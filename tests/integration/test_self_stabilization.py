@@ -1,0 +1,120 @@
+"""Integration tests: end-to-end self-stabilization of every ranking protocol.
+
+Each test starts from a nasty configuration (adversarial states, mid-run
+transient faults, or the specific worst cases the paper analyses), runs the
+full engine, and checks the protocol ends in a correct, stable ranking --
+the definition of solving SSR.
+"""
+
+import pytest
+
+from repro.adversary.faults import inject_transient_faults
+from repro.core.problems import has_unique_leader, leaders_from_ranks
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from tests.conftest import make_optimal_silent, make_sublinear
+
+
+class TestSilentNStateEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_adversarial_start_reaches_valid_ranking(self, seed):
+        protocol = SilentNStateSSR(12)
+        configuration = protocol.random_configuration(make_rng(seed))
+        simulation = Simulation(protocol, configuration=configuration, rng=seed)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        ranks = sorted(state.rank for state in simulation.configuration)
+        assert ranks == list(range(12))
+
+    def test_repeated_fault_bursts(self):
+        protocol = SilentNStateSSR(10)
+        simulation = Simulation(protocol, rng=0)
+        for burst in range(3):
+            inject_transient_faults(protocol, simulation.configuration, count=5, rng=burst)
+            result = simulation.run_until_stabilized()
+            assert result.stopped
+            assert protocol.is_correct(simulation.configuration)
+
+
+class TestOptimalSilentEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_adversarial_start_reaches_valid_ranking_and_leader(self, seed):
+        protocol = make_optimal_silent(14)
+        configuration = protocol.random_configuration(make_rng(100 + seed))
+        simulation = Simulation(protocol, configuration=configuration, rng=seed)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        ranks = sorted(state.rank for state in simulation.configuration)
+        assert ranks == list(range(1, 15))
+        # Ranking solves leader election: exactly one agent has rank 1.
+        assert len(leaders_from_ranks(simulation.configuration)) == 1
+        assert has_unique_leader(simulation.configuration)
+
+    def test_fault_burst_after_stabilization(self):
+        protocol = make_optimal_silent(12)
+        simulation = Simulation(protocol, rng=1)
+        simulation.run_until_stabilized()
+        inject_transient_faults(protocol, simulation.configuration, count=6, rng=2)
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_stability_horizon_after_stabilization(self):
+        protocol = make_optimal_silent(10)
+        simulation = Simulation(protocol, rng=3)
+        simulation.run_until_stabilized()
+        ranks = sorted(state.rank for state in simulation.configuration)
+        simulation.run(20_000)
+        assert sorted(state.rank for state in simulation.configuration) == ranks
+
+
+class TestSublinearEndToEnd:
+    def test_planted_collision_recovers_with_unique_names_and_ranks(self):
+        n = 12
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.planted_collision_configuration(make_rng(7))
+        simulation = Simulation(protocol, configuration=configuration, rng=7)
+        result = simulation.run_until_stabilized(max_interactions=600 * n * n, check_interval=n)
+        assert result.stopped
+        assert protocol.distinct_names(simulation.configuration) == n
+        ranks = sorted(state.rank for state in simulation.configuration)
+        assert ranks == list(range(1, n + 1))
+
+    def test_fault_burst_after_stabilization(self):
+        n = 10
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.ranked_configuration(make_rng(8))
+        simulation = Simulation(protocol, configuration=configuration, rng=8)
+        inject_transient_faults(protocol, simulation.configuration, count=3, rng=9)
+        result = simulation.run_until_stabilized(max_interactions=800 * n * n, check_interval=n)
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_ranking_agrees_with_lexicographic_order_of_names(self):
+        n = 10
+        protocol = make_sublinear(n, depth=1)
+        configuration = protocol.unique_names_configuration(make_rng(10))
+        simulation = Simulation(protocol, configuration=configuration, rng=10)
+        result = simulation.run_until_stabilized(max_interactions=400 * n * n, check_interval=n)
+        assert result.stopped
+        ordered_names = sorted(state.name for state in simulation.configuration)
+        for state in simulation.configuration:
+            assert state.rank == ordered_names.index(state.name) + 1
+
+
+class TestCrossProtocolComparison:
+    def test_optimal_silent_is_faster_than_baseline_at_moderate_size(self):
+        """The headline Table 1 comparison, at a size where it already shows."""
+        n = 48
+        from repro.core.silent_n_state import simulate_silent_n_state
+
+        rng = make_rng(11)
+        baseline_times = [simulate_silent_n_state(n, rng=rng) / n for _ in range(5)]
+        optimal_times = []
+        for seed in range(5):
+            protocol = make_optimal_silent(n)
+            configuration = protocol.random_configuration(make_rng(200 + seed))
+            simulation = Simulation(protocol, configuration=configuration, rng=seed)
+            optimal_times.append(simulation.run_until_stabilized().parallel_time)
+        assert sum(optimal_times) / 5 < sum(baseline_times) / 5

@@ -1,0 +1,115 @@
+"""Tests for the bounded epidemic / level propagation process (Lemmas 2.10, 2.11)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import expected_bounded_epidemic_time
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from repro.processes.bounded_epidemic import (
+    UNREACHED,
+    BoundedEpidemicProtocol,
+    simulate_bounded_epidemic_levels,
+    simulate_level_hitting_times,
+)
+
+
+class TestProtocol:
+    def test_initial_levels(self):
+        protocol = BoundedEpidemicProtocol(6, source=0, target=3, k=1)
+        configuration = protocol.initial_configuration(make_rng(0))
+        assert configuration[0].level == 0
+        assert all(configuration[i].level == UNREACHED for i in range(1, 6))
+
+    def test_transition_propagates_levels(self):
+        protocol = BoundedEpidemicProtocol(4, k=1)
+        configuration = protocol.initial_configuration(make_rng(0))
+        source, other = configuration[0], configuration[2]
+        protocol.transition(other, source, make_rng(0))
+        assert other.level == 1
+
+    def test_levels_never_increase(self):
+        protocol = BoundedEpidemicProtocol(10, k=2)
+        simulation = Simulation(protocol, rng=0)
+        previous = [state.level for state in simulation.configuration]
+        for _ in range(300):
+            simulation.step()
+            current = [state.level for state in simulation.configuration]
+            assert all(c <= p for c, p in zip(current, previous))
+            previous = current
+
+    def test_correctness_is_target_level(self):
+        protocol = BoundedEpidemicProtocol(12, source=0, target=5, k=2)
+        simulation = Simulation(protocol, rng=1)
+        result = simulation.run_until_correct()
+        assert result.stopped
+        assert simulation.configuration[5].level <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BoundedEpidemicProtocol(6, source=1, target=1)
+        with pytest.raises(ValueError):
+            BoundedEpidemicProtocol(6, k=0)
+        with pytest.raises(ValueError):
+            BoundedEpidemicProtocol(6, source=7, target=1)
+
+
+class TestHittingTimes:
+    def test_hitting_times_are_monotone_in_k(self):
+        hitting = simulate_level_hitting_times(64, max_level=5, rng=make_rng(0))
+        for k in range(2, 6):
+            assert hitting[k] <= hitting[k - 1]
+
+    def test_returns_all_requested_levels(self):
+        hitting = simulate_level_hitting_times(32, max_level=4, rng=make_rng(1))
+        assert set(hitting) == {1, 2, 3, 4}
+
+    def test_tau_1_mean_is_about_half_n(self):
+        n = 32
+        rng = make_rng(2)
+        trials = 100
+        mean_parallel = (
+            sum(simulate_bounded_epidemic_levels(n, 1, rng) for _ in range(trials)) / trials / n
+        )
+        # E[tau_1] = (n - 1) / 2 parallel time (direct meeting of an ordered pair).
+        assert abs(mean_parallel - (n - 1) / 2) / ((n - 1) / 2) < 0.3
+
+    def test_tau_2_respects_lemma_2_10_bound(self):
+        n = 100
+        rng = make_rng(3)
+        trials = 40
+        mean_parallel = (
+            sum(simulate_bounded_epidemic_levels(n, 2, rng) for _ in range(trials)) / trials / n
+        )
+        assert mean_parallel <= expected_bounded_epidemic_time(n, 2) * 1.5
+
+    def test_log_level_respects_lemma_2_11_bound(self):
+        n = 128
+        k = 3 * math.ceil(math.log2(n))
+        rng = make_rng(4)
+        trials = 30
+        mean_parallel = (
+            sum(simulate_bounded_epidemic_levels(n, k, rng) for _ in range(trials)) / trials / n
+        )
+        # Lemma 2.11: tau_{3 log2 n} <= 3 ln n with high probability.
+        assert mean_parallel <= 3 * math.log(n) * 1.5
+
+    def test_larger_k_is_faster_on_average(self):
+        n = 64
+        rng = make_rng(5)
+        trials = 40
+        totals = {k: 0 for k in (1, 3)}
+        for _ in range(trials):
+            hitting = simulate_level_hitting_times(n, max_level=3, rng=rng)
+            totals[1] += hitting[1]
+            totals[3] += hitting[3]
+        assert totals[3] < totals[1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_level_hitting_times(1, max_level=1)
+        with pytest.raises(ValueError):
+            simulate_level_hitting_times(8, max_level=0)
+        with pytest.raises(ValueError):
+            simulate_level_hitting_times(8, max_level=2, source=3, target=3)

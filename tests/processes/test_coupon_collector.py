@@ -1,0 +1,60 @@
+"""Tests for the coupon-collector processes."""
+
+import math
+
+import pytest
+
+from repro.engine.rng import make_rng
+from repro.processes.coupon_collector import (
+    expected_all_agents_interact_time,
+    expected_coupon_collector_draws,
+    simulate_all_agents_interact,
+    simulate_coupon_collector,
+)
+
+
+class TestClassicCouponCollector:
+    def test_single_coupon(self):
+        assert simulate_coupon_collector(1, rng=0) >= 1
+
+    def test_mean_matches_n_harmonic_n(self):
+        n = 50
+        rng = make_rng(0)
+        trials = 300
+        mean = sum(simulate_coupon_collector(n, rng) for _ in range(trials)) / trials
+        predicted = expected_coupon_collector_draws(n)
+        assert abs(mean - predicted) / predicted < 0.1
+
+    def test_at_least_n_draws(self):
+        rng = make_rng(1)
+        assert all(simulate_coupon_collector(20, rng) >= 20 for _ in range(50))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            simulate_coupon_collector(0)
+        with pytest.raises(ValueError):
+            expected_coupon_collector_draws(0)
+
+
+class TestAllAgentsInteract:
+    def test_two_agents_need_one_interaction(self):
+        assert simulate_all_agents_interact(2, rng=0) == 1
+
+    def test_at_least_half_n_interactions(self):
+        rng = make_rng(0)
+        assert all(simulate_all_agents_interact(30, rng) >= 15 for _ in range(30))
+
+    def test_mean_is_about_half_n_ln_n(self):
+        n = 200
+        rng = make_rng(1)
+        trials = 200
+        mean = sum(simulate_all_agents_interact(n, rng) for _ in range(trials)) / trials
+        predicted = expected_all_agents_interact_time(n)
+        # The asymptotic 0.5 n ln n ignores lower-order terms; allow 35% slack.
+        assert abs(mean - predicted) / predicted < 0.35
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            simulate_all_agents_interact(1)
+        with pytest.raises(ValueError):
+            expected_all_agents_interact_time(1)

@@ -1,0 +1,105 @@
+"""Tests for the two-way epidemic process (Lemma 2.7 / Corollary 2.8)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import expected_epidemic_interactions
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from repro.processes.epidemic import TwoWayEpidemicProtocol, simulate_epidemic_interactions
+
+
+class TestProtocol:
+    def test_initial_configuration_has_one_infected(self):
+        protocol = TwoWayEpidemicProtocol(10)
+        configuration = protocol.initial_configuration(make_rng(0))
+        assert protocol.infected_count(configuration) == 1
+
+    def test_transition_spreads_infection_both_ways(self):
+        protocol = TwoWayEpidemicProtocol(4)
+        configuration = protocol.initial_configuration(make_rng(0))
+        infected = configuration[0]
+        healthy = configuration[1]
+        protocol.transition(healthy, infected, make_rng(0))
+        assert healthy.infected and infected.infected
+
+    def test_transition_between_healthy_agents_is_null(self):
+        protocol = TwoWayEpidemicProtocol(4)
+        configuration = protocol.initial_configuration(make_rng(0))
+        a, b = configuration[1], configuration[2]
+        protocol.transition(a, b, make_rng(0))
+        assert not a.infected and not b.infected
+
+    def test_monotonicity_infected_count_never_decreases(self):
+        protocol = TwoWayEpidemicProtocol(12)
+        simulation = Simulation(protocol, rng=1)
+        previous = protocol.infected_count(simulation.configuration)
+        for _ in range(300):
+            simulation.step()
+            current = protocol.infected_count(simulation.configuration)
+            assert current >= previous
+            previous = current
+
+    def test_completes_and_is_correct(self):
+        protocol = TwoWayEpidemicProtocol(16)
+        simulation = Simulation(protocol, rng=2)
+        result = simulation.run_until_correct()
+        assert result.stopped
+        assert protocol.infected_count(simulation.configuration) == 16
+
+    def test_invalid_initially_infected(self):
+        with pytest.raises(ValueError):
+            TwoWayEpidemicProtocol(4, initially_infected=0)
+        with pytest.raises(ValueError):
+            TwoWayEpidemicProtocol(4, initially_infected=5)
+
+    def test_state_count(self):
+        assert TwoWayEpidemicProtocol(4).theoretical_state_count() == 2
+
+
+class TestFastSimulator:
+    def test_zero_time_when_everyone_infected(self):
+        assert simulate_epidemic_interactions(8, rng=0, initially_infected=8) == 0
+
+    def test_single_agent_population(self):
+        assert simulate_epidemic_interactions(1, rng=0) == 0
+
+    def test_mean_matches_lemma_2_7(self):
+        n = 128
+        rng = make_rng(0)
+        trials = 300
+        mean = sum(simulate_epidemic_interactions(n, rng) for _ in range(trials)) / trials
+        predicted = expected_epidemic_interactions(n)
+        assert abs(mean - predicted) / predicted < 0.1
+
+    def test_whp_bound_of_corollary_2_8(self):
+        n = 64
+        rng = make_rng(1)
+        threshold = 3 * n * math.log(n)
+        trials = 300
+        exceed = sum(
+            1 for _ in range(trials) if simulate_epidemic_interactions(n, rng) > threshold
+        )
+        # Corollary 2.8 promises probability < 1/n^2 = 0.00024; allow slack.
+        assert exceed / trials < 0.02
+
+    def test_agent_level_and_fast_simulator_agree_in_distribution(self):
+        n = 24
+        rng = make_rng(2)
+        trials = 60
+        fast = [simulate_epidemic_interactions(n, rng) for _ in range(trials)]
+        agent_level = []
+        for seed in range(trials):
+            protocol = TwoWayEpidemicProtocol(n)
+            simulation = Simulation(protocol, rng=seed)
+            agent_level.append(simulation.run_until_correct(check_interval=1).interactions)
+        fast_mean = sum(fast) / trials
+        agent_mean = sum(agent_level) / trials
+        assert abs(fast_mean - agent_mean) / agent_mean < 0.25
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_epidemic_interactions(0)
+        with pytest.raises(ValueError):
+            simulate_epidemic_interactions(4, initially_infected=0)

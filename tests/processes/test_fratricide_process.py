@@ -1,0 +1,46 @@
+"""Tests for the fratricide process sampler (Lemma 4.2)."""
+
+import pytest
+
+from repro.analysis.theory import expected_fratricide_interactions
+from repro.engine.rng import make_rng
+from repro.processes.fratricide_process import simulate_fratricide_interactions
+
+
+class TestFratricideProcess:
+    def test_single_initial_leader_takes_zero_interactions(self):
+        assert simulate_fratricide_interactions(10, initial_leaders=1, rng=0) == 0
+
+    def test_two_leaders_take_at_least_one_interaction(self):
+        assert simulate_fratricide_interactions(10, initial_leaders=2, rng=0) >= 1
+
+    def test_default_starts_from_all_leaders(self):
+        rng = make_rng(0)
+        full = simulate_fratricide_interactions(20, rng=rng)
+        assert full >= 19  # at least n - 1 demotions are needed
+
+    def test_mean_matches_lemma_4_2(self):
+        n = 64
+        rng = make_rng(1)
+        trials = 200
+        mean = sum(simulate_fratricide_interactions(n, rng=rng) for _ in range(trials)) / trials
+        predicted = expected_fratricide_interactions(n)
+        assert abs(mean - predicted) / predicted < 0.15
+
+    def test_expected_value_is_about_n_squared(self):
+        n = 100
+        predicted = expected_fratricide_interactions(n)
+        assert 0.8 * n * n < predicted < 1.1 * n * n
+
+    def test_more_initial_leaders_take_longer_in_expectation(self):
+        assert expected_fratricide_interactions(50, 10) < expected_fratricide_interactions(50, 50)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_fratricide_interactions(1)
+        with pytest.raises(ValueError):
+            simulate_fratricide_interactions(10, initial_leaders=0)
+        with pytest.raises(ValueError):
+            simulate_fratricide_interactions(10, initial_leaders=11)
+        with pytest.raises(ValueError):
+            expected_fratricide_interactions(10, 0)

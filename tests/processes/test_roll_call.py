@@ -1,0 +1,80 @@
+"""Tests for the roll-call process (Lemma 2.9)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import expected_roll_call_interactions
+from repro.engine.rng import make_rng
+from repro.engine.simulation import Simulation
+from repro.processes.roll_call import RollCallProtocol, simulate_roll_call_interactions
+
+
+class TestProtocol:
+    def test_initial_rosters_are_singletons(self):
+        protocol = RollCallProtocol(6)
+        configuration = protocol.initial_configuration(make_rng(0))
+        assert all(state.roster == frozenset({state.agent_id}) for state in configuration)
+
+    def test_transition_takes_union(self):
+        protocol = RollCallProtocol(6)
+        configuration = protocol.initial_configuration(make_rng(0))
+        a, b = configuration[0], configuration[1]
+        protocol.transition(a, b, make_rng(0))
+        assert a.roster == b.roster == frozenset({0, 1})
+
+    def test_roster_sizes_never_decrease(self):
+        protocol = RollCallProtocol(10)
+        simulation = Simulation(protocol, rng=0)
+        previous = protocol.minimum_roster_size(simulation.configuration)
+        for _ in range(200):
+            simulation.step()
+            current = protocol.minimum_roster_size(simulation.configuration)
+            assert current >= previous
+            previous = current
+
+    def test_completes_with_full_rosters(self):
+        protocol = RollCallProtocol(12)
+        simulation = Simulation(protocol, rng=1)
+        result = simulation.run_until_correct()
+        assert result.stopped
+        assert all(len(state.roster) == 12 for state in simulation.configuration)
+
+
+class TestFastSimulator:
+    def test_single_agent(self):
+        assert simulate_roll_call_interactions(1, rng=0) == 0
+
+    def test_two_agents_take_one_interaction(self):
+        assert simulate_roll_call_interactions(2, rng=0) == 1
+
+    def test_mean_matches_lemma_2_9(self):
+        n = 128
+        rng = make_rng(0)
+        trials = 60
+        mean = sum(simulate_roll_call_interactions(n, rng) for _ in range(trials)) / trials
+        predicted = expected_roll_call_interactions(n)
+        assert abs(mean - predicted) / predicted < 0.15
+
+    def test_roll_call_is_about_1_5x_epidemic(self):
+        n = 128
+        rng = make_rng(1)
+        trials = 60
+        mean = sum(simulate_roll_call_interactions(n, rng) for _ in range(trials)) / trials
+        epidemic = (n - 1) * sum(1.0 / i for i in range(1, n))
+        ratio = mean / epidemic
+        assert 1.2 < ratio < 1.9
+
+    def test_whp_bound(self):
+        n = 64
+        rng = make_rng(2)
+        threshold = 3 * n * math.log(n)
+        trials = 120
+        exceed = sum(
+            1 for _ in range(trials) if simulate_roll_call_interactions(n, rng) > threshold
+        )
+        assert exceed / trials < 0.05
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            simulate_roll_call_interactions(0)

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.statistics import summarize
+from repro.core.problems import is_valid_ranking, ranking_defects
+from repro.core.silent_n_state import (
+    SilentNStateSSR,
+    SilentNStateState,
+    barrier_invariant_holds,
+    find_barrier_rank,
+    rank_counts,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.rng import make_rng
+from repro.engine.scheduler import UniformPairScheduler
+
+
+# -- barrier rank (Lemmas 2.2 / 2.3) -------------------------------------------------------
+
+
+@st.composite
+def rank_multisets(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    ranks = draw(st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n))
+    return n, ranks
+
+
+class TestBarrierRankProperties:
+    @given(rank_multisets())
+    @settings(max_examples=80, deadline=None)
+    def test_a_barrier_rank_always_exists(self, data):
+        """Lemma 2.2: every configuration admits a barrier rank."""
+        n, ranks = data
+        counts = [0] * n
+        for rank in ranks:
+            counts[rank] += 1
+        k = find_barrier_rank(counts)
+        assert barrier_invariant_holds(counts, k)
+
+    @given(rank_multisets(), st.integers(min_value=0, max_value=400), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_barrier_is_preserved_by_any_execution(self, data, steps, seed):
+        """Lemma 2.3: inequality (1) is an invariant of the dynamics."""
+        n, ranks = data
+        protocol = SilentNStateSSR(n)
+        configuration = Configuration([SilentNStateState(rank) for rank in ranks])
+        k = find_barrier_rank(rank_counts(configuration, n))
+        rng = make_rng(seed)
+        scheduler = UniformPairScheduler(n, rng=rng)
+        for _ in range(min(steps, 400)):
+            i, j = scheduler.next_pair()
+            protocol.transition(configuration[i], configuration[j], rng)
+        assert barrier_invariant_holds(rank_counts(configuration, n), k)
+
+    @given(rank_multisets())
+    @settings(max_examples=60, deadline=None)
+    def test_total_agent_count_is_conserved(self, data):
+        n, ranks = data
+        protocol = SilentNStateSSR(n)
+        configuration = Configuration([SilentNStateState(rank) for rank in ranks])
+        rng = make_rng(0)
+        scheduler = UniformPairScheduler(n, rng=rng)
+        for _ in range(100):
+            i, j = scheduler.next_pair()
+            protocol.transition(configuration[i], configuration[j], rng)
+        assert sum(rank_counts(configuration, n)) == n
+
+
+# -- ranking predicates ---------------------------------------------------------------------
+
+
+class TestRankingPredicateProperties:
+    @given(st.permutations(list(range(1, 9))))
+    def test_any_permutation_is_a_valid_ranking(self, ranks):
+        assert is_valid_ranking(ranks, 8)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=8, max_size=8))
+    @settings(max_examples=100)
+    def test_validity_matches_defect_report(self, ranks):
+        n = 8
+        defects = ranking_defects(ranks, n)
+        is_clean = not (defects["missing"] or defects["duplicated"] or defects["out_of_range"])
+        assert is_clean == is_valid_ranking(ranks, n)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=8, max_size=8))
+    @settings(max_examples=100)
+    def test_pigeonhole_missing_implies_duplicate(self, ranks):
+        """The reduction the paper uses: an absent rank implies a collision."""
+        defects = ranking_defects(ranks, 8)
+        if defects["missing"] and not defects["out_of_range"]:
+            assert defects["duplicated"]
+
+
+# -- statistics and fitting -------------------------------------------------------------------
+
+
+class TestAnalysisProperties:
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+    def test_summary_bounds(self, values):
+        summary = summarize(values)
+        tolerance = 1e-9 * max(abs(v) for v in values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+
+    @given(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_power_law_fit_recovers_exponent(self, exponent, coefficient):
+        ns = [8, 16, 32, 64, 128]
+        values = [coefficient * n**exponent for n in ns]
+        fitted, fitted_coefficient, r2 = fit_power_law(ns, values)
+        assert math.isclose(fitted, exponent, rel_tol=1e-6, abs_tol=1e-6)
+        assert r2 > 0.999

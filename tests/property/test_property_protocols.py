@@ -1,0 +1,98 @@
+"""Property-based tests on protocol-level invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fratricide import FratricideLeaderElection
+from repro.core.initialized_ranking import InitializedLeaderDrivenRanking, SETTLED
+from repro.core.optimal_silent import OptimalSilentSSR
+from repro.engine.rng import make_rng
+from repro.engine.scheduler import UniformPairScheduler
+from tests.conftest import make_optimal_silent
+
+
+def run_interactions(protocol, configuration, interactions, seed):
+    rng = make_rng(seed)
+    scheduler = UniformPairScheduler(protocol.n, rng=rng)
+    for _ in range(interactions):
+        i, j = scheduler.next_pair()
+        protocol.transition(configuration[i], configuration[j], rng)
+    return configuration
+
+
+class TestFratricideProperties:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=400),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_leader_count_never_increases_and_never_hits_zero_from_all_leaders(
+        self, n, interactions, seed
+    ):
+        protocol = FratricideLeaderElection(n)
+        configuration = protocol.initial_configuration(make_rng(0))
+        run_interactions(protocol, configuration, interactions, seed)
+        leaders = protocol.leader_count(configuration)
+        assert 1 <= leaders <= n
+
+
+class TestInitializedRankingProperties:
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=0, max_value=500),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assigned_ranks_are_always_distinct_and_in_range(self, n, interactions, seed):
+        """The binary-tree assignment can never create a duplicate or invalid rank."""
+        protocol = InitializedLeaderDrivenRanking(n)
+        configuration = protocol.initial_configuration(make_rng(0))
+        run_interactions(protocol, configuration, interactions, seed)
+        ranks = [state.rank for state in configuration if state.role == SETTLED]
+        assert len(ranks) == len(set(ranks))
+        assert all(1 <= rank <= n for rank in ranks)
+
+    @given(st.integers(min_value=2, max_value=24), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_every_assigned_child_rank_is_held_by_a_settled_agent(self, n, seed):
+        """The children counter only ever counts ranks that were actually handed out."""
+        protocol = InitializedLeaderDrivenRanking(n)
+        configuration = protocol.initial_configuration(make_rng(0))
+        run_interactions(protocol, configuration, 30 * n, seed)
+        settled_ranks = {state.rank for state in configuration if state.role == SETTLED}
+        for state in configuration:
+            if state.role != SETTLED:
+                continue
+            for offset in range(state.children):
+                child_rank = 2 * state.rank + offset
+                assert child_rank <= n
+                assert child_rank in settled_ranks
+
+
+class TestOptimalSilentProperties:
+    @given(
+        st.integers(min_value=4, max_value=16),
+        st.integers(min_value=0, max_value=600),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_settled_ranks_stay_distinct_from_single_leader_awakening(
+        self, n, interactions, seed
+    ):
+        """From a clean awakening with one leader, rank collisions never appear."""
+        protocol = make_optimal_silent(n)
+        configuration = protocol.single_leader_awakening_configuration()
+        run_interactions(protocol, configuration, interactions, seed)
+        ranks = [state.rank for state in configuration if state.role == "Settled"]
+        assert len(ranks) == len(set(ranks))
+        assert all(1 <= rank <= n for rank in ranks)
+
+    @given(st.integers(min_value=4, max_value=14), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_stable_configuration_is_invariant(self, n, seed):
+        protocol = make_optimal_silent(n)
+        configuration = protocol.stable_configuration()
+        before = sorted(state.rank for state in configuration)
+        run_interactions(protocol, configuration, 20 * n, seed)
+        assert sorted(state.rank for state in configuration) == before
