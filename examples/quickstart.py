@@ -1,14 +1,27 @@
 #!/usr/bin/env python3
 """Quickstart: elect a leader (and rank the population) self-stabilizingly.
 
-Builds the paper's Optimal-Silent-SSR protocol for a small population, starts
-it from a completely arbitrary (adversarial) configuration, runs the standard
-population-protocol scheduler until the protocol stabilizes, and prints the
-resulting ranking and leader.
+Builds the paper's ``Optimal-Silent-SSR`` protocol (Protocols 3 + 4: ranking
+via binary-tree rank intervals, error detection, and the ``Propagate-Reset``
+recovery wave) for a small population, starts it from a completely arbitrary
+(adversarial) configuration -- the defining challenge of *self-stabilization*
+is that the initial states may be anything at all -- and runs the standard
+population-protocol scheduler until the protocol stabilizes.  At that point
+every agent holds a distinct rank in ``1..n`` and the agent ranked 1 is the
+unique leader.
+
+This demo uses the per-interaction loop engine (:class:`repro.Simulation`),
+which is the right tool at this scale and for protocols, like this one, whose
+state space is too large to compile.  For million-agent runs of compilable
+protocols, see ``examples/million_agents.py`` and ``docs/ARCHITECTURE.md``.
 
 Run with::
 
-    python examples/quickstart.py [population_size]
+    PYTHONPATH=src python examples/quickstart.py [population_size]
+
+Expected output: the adversarial start is not correct, the run stabilizes in
+Theta(n) parallel time (tens of units for small ``n``), and the final ranks
+are exactly ``1..n``.
 """
 
 from __future__ import annotations

@@ -27,13 +27,18 @@ True
 from repro.core import (
     FratricideLeaderElection,
     OptimalSilentSSR,
+    ResetWaveProtocol,
     SilentNStateSSR,
     SublinearTimeSSR,
     ThreeAgentSSLEWithoutRanking,
 )
 from repro.engine import (
+    BatchSimulation,
+    CompilationError,
+    CompiledProtocol,
     Configuration,
     PopulationProtocol,
+    ProtocolCompiler,
     Simulation,
     SimulationResult,
     TrialStatistics,
@@ -42,13 +47,18 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchSimulation",
+    "CompilationError",
+    "CompiledProtocol",
     "Configuration",
     "FratricideLeaderElection",
     "OptimalSilentSSR",
     "PopulationProtocol",
+    "ProtocolCompiler",
+    "ResetWaveProtocol",
     "SilentNStateSSR",
     "Simulation",
     "SimulationResult",

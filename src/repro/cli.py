@@ -18,6 +18,11 @@ Simulate one protocol from an adversarial configuration and watch it
 stabilize::
 
     python -m repro simulate optimal-silent --n 32 --seed 7
+
+Run a compilable protocol on the table-driven batch engine (large
+populations; see docs/ARCHITECTURE.md)::
+
+    python -m repro simulate reset-wave --n 100000 --engine compiled
 """
 
 from __future__ import annotations
@@ -31,7 +36,13 @@ from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.report import format_table, rows_to_markdown
 
 #: Protocols available to the ``simulate`` subcommand.
-SIMULATABLE_PROTOCOLS = ("silent-n-state", "optimal-silent", "sublinear", "fratricide")
+SIMULATABLE_PROTOCOLS = (
+    "silent-n-state",
+    "optimal-silent",
+    "sublinear",
+    "fratricide",
+    "reset-wave",
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,6 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start from the protocol's clean initial configuration instead of an adversarial one",
     )
+    simulate_parser.add_argument(
+        "--engine",
+        choices=("loop", "compiled"),
+        default="loop",
+        help=(
+            "execution engine: 'loop' steps one interaction at a time; "
+            "'compiled' lowers the protocol to transition tables and applies "
+            "whole scheduler batches (requires an enumerable state space)"
+        ),
+    )
     return parser
 
 
@@ -92,6 +113,7 @@ def _build_simulation(args):
     """Create (protocol, configuration) for the ``simulate`` subcommand."""
     from repro.core.fratricide import FratricideLeaderElection
     from repro.core.optimal_silent import OptimalSilentSSR
+    from repro.core.propagate_reset import ResetWaveProtocol
     from repro.core.silent_n_state import SilentNStateSSR
     from repro.core.sublinear import SublinearTimeSSR
     from repro.engine.rng import make_rng
@@ -103,6 +125,8 @@ def _build_simulation(args):
         protocol = OptimalSilentSSR(args.n, rmax_multiplier=4.0, dmax_factor=6.0, emax_factor=16.0)
     elif args.protocol == "sublinear":
         protocol = SublinearTimeSSR(args.n, depth=args.depth, rmax_multiplier=3.0)
+    elif args.protocol == "reset-wave":
+        protocol = ResetWaveProtocol(args.n)
     else:
         protocol = FratricideLeaderElection(args.n)
     if args.clean:
@@ -117,14 +141,26 @@ def _build_simulation(args):
 
 def _simulate(args) -> int:
     from repro.core.problems import leaders_from_ranks
+    from repro.engine.batch_simulation import BatchSimulation
+    from repro.engine.compiled import CompilationError
     from repro.engine.simulation import Simulation
 
     protocol, configuration, rng = _build_simulation(args)
     print(f"protocol:      {protocol.name}")
     print(f"population:    {protocol.n}")
+    print(f"engine:        {args.engine}")
     print(f"start:         {'clean' if args.clean else 'adversarial'}")
     print(f"correct at t=0: {protocol.is_correct(configuration)}")
-    simulation = Simulation(protocol, configuration=configuration, rng=rng)
+    if args.engine == "compiled":
+        try:
+            simulation = BatchSimulation(protocol, configuration=configuration, rng=rng)
+        except CompilationError as error:
+            print(f"error: {error}")
+            print("hint: only protocols with an enumerable state space compile; "
+                  "try --engine loop")
+            return 2
+    else:
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
     result = simulation.run_until_stabilized()
     print(f"stabilized:    {result.stopped}  ({result.reason})")
     print(f"parallel time: {result.parallel_time:.1f}   interactions: {result.interactions}")

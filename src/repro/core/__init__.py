@@ -38,7 +38,12 @@ from repro.core.problems import (
     leaders_from_ranks,
     ranking_defects,
 )
-from repro.core.propagate_reset import PropagateReset, ResettingFields
+from repro.core.propagate_reset import (
+    PropagateReset,
+    ResetWaveProtocol,
+    ResetWaveState,
+    ResettingFields,
+)
 from repro.core.silent_n_state import SilentNStateSSR, SilentNStateState
 from repro.core.sublinear import SublinearTimeSSR, SublinearState
 
@@ -52,6 +57,8 @@ __all__ = [
     "OptimalSilentSSR",
     "OptimalSilentState",
     "PropagateReset",
+    "ResetWaveProtocol",
+    "ResetWaveState",
     "ResettingFields",
     "SilentNStateSSR",
     "SilentNStateState",

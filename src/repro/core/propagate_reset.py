@@ -33,10 +33,15 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
 from repro.engine.state import AgentState
 
 #: Role label used by every protocol that embeds ``Propagate-Reset``.
 RESETTING = "Resetting"
+
+#: Role label for agents executing the (trivial) host protocol of
+#: :class:`ResetWaveProtocol`.
+COMPUTING = "Computing"
 
 StateCallback = Callable[[AgentState, np.random.Generator], None]
 
@@ -200,4 +205,137 @@ class PropagateReset:
         return any(self.is_computing(state) for state in configuration)
 
 
-__all__ = ["PropagateReset", "RESETTING", "ResettingFields", "default_rmax"]
+# -- Propagate-Reset as a standalone protocol ---------------------------------------
+
+
+class ResetWaveState(AgentState):
+    """State of an agent in :class:`ResetWaveProtocol`.
+
+    Computing agents carry no further fields; resetting agents carry the
+    ``resetcount`` / ``delaytimer`` counters of Protocol 2.  The signature
+    normalizes stale counter values on computing agents so the state space is
+    exactly ``1 + (R_max + 1) * (D_max + 1)`` states.
+    """
+
+    def __init__(self, role: str = COMPUTING, resetcount: int = 0, delaytimer: int = 0):
+        self.role = role
+        self.resetcount = int(resetcount)
+        self.delaytimer = int(delaytimer)
+
+    def signature(self):
+        if self.role != RESETTING:
+            return (COMPUTING,)
+        return (RESETTING, self.resetcount, self.delaytimer)
+
+    def clone(self) -> "ResetWaveState":
+        return ResetWaveState(self.role, self.resetcount, self.delaytimer)
+
+
+class ResetWaveProtocol(PopulationProtocol):
+    """Protocol 2 run standalone: a reset wave over a trivial host protocol.
+
+    The host ``Reset`` simply returns the agent to the Computing role and
+    nothing ever (re-)triggers an error, so from any initial configuration the
+    wave propagates, the population goes dormant, and an awakening epidemic
+    returns everyone to Computing -- after which the configuration is stable.
+    This isolates the ``Propagate-Reset`` dynamics of Section 3 for
+    experiments and benchmarks, and its small state space (``R_max * D_max``
+    scale, independent of ``n``) makes it the paper-faithful workload for the
+    compiled batch engine at millions of agents.
+    """
+
+    name = "reset-wave"
+
+    def __init__(self, n: int, rmax: Optional[int] = None, dmax: Optional[int] = None):
+        super().__init__(n)
+        default = max(1, math.ceil(math.log(n)))
+        self.rmax = int(rmax) if rmax is not None else default
+        self.dmax = int(dmax) if dmax is not None else default
+        self.machinery = PropagateReset(self.rmax, self.dmax, reset=self._reset)
+
+    @staticmethod
+    def _reset(state: AgentState, rng: np.random.Generator) -> None:
+        state.role = COMPUTING
+        state.resetcount = 0
+        state.delaytimer = 0
+
+    # -- configurations ------------------------------------------------------------
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> ResetWaveState:
+        return ResetWaveState()
+
+    def random_state(self, rng: np.random.Generator) -> ResetWaveState:
+        if rng.random() < 0.5:
+            return ResetWaveState()
+        return ResetWaveState(
+            RESETTING,
+            resetcount=int(rng.integers(0, self.rmax + 1)),
+            delaytimer=int(rng.integers(0, self.dmax + 1)),
+        )
+
+    def triggered_state(self) -> ResetWaveState:
+        """A freshly triggered agent (``resetcount = R_max``)."""
+        return ResetWaveState(RESETTING, resetcount=self.rmax, delaytimer=self.dmax)
+
+    def triggered_configuration(self) -> Configuration:
+        """Every agent triggered at once: the start of a maximal wave."""
+        return Configuration([self.triggered_state() for _ in range(self.n)])
+
+    # -- dynamics ------------------------------------------------------------------
+
+    def transition(
+        self,
+        initiator: ResetWaveState,
+        responder: ResetWaveState,
+        rng: np.random.Generator,
+    ) -> None:
+        if self.machinery.is_computing(initiator) and self.machinery.is_computing(responder):
+            return
+        self.machinery.interact(initiator, responder, rng)
+
+    # -- predicates ----------------------------------------------------------------
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        return self.machinery.fully_computing(configuration)
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        # With no error detection a fully computing configuration is inert.
+        return self.is_correct(configuration)
+
+    def is_silent(self, configuration: Configuration) -> bool:
+        return self.is_correct(configuration)
+
+    def theoretical_state_count(self) -> int:
+        return 1 + (self.rmax + 1) * (self.dmax + 1)
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """The full declared space: Computing plus every counter combination."""
+        states = [ResetWaveState()]
+        for resetcount in range(self.rmax + 1):
+            for delaytimer in range(self.dmax + 1):
+                states.append(ResetWaveState(RESETTING, resetcount, delaytimer))
+        return states
+
+    def compiled_predicates(self):
+        def fully_computing(counts, compiled):
+            resetting = compiled.state_mask(lambda state: state.role == RESETTING)
+            return int(counts[resetting].sum()) == 0
+
+        return {
+            "correct": fully_computing,
+            "stabilized": fully_computing,
+            "silent": fully_computing,
+        }
+
+
+__all__ = [
+    "COMPUTING",
+    "PropagateReset",
+    "RESETTING",
+    "ResetWaveProtocol",
+    "ResetWaveState",
+    "ResettingFields",
+    "default_rmax",
+]

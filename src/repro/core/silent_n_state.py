@@ -34,6 +34,9 @@ class SilentNStateState(AgentState):
     def signature(self):
         return self.rank
 
+    def clone(self) -> "SilentNStateState":
+        return SilentNStateState(self.rank)
+
 
 class SilentNStateSSR(PopulationProtocol):
     """The n-state Theta(n^2)-time silent self-stabilizing ranking protocol."""
@@ -70,6 +73,24 @@ class SilentNStateSSR(PopulationProtocol):
 
     def theoretical_state_count(self) -> int:
         return self.n
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """All ``n`` ranks (the protocol's exact state space)."""
+        return [SilentNStateState(rank) for rank in range(self.n)]
+
+    def compiled_predicates(self):
+        # Correct, stabilized, and silent all coincide with "no rank held by
+        # two agents", which on the count vector is simply max(counts) <= 1.
+        def all_ranks_distinct(counts, compiled):
+            return int(counts.max()) <= 1
+
+        return {
+            "correct": all_ranks_distinct,
+            "stabilized": all_ranks_distinct,
+            "silent": all_ranks_distinct,
+        }
 
     # -- worst-case initial configuration (Theorem 2.4 lower bound) ----------------
 

@@ -17,33 +17,50 @@ Public surface
   agents' states with multiset-style helpers.
 * :class:`~repro.engine.scheduler.UniformPairScheduler` -- the uniformly random
   ordered-pair scheduler (batched for speed).
-* :class:`~repro.engine.simulation.Simulation` -- the interaction loop with
-  convergence / stabilization / silence detection and instrumentation hooks.
+* :class:`~repro.engine.simulation.Simulation` -- the per-interaction loop
+  with convergence / stabilization / silence detection and instrumentation
+  hooks.
+* :class:`~repro.engine.compiled.ProtocolCompiler` /
+  :class:`~repro.engine.compiled.CompiledProtocol` -- integer-encoding of a
+  protocol's reachable state space into dense transition tables.
+* :class:`~repro.engine.batch_simulation.BatchSimulation` -- the compiled
+  batch engine applying whole scheduler windows with NumPy fancy indexing
+  (million-agent populations).
 * :class:`~repro.engine.results.SimulationResult` /
   :class:`~repro.engine.results.TrialStatistics` -- result records.
+
+The two engines and how to choose between them are described in
+``docs/ARCHITECTURE.md``.
 """
 
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import CompilationError, CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
 from repro.engine.hooks import CountingHook, InteractionHook, TraceRecorder
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import make_rng, spawn_rngs
-from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.scheduler import UniformPairScheduler, ordered_pair_index
 from repro.engine.simulation import Simulation, run_trials
 from repro.engine.state import AgentState
 
 __all__ = [
     "AgentState",
+    "BatchSimulation",
+    "CompilationError",
+    "CompiledProtocol",
     "Configuration",
     "CountingHook",
     "InteractionHook",
     "PopulationProtocol",
+    "ProtocolCompiler",
     "Simulation",
     "SimulationResult",
     "TraceRecorder",
     "TrialStatistics",
     "UniformPairScheduler",
     "make_rng",
+    "ordered_pair_index",
     "run_trials",
     "spawn_rngs",
 ]

@@ -1,0 +1,555 @@
+"""The compiled batch-execution engine.
+
+:class:`BatchSimulation` runs a *compiled* protocol (see
+:mod:`repro.engine.compiled`) over the exact same stochastic process as
+:class:`~repro.engine.simulation.Simulation` -- a uniformly random ordered
+pair of distinct agents per interaction -- but applies whole scheduler batches
+with NumPy fancy indexing instead of one Python call per interaction.
+
+Exact batching
+--------------
+Interactions are sequential: pair ``t`` must observe the states left behind by
+pairs ``< t``.  Naively a vectorized batch is therefore limited to a prefix in
+which no agent appears twice (the birthday bound, ~``sqrt(n)`` pairs).  The
+engine exploits a stronger invariant: only interactions whose table entry can
+*change* a state ("active" interactions, per the compiled ``changes`` mask)
+impose ordering.  Within a drawn window of pairs the engine finds ``t_end``,
+the first pair that touches an agent already involved in an *earlier active*
+pair, vectorized via scatter/gather into per-agent epoch buffers:
+
+* pairs ``[0, t_end)`` are applied in one shot (their inputs provably equal
+  the window-start states, and the active pairs among them are pairwise
+  disjoint),
+* pair ``t_end`` is applied individually against the updated states,
+* the rest of the window is discarded (the drawn pairs are i.i.d. and unused,
+  so discarding them does not bias the process; ``t_end`` is a stopping time,
+  so the applied sequence is exactly i.i.d. uniform pairs).
+
+When activity is sparse -- the long tails of most protocols -- windows run to
+tens of thousands of interactions per NumPy call; when activity is dense the
+window adapts down toward the birthday bound.  The window size tracks an
+exponential moving average of recent segment lengths.
+
+The engine matches the loop engine's interaction *distribution*, not its
+random stream: the two engines consume the shared generator differently, so
+equivalence is statistical (same convergence-time law), not bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.compiled import CompiledProtocol, ProtocolCompiler
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import SimulationResult
+from repro.engine.rng import RngLike, make_rng
+from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
+
+#: Stop-condition kinds understood by :meth:`BatchSimulation.run_until_*`.
+_STOP_KINDS = ("correct", "stabilized", "silent")
+
+
+def _last_write_wins() -> bool:
+    """Probe NumPy's fancy-assignment semantics for repeated indices.
+
+    The conflict scans write occurrence positions in reverse so the *first*
+    occurrence survives, which requires assignment to keep the last write for
+    a repeated index.  Current NumPy does; if that ever changes we fall back
+    to the slower ``np.minimum.at``.
+    """
+    probe = np.zeros(2, dtype=np.int64)
+    probe[np.array([0, 0])] = np.array([1, 2])
+    return bool(probe[0] == 2)
+
+
+_LAST_WRITE_WINS = _last_write_wins()
+
+
+def _scatter_first(
+    buffer: np.ndarray, agents: np.ndarray, positions: np.ndarray, sentinel: int
+) -> None:
+    """Leave each agent's *first* (minimum) position in ``buffer[agent]``.
+
+    Entries of ``buffer`` not named by ``agents`` are left untouched, so
+    callers either gather only written entries or pair the buffer with an
+    epoch tag.
+    """
+    if _LAST_WRITE_WINS:
+        buffer[agents[::-1]] = positions[::-1]
+    else:
+        buffer[agents] = sentinel
+        np.minimum.at(buffer, agents, positions)
+
+
+class BatchSimulation:
+    """Runs one execution of a compiled population protocol.
+
+    Mirrors the :class:`~repro.engine.simulation.Simulation` API (``step``,
+    ``run``, ``run_until_*``) but holds the configuration as an ``int32``
+    state-index array and applies scheduler batches vectorized.  Interaction
+    hooks are not supported -- per-interaction callbacks would defeat
+    batching; use the loop engine for instrumented runs.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to run.  Must be compilable (see
+        :class:`~repro.engine.compiled.ProtocolCompiler`) unless ``compiled``
+        is supplied.
+    configuration:
+        Optional starting configuration (encoded on construction).
+    indices:
+        Optional starting state-index array (length ``n``), the fast way to
+        seed million-agent runs without building ``n`` Python state objects.
+        Mutually exclusive with ``configuration``.
+    compiled:
+        Reuse an existing :class:`CompiledProtocol` (e.g. across trials).
+        Must come from a protocol of the same type, population size, and
+        enumerated state space (checked).  Parameters that change transition
+        *outcomes* without changing the state list -- e.g. a branch
+        probability -- are not detectable; callers reusing tables must keep
+        such parameters identical.
+    compiler:
+        Compiler to use when ``compiled`` is not given.
+    max_window:
+        Upper bound on the number of pairs drawn per vectorized window.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Optional[Configuration] = None,
+        indices: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+        compiled: Optional[CompiledProtocol] = None,
+        compiler: Optional[ProtocolCompiler] = None,
+        max_window: int = 1 << 16,
+    ):
+        if configuration is not None and indices is not None:
+            raise ValueError("pass either configuration or indices, not both")
+        if max_window < 4:
+            raise ValueError(f"max_window must be at least 4, got {max_window}")
+        self.protocol = protocol
+        self.rng = make_rng(rng)
+        if compiled is None:
+            compiled = (compiler or ProtocolCompiler()).compile(protocol)
+        else:
+            self._check_compiled_compatible(compiled, protocol)
+        self.compiled = compiled
+
+        n = protocol.n
+        if indices is not None:
+            indices = np.asarray(indices)
+            if indices.shape != (n,):
+                raise ValueError(f"indices must have shape ({n},), got {indices.shape}")
+            if len(indices) and (
+                int(indices.min()) < 0 or int(indices.max()) >= compiled.num_states
+            ):
+                raise ValueError("state indices out of range for the compiled state space")
+            self._indices = indices.astype(np.int32, copy=True)
+        else:
+            if configuration is None:
+                configuration = protocol.initial_configuration(self.rng)
+            if len(configuration) != n:
+                raise ValueError(
+                    f"configuration has {len(configuration)} agents but protocol "
+                    f"expects {n}"
+                )
+            self._indices = compiled.encode_configuration(configuration)
+
+        self.scheduler = UniformPairScheduler(n, rng=self.rng)
+        self.interactions = 0
+        self._max_window = int(max_window)
+        self._window_ema = 512.0
+        self._active_fraction = 1.0
+        # Per-agent scratch used by the conflict scans: the window position of
+        # the agent's first (active) occurrence, valid only when the epoch tag
+        # matches the current scan epoch (avoids clearing O(n) per window).
+        self._first_active = np.zeros(n, dtype=np.int64)
+        self._active_epoch = np.zeros(n, dtype=np.int64)
+        self._epoch = 0
+        self._pair_positions = np.arange(self._max_window, dtype=np.int64)
+        self._slot_positions = np.arange(2 * self._max_window, dtype=np.int64) >> 1
+        self._counts: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _check_compiled_compatible(
+        compiled: CompiledProtocol, protocol: PopulationProtocol
+    ) -> None:
+        """Reject a compiled table that was built for different dynamics.
+
+        Compares protocol type, population size, and the enumerated state
+        space, which catches parameter mismatches that reshape the table
+        (e.g. differing ``R_max``).  Parameters that alter transition
+        outcomes without changing the state list cannot be detected here.
+        """
+        source = compiled.protocol
+        if source is protocol:
+            return
+        if type(source) is not type(protocol) or source.n != protocol.n:
+            raise ValueError(
+                f"compiled table was built for {source!r}, not {protocol!r}"
+            )
+        ours = [protocol.state_signature(s) for s in protocol.enumerate_states() or []]
+        theirs = [source.state_signature(s) for s in source.enumerate_states() or []]
+        if ours != theirs:
+            raise ValueError(
+                f"compiled table was built for {source!r}, whose enumerated "
+                f"state space differs from {protocol!r} -- check protocol "
+                "parameters"
+            )
+
+    # -- views ----------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self.protocol.n
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions executed so far divided by the population size."""
+        return self.interactions / self.protocol.n
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The state-index array (live view; treat as read-only)."""
+        return self._indices
+
+    @property
+    def state_counts(self) -> np.ndarray:
+        """Histogram of state indices (length ``S``), recomputed lazily."""
+        if self._counts is None:
+            self._counts = self.compiled.state_counts(self._indices)
+        return self._counts
+
+    @property
+    def configuration(self) -> Configuration:
+        """Decode the current configuration (builds ``n`` state objects)."""
+        return self.compiled.decode_configuration(self._indices)
+
+    # -- stepping --------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute a single interaction (scalar path; for parity and tests)."""
+        initiator, responder = self.scheduler.next_pair()
+        self._apply_scalar(initiator, responder)
+        self.interactions += 1
+
+    def run(self, num_interactions: int) -> None:
+        """Execute exactly ``num_interactions`` interactions, batched.
+
+        Each drawn window is consumed by one of two exact paths, selected by
+        the recent fraction of active (state-changing) interactions:
+
+        * *dense* -- most interactions change states, so ordering conflicts
+          are everywhere; truncate segments at the first repeated agent (the
+          birthday bound) with a cheap scatter/gather scan and chain segments
+          through the window.
+        * *sparse* -- most interactions are null; only agents of *active*
+          pairs impose ordering, so segments run orders of magnitude past the
+          birthday bound.
+        """
+        if num_interactions < 0:
+            raise ValueError(
+                f"num_interactions must be non-negative, got {num_interactions}"
+            )
+        remaining = num_interactions
+        while remaining > 0:
+            dense = self._active_fraction > 0.125
+            # Dense windows are chained through completely, so a large window
+            # amortizes the draw; sparse windows discard their tail after the
+            # first conflict, so stay close to the expected segment length.
+            scale = 6.0 if dense else 1.5
+            window = int(
+                min(max(64.0, scale * self._window_ema), self._max_window, remaining)
+            )
+            initiators, responders = self.scheduler.pair_batch(window)
+            if dense:
+                applied = self._consume_dense(initiators, responders, window)
+            else:
+                applied = self._consume_sparse(initiators, responders, window)
+            self.interactions += applied
+            remaining -= applied
+
+    def _consume_dense(
+        self, initiators: np.ndarray, responders: np.ndarray, window: int
+    ) -> int:
+        """Consume the whole window by chaining agent-disjoint segments.
+
+        Each scan finds the first slot whose agent already appeared in the
+        current segment (scatter positions reversed so the first occurrence
+        wins, then compare the gather with each slot's own position), applies
+        the duplicate-free prefix in one shot, and restarts the scan at the
+        conflicting pair -- whose inputs are fresh once the prefix landed, so
+        nothing is discarded and every drawn pair is applied in order.
+        """
+        slots = np.empty(2 * window, dtype=np.int64)
+        slots[0::2] = initiators
+        slots[1::2] = responders
+        indices = self._indices
+        compiled = self.compiled
+        num_states = compiled.num_states
+        changes = compiled.changes
+        buffer = self._first_active
+        start = 0
+        while start < window:
+            rest = slots[2 * start :]
+            positions = self._slot_positions[: len(rest)]
+            _scatter_first(buffer, rest, positions, sentinel=window)
+            duplicate = buffer[rest] != positions
+            first = int(duplicate.argmax())
+            # The first pair of a segment can never be flagged (its agents'
+            # first occurrences are itself), so the segment always advances.
+            segment = (first >> 1) if duplicate[first] else window - start
+            end = start + segment
+
+            # Apply the agent-disjoint prefix in one shot.
+            gathered = indices[rest[: 2 * segment]]
+            rows = gathered[0::2] * num_states
+            rows += gathered[1::2]
+            mask = changes[rows]
+            changed = int(np.count_nonzero(mask))
+            if changed:
+                if changed > segment >> 1:
+                    # Most pairs change: apply everything unfiltered (null
+                    # entries rewrite their own states, which is harmless on
+                    # a duplicate-free segment).
+                    self._apply_packed(rest[: 2 * segment], rows)
+                else:
+                    active = np.nonzero(mask)[0]
+                    targets = rest[: 2 * segment].reshape(-1, 2)[active].ravel()
+                    self._apply_packed(targets, rows[active])
+            self._active_fraction += 0.1 * (changed / segment - self._active_fraction)
+            self._window_ema += 0.25 * (segment - self._window_ema)
+            start = end
+        return window
+
+    def _consume_sparse(
+        self, initiators: np.ndarray, responders: np.ndarray, window: int
+    ) -> int:
+        """Consume a window bounded only by conflicts with *active* pairs."""
+        indices = self._indices
+        rows = indices[initiators] * self.compiled.num_states
+        rows += indices[responders]
+        active = self.compiled.changes[rows]
+        active_pairs = np.nonzero(active)[0]
+
+        if len(active_pairs) == 0:
+            # Every drawn pair is null: the whole window commutes.
+            self._active_fraction *= 0.9
+            self._window_ema += 0.25 * (window - self._window_ema)
+            return window
+
+        t_end = self._first_conflict(initiators, responders, active_pairs, window)
+        segment = active_pairs[active_pairs < t_end]
+        if len(segment):
+            self._apply_batch(initiators[segment], responders[segment], rows[segment])
+        applied = t_end
+        if t_end < window:
+            # The conflicting pair itself: apply against the fresh states.
+            self._apply_scalar(int(initiators[t_end]), int(responders[t_end]))
+            applied += 1
+        self._active_fraction += 0.1 * (
+            len(segment) / max(t_end, 1) - self._active_fraction
+        )
+        self._window_ema += 0.25 * (t_end - self._window_ema)
+        return applied
+
+    def _first_conflict(
+        self,
+        initiators: np.ndarray,
+        responders: np.ndarray,
+        active_pairs: np.ndarray,
+        window: int,
+    ) -> int:
+        """Position of the first pair touching an agent of an earlier active pair.
+
+        Scatters each active agent's first active-pair position into the
+        epoch-tagged per-agent buffers (reversed write order, so the first
+        occurrence wins), then gathers per pair and compares with the pair's
+        own position.  Returns ``window`` when the whole window is exact.
+        """
+        self._epoch += 1
+        first_active = self._first_active
+        active_epoch = self._active_epoch
+        # Interleave the two agents of each active pair in pair order so a
+        # single reversed scatter leaves each agent's *first* active position.
+        count = len(active_pairs)
+        agents = np.empty(2 * count, dtype=np.int64)
+        agents[0::2] = initiators[active_pairs]
+        agents[1::2] = responders[active_pairs]
+        pair_of_slot = np.empty(2 * count, dtype=np.int64)
+        pair_of_slot[0::2] = active_pairs
+        pair_of_slot[1::2] = active_pairs
+        _scatter_first(first_active, agents, pair_of_slot, sentinel=window)
+        active_epoch[agents] = self._epoch
+
+        positions = self._pair_positions[:window]
+        first_i = np.where(
+            active_epoch[initiators] == self._epoch, first_active[initiators], window
+        )
+        first_j = np.where(
+            active_epoch[responders] == self._epoch, first_active[responders], window
+        )
+        conflicts = np.minimum(first_i, first_j) < positions
+        if conflicts.any():
+            return int(np.argmax(conflicts))
+        return window
+
+    def _packed_results(self, rows: np.ndarray) -> np.ndarray:
+        """Packed (initiator', responder') outcomes for the given entries,
+        sampling among randomized branches when the protocol has any."""
+        compiled = self.compiled
+        if compiled.branch_cumprob is None:
+            return compiled.packed_result[rows]
+        uniforms = self.rng.random(len(rows))
+        cumulative = compiled.branch_cumprob[rows]
+        branch = (uniforms[:, None] >= cumulative).sum(axis=1)
+        np.minimum(branch, compiled.max_branches - 1, out=branch)
+        return compiled.packed_result[rows, branch]
+
+    def _apply_packed(self, targets: np.ndarray, rows: np.ndarray) -> None:
+        """Scatter packed outcomes onto interleaved (initiator, responder) slots.
+
+        ``targets`` holds the two agents of each pair adjacently, matching the
+        ``int32`` memory layout of the packed results, so both agents of every
+        interaction update with a single gather and a single scatter.  The
+        pairs must be pairwise agent-disjoint.
+        """
+        self._indices[targets] = self._packed_results(rows).view(np.int32)
+        self._counts = None
+
+    def _apply_batch(
+        self, initiators: np.ndarray, responders: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Apply a set of pairwise-disjoint active interactions in one shot."""
+        targets = np.empty(2 * len(rows), dtype=np.int64)
+        targets[0::2] = initiators
+        targets[1::2] = responders
+        self._apply_packed(targets, rows)
+
+    def _apply_scalar(self, initiator: int, responder: int) -> None:
+        """Apply one interaction to the index array (reads current states)."""
+        compiled = self.compiled
+        state_i = int(self._indices[initiator])
+        state_j = int(self._indices[responder])
+        row = state_i * compiled.num_states + state_j
+        if not compiled.changes[row]:
+            return
+        if compiled.branch_cumprob is None:
+            new_i = compiled.result_initiator[row]
+            new_j = compiled.result_responder[row]
+        else:
+            uniform = self.rng.random()
+            branch = int(np.searchsorted(compiled.branch_cumprob[row], uniform, side="right"))
+            branch = min(branch, compiled.max_branches - 1)
+            new_i = compiled.result_initiator[row, branch]
+            new_j = compiled.result_responder[row, branch]
+        self._indices[initiator] = new_i
+        self._indices[responder] = new_j
+        self._counts = None
+
+    # -- running until a condition ---------------------------------------------------
+
+    def run_until(
+        self,
+        predicate: Optional[Callable[[Configuration], bool]] = None,
+        max_interactions: Optional[int] = None,
+        check_interval: Optional[int] = None,
+        reason: str = "predicate",
+        counts_predicate: Optional[Callable[[np.ndarray], bool]] = None,
+    ) -> SimulationResult:
+        """Run until a stopping condition holds or the cap is reached.
+
+        Exactly one of ``predicate`` (evaluated on a *decoded*
+        :class:`Configuration` -- the slow path, fine for small ``n``) or
+        ``counts_predicate`` (evaluated on the ``S``-length state-count
+        vector -- the fast path) must be given.  Checked before the first
+        interaction and after every ``check_interval`` interactions
+        (default: ``n``), like the loop engine.
+        """
+        if (predicate is None) == (counts_predicate is None):
+            raise ValueError("pass exactly one of predicate or counts_predicate")
+        n = self.protocol.n
+        if max_interactions is None:
+            max_interactions = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
+        if check_interval is None:
+            check_interval = n
+        if check_interval < 1:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+
+        def stopped() -> bool:
+            if counts_predicate is not None:
+                return bool(counts_predicate(self.state_counts))
+            return bool(predicate(self.configuration))
+
+        while True:
+            if stopped():
+                return SimulationResult(
+                    n=n,
+                    interactions=self.interactions,
+                    stopped=True,
+                    reason=reason,
+                    engine="compiled",
+                )
+            if self.interactions >= max_interactions:
+                return SimulationResult(
+                    n=n,
+                    interactions=self.interactions,
+                    stopped=False,
+                    reason="cap",
+                    engine="compiled",
+                )
+            remaining = max_interactions - self.interactions
+            self.run(min(check_interval, remaining))
+
+    def _resolve_stop(self, kind: str):
+        """Resolve a stop kind to (predicate, counts_predicate).
+
+        Preference order: the protocol's ``compiled_predicates()`` fast path;
+        for silence, the table-exact :meth:`CompiledProtocol.counts_silent`;
+        otherwise decode and call the protocol's configuration predicate.
+        """
+        fast = self.protocol.compiled_predicates().get(kind)
+        if fast is not None:
+            compiled = self.compiled
+            return None, (lambda counts: fast(counts, compiled))
+        if kind == "silent":
+            return None, self.compiled.counts_silent
+        slow = {
+            "correct": self.protocol.is_correct,
+            "stabilized": self.protocol.has_stabilized,
+        }[kind]
+        return slow, None
+
+    def run_until_correct(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's correctness predicate holds (convergence)."""
+        predicate, counts_predicate = self._resolve_stop("correct")
+        kwargs.setdefault("reason", "correct")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+    def run_until_stabilized(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's stabilization predicate holds."""
+        predicate, counts_predicate = self._resolve_stop("stabilized")
+        kwargs.setdefault("reason", "stabilized")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+    def run_until_silent(self, **kwargs) -> SimulationResult:
+        """Run until no applicable table entry can change the configuration."""
+        predicate, counts_predicate = self._resolve_stop("silent")
+        kwargs.setdefault("reason", "silent")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+
+__all__ = ["BatchSimulation"]

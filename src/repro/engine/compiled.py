@@ -1,0 +1,367 @@
+"""Table-driven compilation of population protocols.
+
+The per-interaction loop in :mod:`repro.engine.simulation` pays a Python
+function call, attribute accesses, and object mutation for every interaction,
+which caps practical populations around ``n ~ 10^4``.  Protocols with a small
+*state space*, however, admit a much faster representation: integer-encode the
+reachable states ``0 .. S-1`` and replace the transition function with a dense
+``(S, S) -> (S', S')`` lookup table.  Whole scheduler batches can then be
+applied with NumPy fancy indexing (see
+:class:`~repro.engine.batch_simulation.BatchSimulation`), reaching populations
+of a million agents and beyond.
+
+:class:`ProtocolCompiler` performs the encoding:
+
+1. It asks the protocol for seed states via
+   :meth:`~repro.engine.protocol.PopulationProtocol.enumerate_states`.
+2. It closes the set under the transition function (breadth-first), assigning
+   each distinct state signature an integer index.
+3. For every ordered state pair it derives the transition's outcome -- either
+   by probing ``transition()`` with several fixed-seed generators (and
+   verifying the outcomes agree, i.e. the transition is deterministic), or,
+   for randomized protocols, from the explicit branch list returned by
+   :meth:`~repro.engine.protocol.PopulationProtocol.transition_branches`.
+
+The result is a :class:`CompiledProtocol`: dense ``int32`` result tables for
+the initiator and responder, a per-entry *branch-probability channel*
+(cumulative probabilities, used to sample among randomized branches), and a
+``changes`` mask marking the entries that can alter at least one of the two
+states.  The mask is what makes million-agent batches fast: interactions whose
+entry cannot change anything ("null" interactions) commute with everything and
+can be skipped wholesale.
+
+See ``docs/ARCHITECTURE.md`` for when to pick the compiled engine over the
+per-interaction loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import make_rng
+from repro.engine.state import AgentState
+
+
+class CompilationError(RuntimeError):
+    """Raised when a protocol cannot be compiled to a transition table."""
+
+
+class CompiledProtocol:
+    """A protocol whose dynamics have been lowered to dense NumPy tables.
+
+    Attributes
+    ----------
+    protocol:
+        The source protocol (used for population size, decoding, and the
+        slow-path predicates).
+    states:
+        List of exemplar :class:`AgentState` objects; index ``k`` in any
+        encoded array refers to a state equal to ``states[k]``.  Treat the
+        exemplars as immutable -- :meth:`decode_configuration` clones them.
+    result_initiator / result_responder:
+        ``int32`` arrays of shape ``(S * S,)`` (deterministic protocols) or
+        ``(S * S, B)`` (randomized, ``B`` = maximum branch count).  Entry
+        ``a * S + b`` holds the post-interaction state indices for the ordered
+        pair ``(a, b)``.
+    branch_cumprob:
+        ``None`` for deterministic protocols; otherwise a ``(S * S, B)``
+        float array of *cumulative* branch probabilities.  Branch ``k`` is
+        selected for uniform ``u`` when ``cumprob[k-1] <= u < cumprob[k]``.
+    changes:
+        Boolean ``(S * S,)`` mask: ``True`` iff some branch of the entry
+        changes at least one of the two states.
+    packed_result:
+        The two result channels fused into one ``int64`` per entry so the
+        batch engine can update both agents of an interaction with a single
+        gather and a single scatter: viewing the packed array as ``int32``
+        yields ``[initiator', responder', ...]`` interleaved in memory (the
+        shift order accounts for byte order).
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        states: Sequence[AgentState],
+        result_initiator: np.ndarray,
+        result_responder: np.ndarray,
+        branch_cumprob: Optional[np.ndarray],
+        changes: np.ndarray,
+    ):
+        self.protocol = protocol
+        self.states: List[AgentState] = list(states)
+        self._index: Dict[Hashable, int] = {
+            protocol.state_signature(state): k for k, state in enumerate(self.states)
+        }
+        self.result_initiator = result_initiator
+        self.result_responder = result_responder
+        self.branch_cumprob = branch_cumprob
+        self.changes = changes
+        low, high = (
+            (result_initiator, result_responder)
+            if sys.byteorder == "little"
+            else (result_responder, result_initiator)
+        )
+        self.packed_result = low.astype(np.int64) | (high.astype(np.int64) << 32)
+
+    # -- basic properties ----------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Size ``S`` of the encoded state space."""
+        return len(self.states)
+
+    @property
+    def deterministic(self) -> bool:
+        """``True`` iff every table entry has a single branch."""
+        return self.branch_cumprob is None
+
+    @property
+    def max_branches(self) -> int:
+        """Maximum number of randomized branches of any entry (1 if deterministic)."""
+        if self.branch_cumprob is None:
+            return 1
+        return self.branch_cumprob.shape[1]
+
+    # -- encoding / decoding --------------------------------------------------------
+
+    def encode_state(self, state: AgentState) -> int:
+        """Return the integer index of ``state``."""
+        signature = self.protocol.state_signature(state)
+        try:
+            return self._index[signature]
+        except KeyError:
+            raise CompilationError(
+                f"state {state!r} is outside the compiled state space "
+                f"of {self.protocol.name}"
+            ) from None
+
+    def encode_configuration(self, configuration: Configuration) -> np.ndarray:
+        """Encode a configuration as an ``int32`` array of state indices."""
+        if len(configuration) != self.protocol.n:
+            raise ValueError(
+                f"configuration has {len(configuration)} agents but protocol "
+                f"expects {self.protocol.n}"
+            )
+        return np.fromiter(
+            (self.encode_state(state) for state in configuration),
+            dtype=np.int32,
+            count=len(configuration),
+        )
+
+    def decode_configuration(self, indices: np.ndarray) -> Configuration:
+        """Materialize a :class:`Configuration` from an index array (clones states)."""
+        return Configuration.from_state_indices(self.states, indices)
+
+    def state_counts(self, indices: np.ndarray) -> np.ndarray:
+        """Histogram of state indices (length ``S``)."""
+        return np.bincount(indices, minlength=self.num_states)
+
+    def state_mask(self, predicate: Callable[[AgentState], bool]) -> np.ndarray:
+        """Boolean mask of length ``S``: ``predicate(states[k])`` per state."""
+        return np.fromiter(
+            (predicate(state) for state in self.states), dtype=bool, count=self.num_states
+        )
+
+    # -- generic fast predicates ----------------------------------------------------
+
+    def counts_silent(self, counts: np.ndarray) -> bool:
+        """Exact silence check on a state-count vector.
+
+        A configuration is silent iff no applicable entry of the table can
+        change anything: for every ordered pair of *present* states the
+        ``changes`` mask is ``False``, where a state interacting with itself
+        requires at least two agents in that state to be applicable.
+        """
+        present = np.nonzero(counts > 0)[0]
+        if len(present) == 0:
+            return True
+        sub = self.changes.reshape(self.num_states, self.num_states)[
+            np.ix_(present, present)
+        ].copy()
+        lone = np.nonzero(counts[present] < 2)[0]
+        sub[lone, lone] = False
+        return not sub.any()
+
+
+class ProtocolCompiler:
+    """Compiles a :class:`PopulationProtocol` into a :class:`CompiledProtocol`.
+
+    Parameters
+    ----------
+    max_states:
+        Hard cap on the size of the enumerated state space; the dense tables
+        are ``S^2`` entries, so this also bounds compile time and memory.
+    probe_seeds:
+        Seeds used to probe ``transition()`` for determinism when the protocol
+        does not provide explicit :meth:`transition_branches`.  Differing
+        outcomes across seeds raise :class:`CompilationError`.
+    probability_tolerance:
+        Tolerance when checking that explicit branch probabilities sum to 1.
+    """
+
+    def __init__(
+        self,
+        max_states: int = 2048,
+        probe_seeds: Sequence[int] = (11, 17),
+        probability_tolerance: float = 1e-9,
+    ):
+        if max_states < 1:
+            raise ValueError(f"max_states must be positive, got {max_states}")
+        if len(probe_seeds) < 2:
+            raise ValueError("need at least two probe seeds to detect randomness")
+        self.max_states = int(max_states)
+        self.probe_seeds = tuple(probe_seeds)
+        self.probability_tolerance = float(probability_tolerance)
+
+    def compile(self, protocol: PopulationProtocol) -> CompiledProtocol:
+        """Enumerate the reachable state space and build the transition tables."""
+        seeds = protocol.enumerate_states()
+        if seeds is None:
+            raise CompilationError(
+                f"{protocol.name} does not implement enumerate_states(); "
+                "the compiled engine needs a finite, enumerable state space"
+            )
+
+        states: List[AgentState] = []
+        index: Dict[Hashable, int] = {}
+
+        def intern(state: AgentState) -> int:
+            signature = protocol.state_signature(state)
+            existing = index.get(signature)
+            if existing is not None:
+                return existing
+            if len(states) >= self.max_states:
+                raise CompilationError(
+                    f"{protocol.name}: state space exceeds max_states="
+                    f"{self.max_states} during closure"
+                )
+            position = len(states)
+            index[signature] = position
+            states.append(state.clone())
+            return position
+
+        for seed_state in seeds:
+            intern(seed_state)
+        if not states:
+            raise CompilationError(f"{protocol.name}: enumerate_states() returned no states")
+
+        # Close the state set under the transition relation, recording the
+        # branch list of every ordered pair as we go.
+        table: Dict[Tuple[int, int], List[Tuple[float, int, int]]] = {}
+        closed = 0
+        while closed < len(states):
+            boundary = len(states)
+            for i in range(boundary):
+                for j in range(boundary):
+                    if i < closed and j < closed:
+                        continue
+                    table[(i, j)] = self._branches(protocol, states[i], states[j], intern)
+            closed = boundary
+
+        return self._build(protocol, states, table)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _branches(
+        self,
+        protocol: PopulationProtocol,
+        initiator: AgentState,
+        responder: AgentState,
+        intern: Callable[[AgentState], int],
+    ) -> List[Tuple[float, int, int]]:
+        """Branch list ``[(probability, initiator', responder')]`` for one pair."""
+        explicit = protocol.transition_branches(initiator.clone(), responder.clone())
+        if explicit is not None:
+            if not explicit:
+                raise CompilationError(
+                    f"{protocol.name}: transition_branches() returned no branches"
+                )
+            total = 0.0
+            encoded: List[Tuple[float, int, int]] = []
+            for probability, new_initiator, new_responder in explicit:
+                probability = float(probability)
+                if probability <= 0.0:
+                    raise CompilationError(
+                        f"{protocol.name}: branch probability must be positive, "
+                        f"got {probability}"
+                    )
+                total += probability
+                encoded.append((probability, intern(new_initiator), intern(new_responder)))
+            if abs(total - 1.0) > self.probability_tolerance:
+                raise CompilationError(
+                    f"{protocol.name}: branch probabilities sum to {total}, expected 1"
+                )
+            return encoded
+
+        outcomes = []
+        for seed in self.probe_seeds:
+            probe_initiator = initiator.clone()
+            probe_responder = responder.clone()
+            protocol.transition(probe_initiator, probe_responder, make_rng(seed))
+            outcomes.append((probe_initiator, probe_responder))
+        signatures = {
+            (protocol.state_signature(a), protocol.state_signature(b)) for a, b in outcomes
+        }
+        if len(signatures) > 1:
+            raise CompilationError(
+                f"{protocol.name}: transition() is randomized (probe outcomes differ "
+                f"for pair {initiator!r}, {responder!r}); implement "
+                "transition_branches() to expose the branch probabilities"
+            )
+        result_initiator, result_responder = outcomes[0]
+        return [(1.0, intern(result_initiator), intern(result_responder))]
+
+    def _build(
+        self,
+        protocol: PopulationProtocol,
+        states: List[AgentState],
+        table: Dict[Tuple[int, int], List[Tuple[float, int, int]]],
+    ) -> CompiledProtocol:
+        num_states = len(states)
+        max_branches = max(len(branches) for branches in table.values())
+        entries = num_states * num_states
+
+        changes = np.zeros(entries, dtype=bool)
+        if max_branches == 1:
+            result_initiator = np.empty(entries, dtype=np.int32)
+            result_responder = np.empty(entries, dtype=np.int32)
+            branch_cumprob = None
+            for (i, j), branches in table.items():
+                row = i * num_states + j
+                _, new_i, new_j = branches[0]
+                result_initiator[row] = new_i
+                result_responder[row] = new_j
+                changes[row] = new_i != i or new_j != j
+        else:
+            result_initiator = np.empty((entries, max_branches), dtype=np.int32)
+            result_responder = np.empty((entries, max_branches), dtype=np.int32)
+            branch_cumprob = np.ones((entries, max_branches), dtype=np.float64)
+            for (i, j), branches in table.items():
+                row = i * num_states + j
+                cumulative = 0.0
+                for k in range(max_branches):
+                    probability, new_i, new_j = branches[min(k, len(branches) - 1)]
+                    if k < len(branches):
+                        cumulative += probability
+                        changes[row] |= new_i != i or new_j != j
+                    result_initiator[row, k] = new_i
+                    result_responder[row, k] = new_j
+                    branch_cumprob[row, k] = min(cumulative, 1.0)
+                branch_cumprob[row, -1] = 1.0
+
+        return CompiledProtocol(
+            protocol=protocol,
+            states=states,
+            result_initiator=result_initiator,
+            result_responder=result_responder,
+            branch_cumprob=branch_cumprob,
+            changes=changes,
+        )
+
+
+__all__ = ["CompilationError", "CompiledProtocol", "ProtocolCompiler"]

@@ -84,6 +84,17 @@ class Configuration:
         """Build a configuration from an iterable of states."""
         return cls(list(states))
 
+    @classmethod
+    def from_state_indices(
+        cls, exemplars: Sequence[AgentState], indices: Iterable[int]
+    ) -> "Configuration":
+        """Build a configuration by cloning ``exemplars[k]`` for each index.
+
+        This is how the compiled batch engine (:mod:`repro.engine.compiled`)
+        decodes its integer state array back into agent objects.
+        """
+        return cls([exemplars[int(k)].clone() for k in indices])
+
     def __repr__(self) -> str:
         counts = self.signature_counts()
         most_common = ", ".join(f"{count}x{sig!r}" for sig, count in counts.most_common(3))

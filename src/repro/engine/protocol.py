@@ -14,7 +14,7 @@ protocols must be strongly nonuniform, i.e. hardcode ``n``):
 from __future__ import annotations
 
 import abc
-from typing import Hashable, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,6 +126,50 @@ class PopulationProtocol(abc.ABC):
                 ):
                     return False
         return True
+
+    # -- compiled-engine hooks -----------------------------------------------------
+
+    def enumerate_states(self) -> Optional[Sequence[AgentState]]:
+        """Seed states for the compiled engine's state-space enumeration.
+
+        Return a finite list of states whose closure under the transition
+        relation is the protocol's reachable state space (the compiler closes
+        the set breadth-first, so returning seeds that only *generate* the
+        space is fine, as is over-approximating with unreachable-but-valid
+        states).  Return ``None`` (the default) when the state space is not
+        enumerable -- the protocol then only runs on the per-interaction loop
+        engine.  See :mod:`repro.engine.compiled`.
+        """
+        return None
+
+    def transition_branches(
+        self, initiator: AgentState, responder: AgentState
+    ) -> Optional[List[Tuple[float, AgentState, AgentState]]]:
+        """Explicit randomized branches for the compiled engine.
+
+        Randomized protocols return ``[(probability, initiator', responder'),
+        ...]`` with probabilities summing to 1; the compiler stores them in
+        the table's branch-probability channel.  The arguments are throwaway
+        clones -- implementations may mutate and return them.  Return ``None``
+        (the default) when ``transition()`` is deterministic; the compiler
+        then derives the single branch by probing.
+        """
+        return None
+
+    def compiled_predicates(
+        self,
+    ) -> Dict[str, Callable[[np.ndarray, object], bool]]:
+        """Fast stop-condition predicates on the compiled state-count vector.
+
+        Return a dict mapping any of ``"correct"``, ``"stabilized"``,
+        ``"silent"`` to callables ``(counts, compiled) -> bool`` where
+        ``counts`` is the length-``S`` state histogram and ``compiled`` the
+        :class:`~repro.engine.compiled.CompiledProtocol`.  Without an entry
+        the batch engine decodes the configuration and calls the regular
+        predicate -- correct but ``O(n)`` per check, so protocols meant for
+        million-agent runs should provide the counts form.
+        """
+        return {}
 
     # -- state accounting ----------------------------------------------------------
 

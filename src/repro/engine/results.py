@@ -26,6 +26,11 @@ class SimulationResult:
     reason:
         Short label of the stopping condition (``"stabilized"``, ``"correct"``,
         ``"silent"``, ``"predicate"``, ``"cap"``).
+    engine:
+        Which execution engine produced the run: ``"loop"`` (the
+        per-interaction :class:`~repro.engine.simulation.Simulation`) or
+        ``"compiled"`` (the table-driven
+        :class:`~repro.engine.batch_simulation.BatchSimulation`).
     extra:
         Free-form per-run measurements recorded by hooks or experiments.
     """
@@ -34,6 +39,7 @@ class SimulationResult:
     interactions: int
     stopped: bool
     reason: str
+    engine: str = "loop"
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -2,8 +2,22 @@
 
 At each step the scheduler picks an ordered pair of distinct agents uniformly
 at random from the ``n * (n - 1)`` possibilities; the first agent is the
-*initiator*, the second the *responder*.  Pairs are drawn in batches with
-NumPy to keep the pure-Python interaction loop fast.
+*initiator*, the second the *responder*.
+
+Distinct-pair sampling trick
+----------------------------
+A rejection loop ("redraw while ``i == j``") would make batch sizes random;
+instead the scheduler samples the responder from ``{0, ..., n-2}`` and shifts
+values ``>= initiator`` up by one.  The shift is a bijection between
+``{0, ..., n-2}`` and ``{0, ..., n-1} \\ {initiator}``, so the responder is
+uniform over the ``n - 1`` agents distinct from the initiator and the ordered
+pair is uniform over all ``n * (n - 1)`` possibilities -- with exactly two
+fixed-size NumPy draws per batch.
+
+Pairs are drawn in batches both to keep the pure-Python interaction loop fast
+(:meth:`UniformPairScheduler.next_pair` refills an internal buffer) and to
+feed the compiled batch engine whole windows at once
+(:meth:`UniformPairScheduler.pair_batch`).
 """
 
 from __future__ import annotations
@@ -65,10 +79,17 @@ class UniformPairScheduler:
         for _ in range(count):
             yield self.next_pair()
 
+    @property
+    def ordered_pair_count(self) -> int:
+        """Number of possible ordered distinct pairs, ``n * (n - 1)``."""
+        return self._n * (self._n - 1)
+
     def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``count`` pairs as two NumPy arrays (initiators, responders).
 
-        Bypasses the internal buffer; used by vectorized fast paths.
+        Bypasses the internal buffer; this is the entry point used by the
+        compiled batch engine (:mod:`repro.engine.batch_simulation`), which
+        draws a whole window of pairs and applies them vectorized.
         """
         initiators = self._rng.integers(0, self._n, size=count)
         responders = self._rng.integers(0, self._n - 1, size=count)
@@ -76,4 +97,21 @@ class UniformPairScheduler:
         return initiators, responders
 
 
-__all__ = ["UniformPairScheduler"]
+def ordered_pair_index(
+    initiators: np.ndarray, responders: np.ndarray, n: int
+) -> np.ndarray:
+    """Map ordered distinct pairs to dense indices in ``[0, n * (n - 1))``.
+
+    The inverse of the scheduler's shift trick: responder values above the
+    initiator are shifted back down, giving ``index = i * (n - 1) + j'`` with
+    ``j' in {0, ..., n-2}``.  Used by the uniformity tests (chi-squared over
+    all ordered pairs) and available to analyses that histogram interactions.
+    """
+    initiators = np.asarray(initiators)
+    responders = np.asarray(responders)
+    if np.any(initiators == responders):
+        raise ValueError("ordered pairs must have distinct agents")
+    return initiators * (n - 1) + responders - (responders > initiators)
+
+
+__all__ = ["UniformPairScheduler", "ordered_pair_index"]

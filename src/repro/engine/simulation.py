@@ -1,10 +1,15 @@
-"""The interaction loop.
+"""The per-interaction loop engine.
 
 :class:`Simulation` repeatedly asks the scheduler for an ordered pair of
 agents and applies the protocol transition, tracking the number of
 interactions (and hence parallel time).  Stopping conditions -- correctness,
 stabilization, silence, or an arbitrary predicate -- are evaluated every
 ``check_interval`` interactions since they can be expensive.
+
+This engine is fully general (any protocol, instrumentation hooks) but pays
+Python-call overhead per interaction; for compilable protocols at large ``n``
+use :class:`~repro.engine.batch_simulation.BatchSimulation` instead -- see
+``docs/ARCHITECTURE.md`` for the tradeoffs.
 """
 
 from __future__ import annotations
@@ -20,9 +25,15 @@ from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import RngLike, make_rng, spawn_rngs
 from repro.engine.scheduler import UniformPairScheduler
 
-#: Default cap on interactions, expressed as a multiple of ``n ** 2`` so the
-#: quadratic-time baseline protocol still finishes from its worst case.
-DEFAULT_CAP_QUADRATIC_FACTOR = 40.0
+#: Default cap on interactions, expressed as a multiple of ``n ** 3``: the
+#: quadratic-*parallel-time* baseline protocol (``Silent-n-state-SSR``,
+#: Theorem 2.4) needs Theta(n^2) parallel time = Theta(n^3) interactions from
+#: its worst case, so the default cap must scale cubically for it to finish.
+DEFAULT_CAP_CUBIC_FACTOR = 40.0
+
+#: Deprecated alias kept for backward compatibility; the old name wrongly
+#: suggested the cap was a multiple of ``n ** 2``.
+DEFAULT_CAP_QUADRATIC_FACTOR = DEFAULT_CAP_CUBIC_FACTOR
 
 
 class Simulation:
@@ -107,7 +118,7 @@ class Simulation:
         """
         n = self.protocol.n
         if max_interactions is None:
-            max_interactions = int(DEFAULT_CAP_QUADRATIC_FACTOR * n * n * n)
+            max_interactions = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
         if check_interval is None:
             check_interval = n
         if check_interval < 1:
@@ -199,4 +210,9 @@ def run_trials(
     return TrialStatistics.from_values(label or protocol_factory().name, n or 0, times)
 
 
-__all__ = ["DEFAULT_CAP_QUADRATIC_FACTOR", "Simulation", "run_trials"]
+__all__ = [
+    "DEFAULT_CAP_CUBIC_FACTOR",
+    "DEFAULT_CAP_QUADRATIC_FACTOR",
+    "Simulation",
+    "run_trials",
+]

@@ -7,6 +7,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import TrialStatistics
@@ -15,6 +17,9 @@ from repro.engine.simulation import Simulation
 
 ProtocolFactory = Callable[[int], PopulationProtocol]
 ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Configuration]
+
+#: Engines selectable by experiments and the CLI (see docs/ARCHITECTURE.md).
+ENGINES = ("loop", "compiled")
 
 
 @dataclass
@@ -47,29 +52,49 @@ def measure_parallel_times(
     max_interactions: Optional[int] = None,
     check_interval: Optional[int] = None,
     label: str = "",
+    engine: str = "loop",
 ) -> TrialStatistics:
     """Run ``trials`` independent simulations and collect stabilization times.
 
-    A thin wrapper around the engine's simulation loop that accepts a
-    configuration factory for adversarial starts and returns
-    :class:`TrialStatistics` of the measured parallel times.  Trials that hit
-    the interaction cap contribute their (censored) cap time, so results stay
-    conservative rather than silently optimistic.
+    A thin wrapper around the simulation engines that accepts a configuration
+    factory for adversarial starts and returns :class:`TrialStatistics` of
+    the measured parallel times.  Trials that hit the interaction cap
+    contribute their (censored) cap time, so results stay conservative rather
+    than silently optimistic.
+
+    ``engine`` selects the execution engine: ``"loop"`` (the per-interaction
+    :class:`Simulation`) or ``"compiled"`` (the table-driven
+    :class:`BatchSimulation`; the protocol is compiled once and the tables
+    are shared across trials, so the factory must build identically
+    parameterized protocols every call -- state-space mismatches are
+    detected, but outcome-only parameters such as branch probabilities are
+    the caller's responsibility).  See ``docs/ARCHITECTURE.md`` for
+    tradeoffs.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     if stop not in ("stabilized", "correct", "silent"):
         raise ValueError(f"unknown stop condition {stop!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
     rngs = spawn_rngs(seed, trials)
     times: List[float] = []
     n = None
+    compiled: Optional[CompiledProtocol] = None
     for rng in rngs:
         protocol = protocol_factory()
         n = protocol.n
         configuration = (
             configuration_factory(protocol, rng) if configuration_factory is not None else None
         )
-        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        if engine == "compiled":
+            if compiled is None:
+                compiled = ProtocolCompiler().compile(protocol)
+            simulation = BatchSimulation(
+                protocol, configuration=configuration, rng=rng, compiled=compiled
+            )
+        else:
+            simulation = Simulation(protocol, configuration=configuration, rng=rng)
         runner = {
             "stabilized": simulation.run_until_stabilized,
             "correct": simulation.run_until_correct,
@@ -89,11 +114,13 @@ def sweep_parallel_time(
     stop: str = "stabilized",
     max_interactions_factory: Optional[Callable[[int], int]] = None,
     label: str = "",
+    engine: str = "loop",
 ) -> List[TrialStatistics]:
     """Measure stabilization time across a sweep of population sizes.
 
     ``protocol_factory`` receives the population size; the per-``n`` seeds are
-    derived from ``seed`` so runs are reproducible yet independent.
+    derived from ``seed`` so runs are reproducible yet independent.  The
+    ``engine`` choice is forwarded to :func:`measure_parallel_times`.
     """
     results: List[TrialStatistics] = []
     seeds = spawn_rngs(seed, len(ns))
@@ -107,9 +134,10 @@ def sweep_parallel_time(
             stop=stop,
             max_interactions=cap,
             label=f"{label or 'sweep'} (n={n})",
+            engine=engine,
         )
         results.append(statistics)
     return results
 
 
-__all__ = ["ExperimentSpec", "measure_parallel_times", "sweep_parallel_time"]
+__all__ = ["ENGINES", "ExperimentSpec", "measure_parallel_times", "sweep_parallel_time"]

@@ -25,6 +25,9 @@ class EpidemicState(AgentState):
     def __init__(self, infected: bool = False):
         self.infected = bool(infected)
 
+    def clone(self) -> "EpidemicState":
+        return EpidemicState(self.infected)
+
 
 class TwoWayEpidemicProtocol(PopulationProtocol):
     """Agent-level two-way epidemic: ``a.infected, b.infected <- a or b``."""
@@ -58,6 +61,19 @@ class TwoWayEpidemicProtocol(PopulationProtocol):
 
     def theoretical_state_count(self) -> int:
         return 2
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """The full two-state space: susceptible and infected."""
+        return [EpidemicState(False), EpidemicState(True)]
+
+    def compiled_predicates(self):
+        def all_infected(counts, compiled):
+            susceptible = compiled.encode_state(EpidemicState(False))
+            return int(counts[susceptible]) == 0
+
+        return {"correct": all_infected}
 
 
 def simulate_epidemic_interactions(

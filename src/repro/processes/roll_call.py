@@ -31,6 +31,10 @@ class RollCallState(AgentState):
     def signature(self):
         return (self.agent_id, self.roster)
 
+    def clone(self) -> "RollCallState":
+        # The roster is an immutable frozenset, so a shallow copy is exact.
+        return RollCallState(self.agent_id, self.roster)
+
 
 class RollCallProtocol(PopulationProtocol):
     """Agent-level roll call: ``a.roster, b.roster <- a.roster | b.roster``."""
@@ -53,6 +57,25 @@ class RollCallProtocol(PopulationProtocol):
     def minimum_roster_size(self, configuration: Configuration) -> int:
         """Smallest roster size in ``configuration`` (n means complete)."""
         return min(len(state.roster) for state in configuration)
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """Seed states: each agent knowing only itself.
+
+        The compiler closes the set under roster union, reaching all
+        ``n * 2^(n-1)`` states ``(id, roster containing id)``, so compiling
+        roll call is only feasible for small ``n`` (the compiler's
+        ``max_states`` cap guards larger populations).
+        """
+        return [RollCallState(agent_id) for agent_id in range(self.n)]
+
+    def compiled_predicates(self):
+        def all_rosters_full(counts, compiled):
+            incomplete = compiled.state_mask(lambda state: len(state.roster) < self.n)
+            return int(counts[incomplete].sum()) == 0
+
+        return {"correct": all_rosters_full}
 
 
 def simulate_roll_call_interactions(n: int, rng: RngLike = None) -> int:

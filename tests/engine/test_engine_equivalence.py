@@ -1,0 +1,94 @@
+"""Loop-vs-compiled equivalence: same protocol, same law of convergence times.
+
+The two engines consume the shared random generator differently, so runs are
+not bitwise identical; instead, for every protocol the compiler supports, the
+distribution of convergence (parallel) times over independent seeded trials
+must be statistically indistinguishable.  Each case runs a fixed number of
+trials per engine from seed-derived independent streams and applies a
+two-sample Kolmogorov-Smirnov test plus a loose mean-ratio sanity check.
+
+All seeds are fixed, so these tests are deterministic; the KS threshold of
+0.001 makes a false alarm essentially impossible while still catching real
+engine bugs (which shift the distribution wholesale).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.propagate_reset import ResetWaveProtocol
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import ProtocolCompiler
+from repro.engine.rng import spawn_rngs
+from repro.engine.simulation import Simulation
+from repro.processes.epidemic import TwoWayEpidemicProtocol
+from repro.processes.roll_call import RollCallProtocol
+
+TRIALS = 50
+KS_ALPHA = 0.001
+
+CASES = {
+    "epidemic": dict(
+        protocol=lambda: TwoWayEpidemicProtocol(128),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "silent-n-state": dict(
+        protocol=lambda: SilentNStateSSR(24),
+        configuration=lambda protocol, rng: protocol.worst_case_configuration(),
+        stop="stabilized",
+    ),
+    "roll-call": dict(
+        protocol=lambda: RollCallProtocol(5),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "reset-wave": dict(
+        protocol=lambda: ResetWaveProtocol(48, rmax=5, dmax=5),
+        configuration=lambda protocol, rng: protocol.triggered_configuration(),
+        stop="stabilized",
+    ),
+}
+
+
+def convergence_times(case, engine: str, seed: int) -> np.ndarray:
+    times = []
+    compiled = None
+    for rng in spawn_rngs(seed, TRIALS):
+        protocol = case["protocol"]()
+        configuration = case["configuration"](protocol, rng)
+        if engine == "loop":
+            simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        else:
+            if compiled is None:
+                compiled = ProtocolCompiler().compile(protocol)
+            simulation = BatchSimulation(
+                protocol, configuration=configuration, rng=rng, compiled=compiled
+            )
+        runner = {
+            "correct": simulation.run_until_correct,
+            "stabilized": simulation.run_until_stabilized,
+        }[case["stop"]]
+        result = runner()
+        assert result.stopped, f"{protocol.name} did not converge on {engine}"
+        times.append(result.parallel_time)
+    return np.asarray(times)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_engines_agree_on_convergence_distribution(name):
+    case = CASES[name]
+    loop_times = convergence_times(case, "loop", seed=1234)
+    compiled_times = convergence_times(case, "compiled", seed=5678)
+
+    ks = stats.ks_2samp(loop_times, compiled_times)
+    assert ks.pvalue > KS_ALPHA, (
+        f"{name}: convergence-time distributions differ between engines "
+        f"(KS p={ks.pvalue:.2e}, loop mean {loop_times.mean():.3f}, "
+        f"compiled mean {compiled_times.mean():.3f})"
+    )
+    ratio = compiled_times.mean() / loop_times.mean()
+    assert 0.6 < ratio < 1.6, (
+        f"{name}: mean convergence times diverge (ratio {ratio:.2f})"
+    )

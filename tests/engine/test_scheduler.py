@@ -2,8 +2,9 @@
 
 import numpy as np
 import pytest
+from scipy import stats
 
-from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.scheduler import UniformPairScheduler, ordered_pair_index
 
 
 class TestValidity:
@@ -58,3 +59,69 @@ class TestUniformity:
 
     def test_n_property(self):
         assert UniformPairScheduler(9).n == 9
+
+    def test_ordered_pair_count(self):
+        assert UniformPairScheduler(9).ordered_pair_count == 72
+
+
+class TestOrderedPairIndex:
+    def test_bijection_over_all_ordered_pairs(self):
+        n = 7
+        pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        initiators = np.array([i for i, _ in pairs])
+        responders = np.array([j for _, j in pairs])
+        indices = ordered_pair_index(initiators, responders, n)
+        assert sorted(indices.tolist()) == list(range(n * (n - 1)))
+
+    def test_rejects_self_pairs(self):
+        with pytest.raises(ValueError):
+            ordered_pair_index(np.array([1]), np.array([1]), 4)
+
+
+class TestChiSquaredUniformity:
+    """Chi-squared goodness of fit over all n(n-1) ordered pairs.
+
+    Seeds are fixed, so the tests are deterministic; the 0.001 threshold
+    keeps the (one-off) false-alarm probability negligible while catching
+    any systematic bias in the distinct-pair sampling trick.
+    """
+
+    N = 8
+    SAMPLES_PER_CELL = 200
+
+    def _chi_squared_pvalue(self, counts: np.ndarray) -> float:
+        return float(stats.chisquare(counts).pvalue)
+
+    def test_next_pair_is_uniform_over_ordered_pairs(self):
+        n = self.N
+        cells = n * (n - 1)
+        scheduler = UniformPairScheduler(n, rng=2024)
+        counts = np.zeros(cells)
+        for i, j in scheduler.pairs(cells * self.SAMPLES_PER_CELL):
+            counts[int(ordered_pair_index(np.array([i]), np.array([j]), n)[0])] += 1
+        assert self._chi_squared_pvalue(counts) > 0.001
+
+    def test_pair_batch_is_uniform_over_ordered_pairs(self):
+        n = self.N
+        cells = n * (n - 1)
+        scheduler = UniformPairScheduler(n, rng=4048)
+        initiators, responders = scheduler.pair_batch(cells * self.SAMPLES_PER_CELL)
+        counts = np.bincount(
+            ordered_pair_index(initiators, responders, n), minlength=cells
+        )
+        assert self._chi_squared_pvalue(counts) > 0.001
+
+    def test_next_pair_and_pair_batch_agree(self):
+        """Two-sample homogeneity: buffered and batch paths draw the same law."""
+        n = self.N
+        cells = n * (n - 1)
+        scheduler = UniformPairScheduler(n, rng=99)
+        buffered = np.zeros(cells, dtype=np.int64)
+        for i, j in scheduler.pairs(cells * self.SAMPLES_PER_CELL):
+            buffered[int(ordered_pair_index(np.array([i]), np.array([j]), n)[0])] += 1
+        initiators, responders = scheduler.pair_batch(cells * self.SAMPLES_PER_CELL)
+        batched = np.bincount(
+            ordered_pair_index(initiators, responders, n), minlength=cells
+        )
+        _, pvalue, _, _ = stats.chi2_contingency(np.stack([buffered, batched]))
+        assert pvalue > 0.001

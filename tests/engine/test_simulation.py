@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.fratricide import FratricideLeaderElection
 from repro.core.silent_n_state import SilentNStateSSR
-from repro.engine.simulation import Simulation, run_trials
+from repro.engine.simulation import (
+    DEFAULT_CAP_CUBIC_FACTOR,
+    DEFAULT_CAP_QUADRATIC_FACTOR,
+    Simulation,
+    run_trials,
+)
 
 
 class TestStepping:
@@ -85,6 +90,25 @@ class TestStoppingConditions:
         # one interaction earlier was not yet correct.
         assert result.stopped
         assert result.interactions >= 1
+
+    def test_default_cap_is_cubic_in_n(self):
+        """Regression: the default cap is factor * n**3 (Theta(n^2) parallel
+        time for the quadratic-time baseline), and the constant's name must
+        say so -- the old DEFAULT_CAP_QUADRATIC_FACTOR name promised n**2."""
+        n = 3
+        protocol = FratricideLeaderElection(n)
+        configuration = protocol.all_followers_configuration()  # never correct
+        simulation = Simulation(protocol, configuration=configuration, rng=0)
+        result = simulation.run_until_correct(check_interval=10_000)
+        assert not result.stopped and result.reason == "cap"
+        assert result.interactions == int(DEFAULT_CAP_CUBIC_FACTOR * n**3)
+
+    def test_deprecated_cap_alias_preserved(self):
+        assert DEFAULT_CAP_QUADRATIC_FACTOR == DEFAULT_CAP_CUBIC_FACTOR
+
+    def test_result_engine_field(self):
+        result = Simulation(FratricideLeaderElection(8), rng=0).run_until_correct()
+        assert result.engine == "loop"
 
 
 class TestReproducibility:

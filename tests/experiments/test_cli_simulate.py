@@ -36,10 +36,28 @@ class TestSimulateCommand:
         with pytest.raises(SystemExit):
             main(["simulate", "bogus"])
 
+    def test_simulate_on_compiled_engine(self, capsys):
+        code = main(
+            ["simulate", "reset-wave", "--n", "300", "--seed", "5", "--engine", "compiled"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "engine:        compiled" in output
+        assert "stabilized:    True" in output
+
+    def test_compiled_engine_rejects_unsupported_protocol(self, capsys):
+        code = main(
+            ["simulate", "optimal-silent", "--n", "10", "--seed", "1", "--engine", "compiled"]
+        )
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "enumerable state space" in output
+
     def test_protocol_list_is_exposed(self):
         assert set(SIMULATABLE_PROTOCOLS) == {
             "silent-n-state",
             "optimal-silent",
             "sublinear",
             "fratricide",
+            "reset-wave",
         }

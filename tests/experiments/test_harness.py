@@ -41,6 +41,38 @@ class TestMeasureParallelTimes:
             measure_parallel_times(lambda: FratricideLeaderElection(8), trials=0)
         with pytest.raises(ValueError):
             measure_parallel_times(lambda: FratricideLeaderElection(8), trials=1, stop="bogus")
+        with pytest.raises(ValueError):
+            measure_parallel_times(
+                lambda: FratricideLeaderElection(8), trials=1, engine="turbo"
+            )
+
+    def test_compiled_engine(self):
+        stats = measure_parallel_times(
+            lambda: SilentNStateSSR(12),
+            trials=3,
+            seed=0,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            engine="compiled",
+        )
+        assert stats.trials == 3
+        assert all(value > 0 for value in stats.values)
+
+    def test_engines_measure_comparable_times(self):
+        loop = measure_parallel_times(
+            lambda: SilentNStateSSR(10),
+            trials=8,
+            seed=4,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            engine="loop",
+        )
+        compiled = measure_parallel_times(
+            lambda: SilentNStateSSR(10),
+            trials=8,
+            seed=4,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            engine="compiled",
+        )
+        assert 0.3 < compiled.mean / loop.mean < 3.0
 
 
 class TestSweep:
