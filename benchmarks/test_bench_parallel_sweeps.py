@@ -1,0 +1,129 @@
+"""Benchmark: the process-parallel sweep runner vs. sequential execution.
+
+Workload: a multi-trial ``Silent-n-state-SSR`` worst-case measurement -- the
+Theta(n^3)-interaction regime the registry's sweep experiments actually run --
+executed once with ``jobs=1`` and once with ``jobs=4``.  The acceptance gate
+asserts the 4-worker run is >= 2x faster wall-clock (skipped on machines with
+fewer than 4 cores, where the workers would just time-slice one CPU); a
+separate, always-on check asserts the two runs return bit-identical
+per-trial results, i.e. the speedup costs nothing in reproducibility.
+"""
+
+import os
+import time
+from typing import Dict, List
+
+import pytest
+
+from bench_utils import run_experiment_benchmark
+
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.experiments.harness import run_trials
+
+#: Population size and trial count sized so one trial takes a few hundred
+#: milliseconds on the loop engine (stabilization needs Theta(n^3)
+#: interactions from the worst case) -- long enough that pool startup (tens
+#: of milliseconds with forked workers) cannot mask the parallel speedup.
+N = 112
+TRIALS = 8
+JOBS = 4
+SEED = 2024
+
+
+def _sweep(jobs: int):
+    return run_trials(
+        lambda: SilentNStateSSR(N),
+        trials=TRIALS,
+        seed=SEED,
+        configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+        stop="stabilized",
+        engine="loop",
+        jobs=jobs,
+    )
+
+
+def run_parallel_sweep_comparison() -> List[Dict]:
+    """Benchmark rows: wall-clock and per-trial parity for jobs in {1, 4}."""
+    rows: List[Dict] = []
+    results = {}
+    for jobs in (1, JOBS):
+        start = time.perf_counter()
+        results[jobs] = _sweep(jobs)
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "jobs": jobs,
+                "trials": TRIALS,
+                "n": N,
+                "seconds": seconds,
+                "mean parallel time": sum(
+                    result.parallel_time for result in results[jobs]
+                )
+                / TRIALS,
+            }
+        )
+    rows[1]["speedup"] = rows[0]["seconds"] / rows[1]["seconds"]
+    rows[1]["bit-identical"] = results[1] == results[JOBS]
+    return rows
+
+
+def _usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware, unlike cpu_count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    _usable_cores() < JOBS,
+    reason=f"needs >= {JOBS} usable cores to measure a parallel speedup",
+)
+def test_parallel_sweep_speedup(benchmark):
+    """--jobs 4 is >= 2x faster than --jobs 1 on the multi-trial workload."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_parallel_sweep_comparison,
+        paper_reference="experiment harness (sweep parallelization)",
+        claim="multi-trial sweeps saturate cores: >= 2x wall-clock at --jobs 4",
+        key_columns=("jobs", "trials", "n", "seconds", "speedup", "bit-identical"),
+    )
+    gate = rows[1]
+    assert gate["bit-identical"], "parallel run returned different results"
+    assert gate["speedup"] >= 2.0, (
+        f"--jobs {JOBS} only {gate['speedup']:.2f}x faster than --jobs 1 "
+        f"({rows[0]['seconds']:.2f}s -> {gate['seconds']:.2f}s)"
+    )
+
+
+def test_parallel_sweep_parity_smoke(benchmark):
+    """Always-on parity check (small workload; runs on any core count)."""
+
+    def runner() -> List[Dict]:
+        kwargs = dict(
+            trials=4,
+            seed=7,
+            configuration_factory=lambda protocol, rng: (
+                protocol.worst_case_configuration()
+            ),
+            stop="stabilized",
+            engine="loop",
+        )
+        sequential = run_trials(lambda: SilentNStateSSR(12), jobs=1, **kwargs)
+        parallel = run_trials(lambda: SilentNStateSSR(12), jobs=JOBS, **kwargs)
+        return [
+            {
+                "trials": 4,
+                "n": 12,
+                "bit-identical": sequential == parallel,
+                "mean parallel time": sum(r.parallel_time for r in sequential) / 4,
+            }
+        ]
+
+    rows = run_experiment_benchmark(
+        benchmark,
+        runner,
+        paper_reference="experiment harness (sweep parallelization)",
+        claim="per-trial results are independent of the worker count",
+    )
+    assert rows[0]["bit-identical"]

@@ -23,6 +23,11 @@ Run a compilable protocol on the table-driven batch engine (large
 populations; see docs/ARCHITECTURE.md)::
 
     python -m repro simulate reset-wave --n 100000 --engine compiled
+
+Fan a multi-trial sweep over 4 worker processes (same results as --jobs 1,
+just faster)::
+
+    python -m repro run optimal_silent --scale full --jobs 4
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
 from repro.experiments.report import format_table, rows_to_markdown
 
 #: Protocols available to the ``simulate`` subcommand.
@@ -73,6 +78,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown tables instead of text"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for multi-trial sweeps (default: 1); results are "
+            "bit-identical for any value -- per-trial random streams are derived "
+            "from SeedSequence children independently of the process layout.  "
+            "Forwarded to experiments that support it, ignored by the rest"
+        ),
     )
 
     simulate_parser = subparsers.add_parser(
@@ -173,13 +189,15 @@ def _simulate(args) -> int:
     return 0 if result.stopped else 1
 
 
-def _run_one(identifier: str, scale: str, seed: Optional[int], markdown: bool) -> None:
+def _run_one(
+    identifier: str, scale: str, seed: Optional[int], markdown: bool, jobs: int = 1
+) -> None:
     spec = get_experiment(identifier)
     overrides = {}
     if seed is not None:
         overrides["seed"] = seed
     started = time.time()
-    rows = spec.run(scale=scale, **overrides)
+    rows = run_experiment(identifier, scale=scale, jobs=jobs, **overrides)
     elapsed = time.time() - started
     header = f"== {spec.identifier}: {spec.title} ({spec.paper_reference}) =="
     print(header)
@@ -204,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         identifiers = list_experiments() if args.experiment == "all" else [args.experiment]
         for identifier in identifiers:
-            _run_one(identifier, args.scale, args.seed, args.markdown)
+            _run_one(identifier, args.scale, args.seed, args.markdown, jobs=args.jobs)
         return 0
 
     if args.command == "simulate":

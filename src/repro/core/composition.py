@@ -20,10 +20,11 @@ no matter how much it was disturbed before that.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.compiled import CompilationError, probe_deterministic_branch
 from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.state import AgentState
@@ -139,6 +140,91 @@ class ComposedProtocol(PopulationProtocol):
         if upstream_count is None or downstream_count is None:
             return None
         return upstream_count * downstream_count
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def compiled_factors(self) -> Sequence[PopulationProtocol]:
+        """The two layers, for the compiler's product construction.
+
+        With ``interference_probability == 0`` the composition is an exact
+        product: both transitions apply independently to their own layer, so
+        the compiler can compose the layers' compiled tables without probing
+        any composed transition.  Positive interference couples the layers
+        through ``downstream.random_state`` -- a distribution over arbitrary
+        adversarial states that no finite branch list can express -- so such
+        compositions run on the loop engine only.
+        """
+        if self.interference_probability > 0.0:
+            raise self._interference_error()
+        return (self.upstream, self.downstream)
+
+    def _interference_error(self) -> CompilationError:
+        return CompilationError(
+            f"{self.name}: interference_probability="
+            f"{self.interference_probability} couples the layers through "
+            "random_state(), which has no finite branch representation; "
+            "only interference-free compositions compile (use the loop "
+            "engine)"
+        )
+
+    def compose_state(self, factor_states: Sequence[AgentState]) -> ComposedState:
+        upstream_state, downstream_state = factor_states
+        return ComposedState(upstream_state, downstream_state)
+
+    def enumerate_states(self) -> Optional[Sequence[ComposedState]]:
+        """Product of the layers' seed states (``None`` if a layer has none)."""
+        upstream_states = self.upstream.enumerate_states()
+        downstream_states = self.downstream.enumerate_states()
+        if upstream_states is None or downstream_states is None:
+            return None
+        return [
+            ComposedState(up.clone(), down.clone())
+            for up in upstream_states
+            for down in downstream_states
+        ]
+
+    def transition_branches(
+        self, initiator: ComposedState, responder: ComposedState
+    ) -> Optional[List[Tuple[float, ComposedState, ComposedState]]]:
+        """Product of the layers' branch lists (interference-free only).
+
+        Each layer's branches come from its own ``transition_branches`` or,
+        for deterministic layers, from probing its transition; probabilities
+        multiply since the layers draw independently.  Returns ``None`` when
+        both layers are deterministic (the composed transition then is too,
+        and probing it directly is cheaper).  Positive interference raises
+        :class:`CompilationError` -- its scramble distribution has no finite
+        branch representation, and returning ``None`` would claim (per the
+        base-class contract) that the transition is deterministic, letting a
+        probing consumer silently compile a wrong table.
+        """
+        if self.interference_probability > 0.0:
+            raise self._interference_error()
+        upstream_branches = self.upstream.transition_branches(
+            initiator.upstream.clone(), responder.upstream.clone()
+        )
+        downstream_branches = self.downstream.transition_branches(
+            initiator.downstream.clone(), responder.downstream.clone()
+        )
+        if upstream_branches is None and downstream_branches is None:
+            return None
+        if upstream_branches is None:
+            upstream_branches = probe_deterministic_branch(
+                self.upstream, initiator.upstream, responder.upstream
+            )
+        if downstream_branches is None:
+            downstream_branches = probe_deterministic_branch(
+                self.downstream, initiator.downstream, responder.downstream
+            )
+        return [
+            (
+                up_probability * down_probability,
+                ComposedState(up_initiator.clone(), down_initiator.clone()),
+                ComposedState(up_responder.clone(), down_responder.clone()),
+            )
+            for up_probability, up_initiator, up_responder in upstream_branches
+            for down_probability, down_initiator, down_responder in downstream_branches
+        ]
 
 
 __all__ = ["ComposedProtocol", "ComposedState"]

@@ -66,5 +66,20 @@ class FratricideLeaderElection(PopulationProtocol):
     def theoretical_state_count(self) -> int:
         return 2
 
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """The full two-state space: leader and follower."""
+        return [FratricideState(leader=True), FratricideState(leader=False)]
+
+    def compiled_predicates(self):
+        def unique_leader(counts, compiled):
+            leaders = compiled.state_mask(lambda state: state.leader)
+            return int(counts[leaders].sum()) == 1
+
+        # A unique leader can never be destroyed (L, F pairs are null), so
+        # correctness and stabilization coincide.
+        return {"correct": unique_leader, "stabilized": unique_leader}
+
 
 __all__ = ["FratricideLeaderElection", "FratricideState"]

@@ -297,6 +297,64 @@ class OptimalSilentSSR(PopulationProtocol):
         resetting = 2 * (self.rmax + 1 + self.dmax + 1)  # leader x (propagating / dormant)
         return settled + unsettled + resetting
 
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """The full declared space, covering every adversarial start.
+
+        Over-approximates the paper's reachable count
+        (:meth:`theoretical_state_count`) by enumerating ``resetcount`` and
+        ``delaytimer`` independently -- adversarial initial states may combine
+        them arbitrarily, and the compiled engine must encode any
+        configuration :meth:`random_state` can produce.  The space is
+        ``3 n + E_max + 1 + 2 (R_max + 1)(D_max + 1)`` states: compilation is
+        only practical with reduced constants (small ``rmax_multiplier``,
+        ``dmax_factor``, ``emax_factor``), since the tables are quadratic in
+        the state count.
+        """
+        states = []
+        for rank in range(1, self.n + 1):
+            for children in range(3):
+                states.append(OptimalSilentState(role=SETTLED, rank=rank, children=children))
+        for errorcount in range(self.emax + 1):
+            states.append(OptimalSilentState(role=UNSETTLED, errorcount=errorcount))
+        for leader in (LEADER, FOLLOWER):
+            for resetcount in range(self.rmax + 1):
+                for delaytimer in range(self.dmax + 1):
+                    states.append(
+                        OptimalSilentState(
+                            role=RESETTING,
+                            leader=leader,
+                            resetcount=resetcount,
+                            delaytimer=delaytimer,
+                        )
+                    )
+        return states
+
+    def compiled_predicates(self):
+        n = self.n
+
+        def valid_ranking(counts, compiled):
+            settled = compiled.state_mask(lambda state: state.role == SETTLED)
+            if int(counts[~settled].sum()) != 0:
+                return False
+            ranks = np.fromiter(
+                (state.rank if state.role == SETTLED else 0 for state in compiled.states),
+                dtype=np.int64,
+                count=compiled.num_states,
+            )
+            per_rank = np.bincount(ranks[settled], weights=counts[settled], minlength=n + 1)
+            # All n agents Settled with every rank in 1..n held at most once
+            # is exactly a permutation (pigeonhole).
+            return bool((per_rank[1 : n + 1] <= 1).all())
+
+        # Correct, stabilized, and silent coincide (see the predicates above).
+        return {
+            "correct": valid_ranking,
+            "stabilized": valid_ranking,
+            "silent": valid_ranking,
+        }
+
     # -- diagnostics -------------------------------------------------------------------
 
     def role_counts(self, configuration: Configuration) -> dict:

@@ -113,6 +113,35 @@ class SyntheticCoinProtocol(PopulationProtocol):
     def theoretical_state_count(self) -> int:
         return 2 * sum(2**k for k in range(self.bits_needed + 1))
 
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """Every (role, harvested-bit-string) combination.
+
+        The space has ``2 * (2^(bits_needed+1) - 1)`` states, so only small
+        ``bits_needed`` values compile within the default ``max_states`` cap
+        (the tables are quadratic in the state count).  The per-agent
+        ``interactions`` bookkeeping counter is excluded from signatures and
+        is not tracked by the compiled engine.
+        """
+        states = []
+        for role in (ALG, FLIP):
+            for harvested in range(self.bits_needed + 1):
+                for pattern in range(2**harvested):
+                    bits = format(pattern, f"0{harvested}b") if harvested else ""
+                    state = SyntheticCoinState(
+                        coin_role=role, bits=bits, bits_needed=self.bits_needed
+                    )
+                    states.append(state)
+        return states
+
+    def compiled_predicates(self):
+        def all_done(counts, compiled):
+            undone = compiled.state_mask(lambda state: not state.done)
+            return int(counts[undone].sum()) == 0
+
+        return {"correct": all_done, "stabilized": all_done}
+
 
 __all__ = [
     "ALG",

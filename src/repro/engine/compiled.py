@@ -36,6 +36,7 @@ per-interaction loop.
 
 from __future__ import annotations
 
+import itertools
 import sys
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -49,6 +50,38 @@ from repro.engine.state import AgentState
 
 class CompilationError(RuntimeError):
     """Raised when a protocol cannot be compiled to a transition table."""
+
+
+def probe_deterministic_branch(
+    protocol: PopulationProtocol,
+    initiator: AgentState,
+    responder: AgentState,
+    probe_seeds: Sequence[int] = (11, 17),
+) -> List[Tuple[float, AgentState, AgentState]]:
+    """Derive a deterministic transition's single branch by probing.
+
+    Applies ``transition()`` to clones with one fixed-seed generator per probe
+    seed and insists the outcomes agree; differing outcomes mean the
+    transition consumes randomness without declaring ``transition_branches()``,
+    which raises :class:`CompilationError`.  Shared by the compiler's generic
+    path and by product protocols deriving their factors' branches.
+    """
+    outcomes = []
+    for seed in probe_seeds:
+        probe_initiator = initiator.clone()
+        probe_responder = responder.clone()
+        protocol.transition(probe_initiator, probe_responder, make_rng(seed))
+        outcomes.append((probe_initiator, probe_responder))
+    signatures = {
+        (protocol.state_signature(a), protocol.state_signature(b)) for a, b in outcomes
+    }
+    if len(signatures) > 1:
+        raise CompilationError(
+            f"{protocol.name}: transition() is randomized (probe outcomes differ "
+            f"for pair {initiator!r}, {responder!r}); implement "
+            "transition_branches() to expose the branch probabilities"
+        )
+    return [(1.0, outcomes[0][0], outcomes[0][1])]
 
 
 class CompiledProtocol:
@@ -91,7 +124,12 @@ class CompiledProtocol:
         result_responder: np.ndarray,
         branch_cumprob: Optional[np.ndarray],
         changes: np.ndarray,
+        factor_tables: Optional[Sequence["CompiledProtocol"]] = None,
     ):
+        #: Component tables when this table was built by the product
+        #: construction (see :meth:`ProtocolCompiler.compile` and the
+        #: ``compiled_factors`` protocol hook); ``None`` otherwise.
+        self.factor_tables = list(factor_tables) if factor_tables is not None else None
         self.protocol = protocol
         self.states: List[AgentState] = list(states)
         self._index: Dict[Hashable, int] = {
@@ -219,7 +257,17 @@ class ProtocolCompiler:
         self.probability_tolerance = float(probability_tolerance)
 
     def compile(self, protocol: PopulationProtocol) -> CompiledProtocol:
-        """Enumerate the reachable state space and build the transition tables."""
+        """Enumerate the reachable state space and build the transition tables.
+
+        Product-structured protocols (see
+        :meth:`~repro.engine.protocol.PopulationProtocol.compiled_factors`)
+        are compiled by composing their components' tables instead of probing
+        every composed transition; everything else goes through the generic
+        closure over ``enumerate_states()``.
+        """
+        factors = protocol.compiled_factors()
+        if factors is not None:
+            return self._compose(protocol, factors)
         seeds = protocol.enumerate_states()
         if seeds is None:
             raise CompilationError(
@@ -298,23 +346,10 @@ class ProtocolCompiler:
                 )
             return encoded
 
-        outcomes = []
-        for seed in self.probe_seeds:
-            probe_initiator = initiator.clone()
-            probe_responder = responder.clone()
-            protocol.transition(probe_initiator, probe_responder, make_rng(seed))
-            outcomes.append((probe_initiator, probe_responder))
-        signatures = {
-            (protocol.state_signature(a), protocol.state_signature(b)) for a, b in outcomes
-        }
-        if len(signatures) > 1:
-            raise CompilationError(
-                f"{protocol.name}: transition() is randomized (probe outcomes differ "
-                f"for pair {initiator!r}, {responder!r}); implement "
-                "transition_branches() to expose the branch probabilities"
-            )
-        result_initiator, result_responder = outcomes[0]
-        return [(1.0, intern(result_initiator), intern(result_responder))]
+        [(probability, result_initiator, result_responder)] = probe_deterministic_branch(
+            protocol, initiator, responder, self.probe_seeds
+        )
+        return [(probability, intern(result_initiator), intern(result_responder))]
 
     def _build(
         self,
@@ -363,5 +398,147 @@ class ProtocolCompiler:
             changes=changes,
         )
 
+    # -- product composition --------------------------------------------------------
 
-__all__ = ["CompilationError", "CompiledProtocol", "ProtocolCompiler"]
+    def _compose(
+        self, protocol: PopulationProtocol, factors: Sequence[PopulationProtocol]
+    ) -> CompiledProtocol:
+        """Build the product table of ``protocol`` from its factors' tables.
+
+        Each factor is compiled independently (recursively -- a factor may
+        itself declare factors) and the dense tables are combined by index
+        arithmetic: the composed state ``(a, b)`` is encoded as
+        ``a * S_b + b``, branch probabilities multiply across layers, and an
+        entry changes iff some layer's entry changes.  No composed transition
+        is ever probed, so composition cost is ``O(S^2 B)`` NumPy work rather
+        than ``O(S^2)`` Python transition calls.
+        """
+        if len(factors) < 2:
+            raise CompilationError(
+                f"{protocol.name}: compiled_factors() must return at least two "
+                f"components, got {len(factors)}"
+            )
+        compiled_factors: List[CompiledProtocol] = []
+        for factor in factors:
+            if factor.n != protocol.n:
+                raise CompilationError(
+                    f"{protocol.name}: component {factor.name} has population "
+                    f"size {factor.n}, expected {protocol.n}"
+                )
+            try:
+                compiled_factors.append(self.compile(factor))
+            except CompilationError as error:
+                raise CompilationError(
+                    f"{protocol.name}: component {factor.name} is not "
+                    f"compilable: {error}"
+                ) from error
+
+        product_states = 1
+        for compiled in compiled_factors:
+            product_states *= compiled.num_states
+        if product_states > self.max_states:
+            raise CompilationError(
+                f"{protocol.name}: product state space has {product_states} "
+                f"states, exceeding max_states={self.max_states}"
+            )
+
+        tables = _as_raw_tables(compiled_factors[0])
+        for compiled in compiled_factors[1:]:
+            tables = _product_tables(tables, _as_raw_tables(compiled))
+
+        states = [
+            protocol.compose_state([state.clone() for state in combination])
+            for combination in itertools.product(
+                *(compiled.states for compiled in compiled_factors)
+            )
+        ]
+
+        result_initiator, result_responder = tables["initiator"], tables["responder"]
+        max_branches = result_initiator.shape[1]
+        if max_branches == 1:
+            result_initiator = result_initiator[:, 0].copy()
+            result_responder = result_responder[:, 0].copy()
+            branch_cumprob = None
+        else:
+            branch_cumprob = np.minimum(np.cumsum(tables["probability"], axis=1), 1.0)
+            branch_cumprob[:, -1] = 1.0
+        return CompiledProtocol(
+            protocol=protocol,
+            states=states,
+            result_initiator=result_initiator.astype(np.int32, copy=False),
+            result_responder=result_responder.astype(np.int32, copy=False),
+            branch_cumprob=branch_cumprob,
+            changes=tables["changes"],
+            factor_tables=compiled_factors,
+        )
+
+
+def _as_raw_tables(compiled: CompiledProtocol) -> Dict[str, np.ndarray]:
+    """Normalize a compiled table to the branch-explicit raw form.
+
+    Raw form: ``initiator`` / ``responder`` of shape ``(S^2, B)``,
+    per-branch ``probability`` (``B = 1`` with probability 1 for
+    deterministic tables), plus ``changes`` and ``num_states``.
+    """
+    if compiled.branch_cumprob is None:
+        initiator = compiled.result_initiator.reshape(-1, 1)
+        responder = compiled.result_responder.reshape(-1, 1)
+        probability = np.ones_like(initiator, dtype=np.float64)
+    else:
+        initiator = compiled.result_initiator
+        responder = compiled.result_responder
+        probability = np.diff(compiled.branch_cumprob, axis=1, prepend=0.0)
+    return {
+        "num_states": compiled.num_states,
+        "initiator": initiator,
+        "responder": responder,
+        "probability": probability,
+        "changes": compiled.changes,
+    }
+
+
+def _product_tables(left: Dict[str, np.ndarray], right: Dict[str, np.ndarray]) -> Dict:
+    """Combine two raw tables into the raw table of their product protocol.
+
+    With ``S_l`` / ``S_r`` states and ``B_l`` / ``B_r`` branches, the product
+    has ``S_l * S_r`` states (state ``(a, b)`` encoded as ``a * S_r + b``) and
+    ``B_l * B_r`` branches whose probabilities multiply.  Padded zero-width
+    branches stay zero-width, so sampling never selects them.
+    """
+    num_left, num_right = left["num_states"], right["num_states"]
+    branches_left = left["initiator"].shape[1]
+    branches_right = right["initiator"].shape[1]
+    num_states = num_left * num_right
+
+    def combine(channel: str) -> np.ndarray:
+        expanded_left = left[channel].reshape(
+            num_left, 1, num_left, 1, branches_left, 1
+        )
+        expanded_right = right[channel].reshape(
+            1, num_right, 1, num_right, 1, branches_right
+        )
+        if channel == "probability":
+            combined = expanded_left * expanded_right
+        else:
+            combined = expanded_left.astype(np.int64) * num_right + expanded_right
+        return combined.reshape(num_states * num_states, branches_left * branches_right)
+
+    changes = (
+        left["changes"].reshape(num_left, 1, num_left, 1)
+        | right["changes"].reshape(1, num_right, 1, num_right)
+    ).reshape(num_states * num_states)
+    return {
+        "num_states": num_states,
+        "initiator": combine("initiator"),
+        "responder": combine("responder"),
+        "probability": combine("probability"),
+        "changes": changes,
+    }
+
+
+__all__ = [
+    "CompilationError",
+    "CompiledProtocol",
+    "ProtocolCompiler",
+    "probe_deterministic_branch",
+]

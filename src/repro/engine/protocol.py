@@ -156,6 +156,37 @@ class PopulationProtocol(abc.ABC):
         """
         return None
 
+    def compiled_factors(self) -> Optional[Sequence["PopulationProtocol"]]:
+        """Component protocols whose compiled tables compose to this protocol's.
+
+        Product-structured protocols (every agent carries one sub-state per
+        component, every interaction applies each component's transition to
+        its layer independently) return their component protocols here; the
+        compiler then compiles each component separately and combines the
+        resulting tables with the product construction -- state space
+        ``S = prod(S_k)``, branch probabilities multiplied across layers --
+        instead of re-deriving every composed transition by probing, which
+        would cost ``O(S^2)`` Python calls.  Implementations must also
+        override :meth:`compose_state` so the compiler can materialize
+        exemplar product states.  Raise
+        :class:`~repro.engine.compiled.CompilationError` to reject
+        compilation with a protocol-specific message (e.g. when a coupling
+        between the layers breaks the product structure).  Return ``None``
+        (the default) for protocols that are not products.
+        """
+        return None
+
+    def compose_state(self, factor_states: Sequence[AgentState]) -> AgentState:
+        """Build this protocol's product state from one state per factor.
+
+        Only meaningful together with :meth:`compiled_factors`; receives
+        freshly cloned component states (one per factor, in the same order)
+        and returns the combined :class:`AgentState`.
+        """
+        raise NotImplementedError(
+            f"{self.name} declares no compiled factors, so it cannot compose states"
+        )
+
     def compiled_predicates(
         self,
     ) -> Dict[str, Callable[[np.ndarray, object], bool]]:

@@ -25,11 +25,13 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
-    """Spawn ``count`` independent generators derived from ``seed``.
+def spawn_seed_sequences(seed: RngLike, count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent child ``SeedSequence`` objects from ``seed``.
 
-    Uses ``SeedSequence.spawn`` so the streams are independent even when the
-    parent seed is small or reused across experiments.
+    The picklable form of :func:`spawn_rngs`: the parallel experiment harness
+    ships these to worker processes and builds each trial's generator there,
+    so a trial's random stream depends only on ``(seed, trial index)`` -- not
+    on how trials are distributed over processes.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -37,7 +39,16 @@ def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
         seed_seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
     else:
         seed_seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+    return list(seed_seq.spawn(count))
+
+
+def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators derived from ``seed``.
+
+    Uses ``SeedSequence.spawn`` so the streams are independent even when the
+    parent seed is small or reused across experiments.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 def random_bits(rng: np.random.Generator, count: int) -> str:
@@ -63,4 +74,11 @@ def geometric_interactions(rng: np.random.Generator, success_probability: float)
     return int(rng.geometric(success_probability))
 
 
-__all__ = ["RngLike", "geometric_interactions", "make_rng", "random_bits", "spawn_rngs"]
+__all__ = [
+    "RngLike",
+    "geometric_interactions",
+    "make_rng",
+    "random_bits",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+]

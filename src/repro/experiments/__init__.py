@@ -12,9 +12,15 @@ functions so the CLI and the benchmarks can invoke them uniformly:
 from repro.experiments.harness import (
     ExperimentSpec,
     measure_parallel_times,
+    run_trials,
     sweep_parallel_time,
 )
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 from repro.experiments.report import format_table, rows_to_markdown
 
 __all__ = [
@@ -25,5 +31,7 @@ __all__ = [
     "list_experiments",
     "measure_parallel_times",
     "rows_to_markdown",
+    "run_experiment",
+    "run_trials",
     "sweep_parallel_time",
 ]

@@ -1,7 +1,22 @@
-"""Shared experiment machinery: repeated trials and population-size sweeps."""
+"""Shared experiment machinery: repeated trials and population-size sweeps.
+
+Multi-trial measurements embarrassingly parallelize: every trial derives its
+random stream from its own ``numpy.random.SeedSequence`` child, so trials are
+independent no matter which process executes them.  :func:`run_trials` exploits
+this with a ``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1``:
+results are bit-identical across any ``jobs`` value (the stream of trial ``i``
+depends only on ``(seed, i)``), which ``tests/experiments/test_parallel_harness.py``
+enforces.  Worker processes are forked, so closures (the lambdas experiments
+pass as factories) and a pre-compiled transition table are inherited rather
+than pickled; on platforms without ``fork`` the harness silently runs
+sequentially.
+"""
 
 from __future__ import annotations
 
+import inspect
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -11,8 +26,8 @@ from repro.engine.batch_simulation import BatchSimulation
 from repro.engine.compiled import CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.results import TrialStatistics
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import SimulationResult, TrialStatistics
+from repro.engine.rng import RngLike, spawn_seed_sequences
 from repro.engine.simulation import Simulation
 
 ProtocolFactory = Callable[[int], PopulationProtocol]
@@ -20,6 +35,14 @@ ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Confi
 
 #: Engines selectable by experiments and the CLI (see docs/ARCHITECTURE.md).
 ENGINES = ("loop", "compiled")
+
+#: Stop conditions understood by the trial runners.
+STOPS = ("stabilized", "correct", "silent")
+
+#: Trial context inherited by forked pool workers (see :func:`run_trials`).
+#: Holding it in a module global instead of pickling it lets experiments keep
+#: passing plain lambdas as factories.
+_POOL_STATE: Optional[Dict] = None
 
 
 @dataclass
@@ -34,13 +57,165 @@ class ExperimentSpec:
     quick_kwargs: Dict = field(default_factory=dict)
     full_kwargs: Dict = field(default_factory=dict)
 
-    def run(self, scale: str = "quick", **overrides) -> List[Dict]:
-        """Run the experiment at the requested scale, applying overrides."""
+    def supports_jobs(self) -> bool:
+        """``True`` iff the runner accepts a ``jobs`` keyword (worker count)."""
+        try:
+            parameters = inspect.signature(self.runner).parameters
+        except (TypeError, ValueError):
+            return False
+        if "jobs" in parameters:
+            return True
+        return any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+
+    def run(self, scale: str = "quick", jobs: Optional[int] = None, **overrides) -> List[Dict]:
+        """Run the experiment at the requested scale, applying overrides.
+
+        ``jobs`` (the ``--jobs N`` CLI flag) is forwarded to runners that
+        accept it and ignored otherwise, so a single flag can fan a whole
+        ``run all`` over every sweep-style experiment.
+        """
         if scale not in ("quick", "full"):
             raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
         kwargs = dict(self.quick_kwargs if scale == "quick" else self.full_kwargs)
         kwargs.update(overrides)
+        if jobs is not None and "jobs" not in kwargs and self.supports_jobs():
+            kwargs["jobs"] = jobs
         return self.runner(**kwargs)
+
+
+def _execute_trial(
+    protocol_factory: Callable[[], PopulationProtocol],
+    configuration_factory: Optional[ConfigurationFactory],
+    stop: str,
+    engine: str,
+    max_interactions: Optional[int],
+    check_interval: Optional[int],
+    compiled: Optional[CompiledProtocol],
+    seed_seq: np.random.SeedSequence,
+) -> SimulationResult:
+    """Run one trial from its own seed sequence (process-agnostic)."""
+    rng = np.random.default_rng(seed_seq)
+    protocol = protocol_factory()
+    configuration = (
+        configuration_factory(protocol, rng) if configuration_factory is not None else None
+    )
+    if engine == "compiled":
+        simulation = BatchSimulation(
+            protocol, configuration=configuration, rng=rng, compiled=compiled
+        )
+    else:
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+    runner = {
+        "stabilized": simulation.run_until_stabilized,
+        "correct": simulation.run_until_correct,
+        "silent": simulation.run_until_silent,
+    }[stop]
+    return runner(max_interactions=max_interactions, check_interval=check_interval)
+
+
+def _pool_trial(index: int) -> SimulationResult:
+    """Pool worker entry point: run trial ``index`` of the inherited context."""
+    state = _POOL_STATE
+    if state is None:
+        raise RuntimeError(
+            "worker has no inherited trial context; the parallel harness "
+            "requires fork-started workers"
+        )
+    return _execute_trial(
+        protocol_factory=state["protocol_factory"],
+        configuration_factory=state["configuration_factory"],
+        stop=state["stop"],
+        engine=state["engine"],
+        max_interactions=state["max_interactions"],
+        check_interval=state["check_interval"],
+        compiled=state["compiled"],
+        seed_seq=state["seeds"][index],
+    )
+
+
+def run_trials(
+    protocol_factory: Callable[[], PopulationProtocol],
+    trials: int,
+    seed: RngLike = None,
+    configuration_factory: Optional[ConfigurationFactory] = None,
+    stop: str = "stabilized",
+    max_interactions: Optional[int] = None,
+    check_interval: Optional[int] = None,
+    engine: str = "loop",
+    jobs: int = 1,
+) -> List[SimulationResult]:
+    """Run ``trials`` independent simulations, optionally across processes.
+
+    Returns the per-trial :class:`SimulationResult` records in trial order.
+    Trial ``i`` always consumes the generator spawned from the ``i``-th child
+    ``SeedSequence`` of ``seed``, so the results are **bit-identical for every
+    value of ``jobs``** -- parallelism redistributes work, never randomness.
+
+    ``jobs > 1`` executes trials on a ``ProcessPoolExecutor`` with forked
+    workers; factories may be arbitrary closures (they are inherited through
+    the fork, not pickled).  With ``engine="compiled"`` the protocol is
+    compiled once up front and the table shared -- by reference across
+    sequential trials, via fork copy-on-write across workers.  On platforms
+    without the ``fork`` start method the harness degrades to sequential
+    execution (same results, no speedup).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    if stop not in STOPS:
+        raise ValueError(f"unknown stop condition {stop!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
+    seeds = spawn_seed_sequences(seed, trials)
+    compiled = (
+        ProtocolCompiler().compile(protocol_factory()) if engine == "compiled" else None
+    )
+
+    context = None
+    if jobs > 1 and trials > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+
+    if context is None:
+        return [
+            _execute_trial(
+                protocol_factory=protocol_factory,
+                configuration_factory=configuration_factory,
+                stop=stop,
+                engine=engine,
+                max_interactions=max_interactions,
+                check_interval=check_interval,
+                compiled=compiled,
+                seed_seq=seed_seq,
+            )
+            for seed_seq in seeds
+        ]
+
+    global _POOL_STATE
+    _POOL_STATE = {
+        "protocol_factory": protocol_factory,
+        "configuration_factory": configuration_factory,
+        "stop": stop,
+        "engine": engine,
+        "max_interactions": max_interactions,
+        "check_interval": check_interval,
+        "compiled": compiled,
+        "seeds": seeds,
+    }
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, trials), mp_context=context
+        ) as executor:
+            chunksize = max(1, trials // (4 * min(jobs, trials)))
+            return list(executor.map(_pool_trial, range(trials), chunksize=chunksize))
+    finally:
+        _POOL_STATE = None
 
 
 def measure_parallel_times(
@@ -53,10 +228,11 @@ def measure_parallel_times(
     check_interval: Optional[int] = None,
     label: str = "",
     engine: str = "loop",
+    jobs: int = 1,
 ) -> TrialStatistics:
     """Run ``trials`` independent simulations and collect stabilization times.
 
-    A thin wrapper around the simulation engines that accepts a configuration
+    A thin wrapper around :func:`run_trials` that accepts a configuration
     factory for adversarial starts and returns :class:`TrialStatistics` of
     the measured parallel times.  Trials that hit the interaction cap
     contribute their (censored) cap time, so results stay conservative rather
@@ -68,41 +244,24 @@ def measure_parallel_times(
     are shared across trials, so the factory must build identically
     parameterized protocols every call -- state-space mismatches are
     detected, but outcome-only parameters such as branch probabilities are
-    the caller's responsibility).  See ``docs/ARCHITECTURE.md`` for
-    tradeoffs.
+    the caller's responsibility).  ``jobs`` fans the trials over worker
+    processes without changing any trial's random stream.  See
+    ``docs/ARCHITECTURE.md`` for tradeoffs.
     """
-    if trials < 1:
-        raise ValueError(f"trials must be positive, got {trials}")
-    if stop not in ("stabilized", "correct", "silent"):
-        raise ValueError(f"unknown stop condition {stop!r}")
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
-    rngs = spawn_rngs(seed, trials)
-    times: List[float] = []
-    n = None
-    compiled: Optional[CompiledProtocol] = None
-    for rng in rngs:
-        protocol = protocol_factory()
-        n = protocol.n
-        configuration = (
-            configuration_factory(protocol, rng) if configuration_factory is not None else None
-        )
-        if engine == "compiled":
-            if compiled is None:
-                compiled = ProtocolCompiler().compile(protocol)
-            simulation = BatchSimulation(
-                protocol, configuration=configuration, rng=rng, compiled=compiled
-            )
-        else:
-            simulation = Simulation(protocol, configuration=configuration, rng=rng)
-        runner = {
-            "stabilized": simulation.run_until_stabilized,
-            "correct": simulation.run_until_correct,
-            "silent": simulation.run_until_silent,
-        }[stop]
-        result = runner(max_interactions=max_interactions, check_interval=check_interval)
-        times.append(result.parallel_time)
-    return TrialStatistics.from_values(label or protocol_factory().name, n or 0, times)
+    results = run_trials(
+        protocol_factory=protocol_factory,
+        trials=trials,
+        seed=seed,
+        configuration_factory=configuration_factory,
+        stop=stop,
+        max_interactions=max_interactions,
+        check_interval=check_interval,
+        engine=engine,
+        jobs=jobs,
+    )
+    times = [result.parallel_time for result in results]
+    n = results[0].n if results else 0
+    return TrialStatistics.from_values(label or protocol_factory().name, n, times)
 
 
 def sweep_parallel_time(
@@ -115,29 +274,40 @@ def sweep_parallel_time(
     max_interactions_factory: Optional[Callable[[int], int]] = None,
     label: str = "",
     engine: str = "loop",
+    jobs: int = 1,
 ) -> List[TrialStatistics]:
     """Measure stabilization time across a sweep of population sizes.
 
     ``protocol_factory`` receives the population size; the per-``n`` seeds are
     derived from ``seed`` so runs are reproducible yet independent.  The
-    ``engine`` choice is forwarded to :func:`measure_parallel_times`.
+    ``engine`` and ``jobs`` choices are forwarded to
+    :func:`measure_parallel_times`, so a multi-trial/multi-``n`` sweep
+    saturates ``jobs`` cores with either engine.
     """
     results: List[TrialStatistics] = []
-    seeds = spawn_rngs(seed, len(ns))
-    for n, n_rng in zip(ns, seeds):
+    seeds = spawn_seed_sequences(seed, len(ns))
+    for n, n_seed in zip(ns, seeds):
         cap = max_interactions_factory(n) if max_interactions_factory is not None else None
         statistics = measure_parallel_times(
             protocol_factory=lambda n=n: protocol_factory(n),
             trials=trials,
-            seed=n_rng,
+            seed=np.random.default_rng(n_seed),
             configuration_factory=configuration_factory,
             stop=stop,
             max_interactions=cap,
             label=f"{label or 'sweep'} (n={n})",
             engine=engine,
+            jobs=jobs,
         )
         results.append(statistics)
     return results
 
 
-__all__ = ["ENGINES", "ExperimentSpec", "measure_parallel_times", "sweep_parallel_time"]
+__all__ = [
+    "ENGINES",
+    "STOPS",
+    "ExperimentSpec",
+    "measure_parallel_times",
+    "run_trials",
+    "sweep_parallel_time",
+]

@@ -38,6 +38,7 @@ def run_binary_tree_assignment(
     trials: int = 20,
     seed: RngLike = 0,
     paper_constants: bool = False,
+    jobs: int = 1,
 ) -> List[Dict]:
     """E7: time for one Settled leader to rank the whole population (Lemma 4.1)."""
     rows: List[Dict] = []
@@ -52,6 +53,7 @@ def run_binary_tree_assignment(
             ),
             stop="stabilized",
             label=f"binary-tree (n={n})",
+            jobs=jobs,
         )
         mean_times.append(statistics.mean)
         rows.append(
@@ -78,6 +80,7 @@ def run_optimal_silent_scaling(
     seed: RngLike = 0,
     paper_constants: bool = False,
     start: str = "adversarial",
+    jobs: int = 1,
 ) -> List[Dict]:
     """E8: stabilization time of ``Optimal-Silent-SSR`` across population sizes.
 
@@ -104,6 +107,7 @@ def run_optimal_silent_scaling(
             configuration_factory=starts[start],
             stop="stabilized",
             label=f"optimal-silent (n={n})",
+            jobs=jobs,
         )
         mean_times.append(statistics.mean)
         rows.append(

@@ -5,11 +5,16 @@ records in ``EXPERIMENTS.md``; the CLI resolves names through this table.
 Each entry carries a ``quick`` parameterization (seconds to a couple of
 minutes on a laptop) and a ``full`` one (closer to the ranges quoted in
 ``EXPERIMENTS.md``).
+
+:func:`run_experiment` is the single entry point the CLI uses; its ``jobs``
+argument (the ``--jobs N`` flag) fans multi-trial sweeps over worker
+processes for every runner that accepts a ``jobs`` keyword, and is ignored
+for the rest -- see :meth:`repro.experiments.harness.ExperimentSpec.run`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.ablations import (
     run_dormancy_ablation,
@@ -268,4 +273,14 @@ def get_experiment(identifier: str) -> ExperimentSpec:
         raise KeyError(f"unknown experiment {identifier!r}; known: {known}") from None
 
 
-__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+def run_experiment(
+    identifier: str,
+    scale: str = "quick",
+    jobs: Optional[int] = None,
+    **overrides,
+) -> List[Dict]:
+    """Resolve ``identifier`` and run it, forwarding ``jobs`` where supported."""
+    return get_experiment(identifier).run(scale=scale, jobs=jobs, **overrides)
+
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]

@@ -55,12 +55,36 @@ class BoundedEpidemicProtocol(PopulationProtocol):
     def transition(
         self, initiator: LevelState, responder: LevelState, rng: np.random.Generator
     ) -> None:
-        initiator.level = min(initiator.level, responder.level + 1)
-        responder.level = min(responder.level, initiator.level + 1)
+        initiator.level = self._clamp(min(initiator.level, responder.level + 1))
+        responder.level = self._clamp(min(responder.level, initiator.level + 1))
+
+    def _clamp(self, level: int) -> int:
+        """Normalize any level ``>= n`` to the :data:`UNREACHED` sentinel.
+
+        Finite levels never exceed ``n - 1`` in a real execution (a finite
+        level ``m`` requires at least ``m + 1`` agents already carrying finite
+        levels, and levels only decrease per agent), so the clamp never alters
+        a run; it only closes the *pairwise* state space -- without it the
+        compiler's closure would chase the unreachable ladder ``n, n+1, ...``
+        produced by pairing level ``n - 1`` with an unreached agent.
+        """
+        return UNREACHED if level >= self.n else level
 
     def is_correct(self, configuration: Configuration) -> bool:
         """Correct once the target has heard from the source via <= k hops."""
         return configuration[self.target].level <= self.k
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """Levels ``0 .. n-1`` plus the unreached sentinel (``n + 1`` states).
+
+        The correctness predicate names a specific *agent* (the target), which
+        a state-count vector cannot express, so the protocol declares no
+        ``compiled_predicates``; the batch engine decodes the configuration
+        for its stop checks (exact, ``O(n)`` per check).
+        """
+        return [LevelState(level) for level in range(self.n)] + [LevelState(UNREACHED)]
 
 
 def simulate_level_hitting_times(

@@ -24,10 +24,10 @@ def epidemic_simulation(n: int, rng=0, **kwargs) -> BatchSimulation:
 
 class TestConstruction:
     def test_non_compilable_protocol_raises(self):
-        from repro.core.fratricide import FratricideLeaderElection
+        from repro.core.initialized_ranking import InitializedLeaderDrivenRanking
 
         with pytest.raises(CompilationError):
-            BatchSimulation(FratricideLeaderElection(8))
+            BatchSimulation(InitializedLeaderDrivenRanking(8))
 
     def test_configuration_and_indices_are_exclusive(self):
         protocol = TwoWayEpidemicProtocol(4)

@@ -127,10 +127,10 @@ class TestClosure:
 
 class TestErrors:
     def test_non_enumerable_protocol_rejected(self):
-        from repro.core.fratricide import FratricideLeaderElection
+        from repro.core.initialized_ranking import InitializedLeaderDrivenRanking
 
         with pytest.raises(CompilationError, match="enumerate_states"):
-            ProtocolCompiler().compile(FratricideLeaderElection(8))
+            ProtocolCompiler().compile(InitializedLeaderDrivenRanking(8))
 
     def test_hidden_randomness_detected(self):
         protocol = LazyEpidemicProtocol(8, p=0.5, declare_branches=False)

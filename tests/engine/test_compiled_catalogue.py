@@ -1,0 +1,287 @@
+"""Compilation facts for the newly compiled protocols and composed tables.
+
+The generic table-vs-``delta()`` agreement lives in
+``test_engine_equivalence.py``; this module pins the *structural* facts --
+state-space sizes, individual table entries, the product construction of
+composed tables, and the error paths (interference, non-compilable
+components, degenerate factor lists).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import ComposedProtocol
+from repro.core.fratricide import FratricideLeaderElection, FratricideState
+from repro.core.optimal_silent import OptimalSilentSSR
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.derandomize.synthetic_coin import ALG, FLIP, SyntheticCoinProtocol, SyntheticCoinState
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import CompilationError, ProtocolCompiler
+from repro.processes.bounded_epidemic import UNREACHED, BoundedEpidemicProtocol, LevelState
+
+
+def small_optimal_silent(n: int = 6) -> OptimalSilentSSR:
+    return OptimalSilentSSR(n, rmax_multiplier=1.0, dmax_factor=2.0, emax_factor=3.0)
+
+
+_OPTIMAL_SILENT_TABLES = {}
+
+
+def compiled_optimal_silent(n: int = 6):
+    """Compile once per population size; the table is immutable across tests."""
+    if n not in _OPTIMAL_SILENT_TABLES:
+        _OPTIMAL_SILENT_TABLES[n] = ProtocolCompiler().compile(small_optimal_silent(n))
+    return _OPTIMAL_SILENT_TABLES[n]
+
+
+class TestFratricideTable:
+    def test_two_states_deterministic(self):
+        compiled = ProtocolCompiler().compile(FratricideLeaderElection(8))
+        assert compiled.num_states == 2
+        assert compiled.deterministic
+
+    def test_only_leader_pairs_change(self):
+        compiled = ProtocolCompiler().compile(FratricideLeaderElection(8))
+        leader = compiled.encode_state(FratricideState(True))
+        follower = compiled.encode_state(FratricideState(False))
+        size = compiled.num_states
+        row = leader * size + leader
+        assert compiled.result_initiator[row] == leader
+        assert compiled.result_responder[row] == follower
+        for a, b in [(leader, follower), (follower, leader), (follower, follower)]:
+            assert not compiled.changes[a * size + b]
+
+    def test_unique_leader_predicate(self):
+        protocol = FratricideLeaderElection(16)
+        compiled = ProtocolCompiler().compile(protocol)
+        simulation = BatchSimulation(protocol, rng=5, compiled=compiled)
+        result = simulation.run_until_correct()
+        assert result.stopped
+        counts = simulation.state_counts
+        leader = compiled.encode_state(FratricideState(True))
+        assert counts[leader] == 1
+
+
+class TestBoundedEpidemicTable:
+    def test_state_space_is_levels_plus_sentinel(self):
+        n = 12
+        compiled = ProtocolCompiler().compile(BoundedEpidemicProtocol(n, k=2))
+        assert compiled.num_states == n + 1
+
+    def test_unreached_pair_with_max_level_is_null(self):
+        """The clamp closes the space: level n-1 cannot mint level n."""
+        n = 8
+        compiled = ProtocolCompiler().compile(BoundedEpidemicProtocol(n, k=2))
+        top = compiled.encode_state(LevelState(n - 1))
+        unreached = compiled.encode_state(LevelState(UNREACHED))
+        assert not compiled.changes[top * compiled.num_states + unreached]
+
+    def test_propagation_entry(self):
+        n = 8
+        compiled = ProtocolCompiler().compile(BoundedEpidemicProtocol(n, k=2))
+        source = compiled.encode_state(LevelState(0))
+        unreached = compiled.encode_state(LevelState(UNREACHED))
+        row = source * compiled.num_states + unreached
+        assert compiled.result_initiator[row] == source
+        assert compiled.result_responder[row] == compiled.encode_state(LevelState(1))
+
+
+class TestSyntheticCoinTable:
+    def test_state_space_matches_closed_form(self):
+        protocol = SyntheticCoinProtocol(10, bits_needed=3)
+        compiled = ProtocolCompiler().compile(protocol)
+        assert compiled.num_states == protocol.theoretical_state_count() == 2 * 15
+
+    def test_roles_always_toggle(self):
+        protocol = SyntheticCoinProtocol(10, bits_needed=1)
+        compiled = ProtocolCompiler().compile(protocol)
+        size = compiled.num_states
+        for i, state_i in enumerate(compiled.states):
+            for j in range(size):
+                row = i * size + j
+                out = compiled.states[int(compiled.result_initiator[row])]
+                assert out.coin_role == (FLIP if state_i.coin_role == ALG else ALG)
+
+    def test_harvest_entry(self):
+        protocol = SyntheticCoinProtocol(10, bits_needed=1)
+        compiled = ProtocolCompiler().compile(protocol)
+        alg = compiled.encode_state(SyntheticCoinState(ALG, "", 1))
+        flip = compiled.encode_state(SyntheticCoinState(FLIP, "", 1))
+        row = alg * compiled.num_states + flip
+        harvested = compiled.states[int(compiled.result_initiator[row])]
+        assert harvested.bits == "1" and harvested.coin_role == FLIP
+
+
+class TestOptimalSilentTable:
+    def test_enumeration_is_closed(self):
+        compiled = compiled_optimal_silent(6)
+        protocol = compiled.protocol
+        # The declared space is already transition-closed: closure adds nothing.
+        assert compiled.num_states == len(protocol.enumerate_states())
+
+    def test_stable_configuration_is_silent_and_correct(self):
+        compiled = compiled_optimal_silent(6)
+        protocol = compiled.protocol
+        indices = compiled.encode_configuration(protocol.stable_configuration())
+        counts = compiled.state_counts(indices)
+        predicate = protocol.compiled_predicates()["correct"]
+        assert predicate(counts, compiled)
+        assert compiled.counts_silent(counts)
+
+    def test_duplicate_ranks_fail_the_predicate(self):
+        compiled = compiled_optimal_silent(6)
+        protocol = compiled.protocol
+        indices = compiled.encode_configuration(protocol.duplicate_rank_configuration())
+        counts = compiled.state_counts(indices)
+        predicate = protocol.compiled_predicates()["correct"]
+        assert not predicate(counts, compiled)
+        assert not compiled.counts_silent(counts)
+
+    def test_adversarial_run_stabilizes_to_valid_ranking(self):
+        compiled = compiled_optimal_silent(6)
+        protocol = small_optimal_silent(6)
+        rng = np.random.default_rng(11)
+        simulation = BatchSimulation(
+            protocol,
+            configuration=protocol.random_configuration(rng),
+            rng=rng,
+            compiled=compiled,
+        )
+        result = simulation.run_until_stabilized()
+        assert result.stopped
+        assert protocol.is_correct(simulation.configuration)
+
+
+class TestComposedTables:
+    def compile_pair(self, n=8):
+        protocol = ComposedProtocol(FratricideLeaderElection(n), SilentNStateSSR(n))
+        return protocol, ProtocolCompiler().compile(protocol)
+
+    def test_product_state_space(self):
+        protocol, compiled = self.compile_pair(8)
+        assert compiled.num_states == 2 * 8
+        assert [factor.num_states for factor in compiled.factor_tables] == [2, 8]
+
+    def test_every_entry_is_the_product_of_factor_entries(self):
+        """The composed table is exactly the component tables, index-combined."""
+        protocol, compiled = self.compile_pair(6)
+        up, down = compiled.factor_tables
+        size, down_size = compiled.num_states, down.num_states
+        for i in range(size):
+            for j in range(size):
+                row = i * size + j
+                up_row = (i // down_size) * up.num_states + (j // down_size)
+                down_row = (i % down_size) * down.num_states + (j % down_size)
+                expected_initiator = (
+                    int(up.result_initiator[up_row]) * down_size
+                    + int(down.result_initiator[down_row])
+                )
+                expected_responder = (
+                    int(up.result_responder[up_row]) * down_size
+                    + int(down.result_responder[down_row])
+                )
+                assert int(compiled.result_initiator[row]) == expected_initiator
+                assert int(compiled.result_responder[row]) == expected_responder
+                assert bool(compiled.changes[row]) == bool(
+                    up.changes[up_row] or down.changes[down_row]
+                )
+
+    def test_composed_of_composed_compiles(self):
+        inner = ComposedProtocol(FratricideLeaderElection(6), SilentNStateSSR(6))
+        outer = ComposedProtocol(inner, FratricideLeaderElection(6))
+        compiled = ProtocolCompiler().compile(outer)
+        assert compiled.num_states == (2 * 6) * 2
+        inner_table = compiled.factor_tables[0]
+        assert inner_table.factor_tables is not None
+        assert [f.num_states for f in inner_table.factor_tables] == [2, 6]
+        simulation = BatchSimulation(outer, rng=3, compiled=compiled)
+        result = simulation.run_until_correct(max_interactions=200_000)
+        assert result.stopped
+
+    def test_interference_raises_a_clear_error(self):
+        protocol = ComposedProtocol(
+            FratricideLeaderElection(8),
+            SilentNStateSSR(8),
+            interference_probability=0.25,
+        )
+        with pytest.raises(CompilationError, match="interference_probability"):
+            ProtocolCompiler().compile(protocol)
+        # transition_branches must not alias "inexpressibly randomized" to the
+        # contract's None ("deterministic"), or probing consumers would
+        # silently compile a wrong table.
+        rng = np.random.default_rng(0)
+        initiator, responder = protocol.random_state(rng), protocol.random_state(rng)
+        with pytest.raises(CompilationError, match="interference_probability"):
+            protocol.transition_branches(initiator, responder)
+
+    def test_non_compilable_component_raises_a_clear_error(self):
+        from repro.core.sublinear import SublinearTimeSSR
+
+        protocol = ComposedProtocol(
+            FratricideLeaderElection(8), SublinearTimeSSR(8, depth=1)
+        )
+        with pytest.raises(CompilationError, match="Sublinear-Time-SSR is not compilable"):
+            ProtocolCompiler().compile(protocol)
+
+    def test_product_exceeding_max_states_rejected(self):
+        protocol = ComposedProtocol(SilentNStateSSR(16), SilentNStateSSR(16))
+        with pytest.raises(CompilationError, match="max_states"):
+            ProtocolCompiler(max_states=100).compile(protocol)
+
+    def test_randomized_layer_probabilities_multiply(self):
+        """A randomized layer's branch channel survives composition intact."""
+        from repro.engine.protocol import PopulationProtocol
+        from repro.engine.state import AgentState
+
+        class Bit(AgentState):
+            def __init__(self, bit):
+                self.bit = int(bit)
+
+            def signature(self):
+                return self.bit
+
+        class LazyEpidemic(PopulationProtocol):
+            name = "lazy-epidemic"
+
+            def __init__(self, n, p=0.25):
+                super().__init__(n)
+                self.p = p
+
+            def initial_state(self, agent_id, rng):
+                return Bit(1 if agent_id == 0 else 0)
+
+            def transition(self, initiator, responder, rng):
+                if initiator.bit == 1 and responder.bit == 0 and rng.random() < self.p:
+                    responder.bit = 1
+
+            def is_correct(self, configuration):
+                return all(state.bit == 1 for state in configuration)
+
+            def enumerate_states(self):
+                return [Bit(0), Bit(1)]
+
+            def transition_branches(self, initiator, responder):
+                if initiator.bit == 1 and responder.bit == 0:
+                    return [(self.p, Bit(1), Bit(1)), (1.0 - self.p, Bit(1), Bit(0))]
+                return [(1.0, initiator, responder)]
+
+        protocol = ComposedProtocol(LazyEpidemic(8, p=0.25), SilentNStateSSR(8))
+        compiled = ProtocolCompiler().compile(protocol)
+        assert not compiled.deterministic
+        up, down = compiled.factor_tables
+        assert up.max_branches == 2 and down.deterministic
+        # Entry (infected, rank 0) x (susceptible, rank 0): the upstream entry
+        # branches with (p, 1 - p); the composed cumulative channel must too.
+        down_size = down.num_states
+        infected = up.encode_state(Bit(1)) * down_size + 0
+        susceptible = up.encode_state(Bit(0)) * down_size + 0
+        row = infected * compiled.num_states + susceptible
+        probabilities = np.diff(compiled.branch_cumprob[row], prepend=0.0)
+        positive = probabilities[probabilities > 0]
+        np.testing.assert_allclose(sorted(positive), [0.25, 0.75])
+
+    def test_compiled_table_is_shareable_across_trials(self):
+        protocol, compiled = self.compile_pair(8)
+        fresh = ComposedProtocol(FratricideLeaderElection(8), SilentNStateSSR(8))
+        simulation = BatchSimulation(fresh, rng=9, compiled=compiled)
+        assert simulation.run_until_correct().stopped

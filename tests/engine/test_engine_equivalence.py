@@ -1,11 +1,20 @@
-"""Loop-vs-compiled equivalence: same protocol, same law of convergence times.
+"""Loop-vs-compiled equivalence across the whole compilable catalogue.
 
-The two engines consume the shared random generator differently, so runs are
-not bitwise identical; instead, for every protocol the compiler supports, the
-distribution of convergence (parallel) times over independent seeded trials
-must be statistically indistinguishable.  Each case runs a fixed number of
-trials per engine from seed-derived independent streams and applies a
-two-sample Kolmogorov-Smirnov test plus a loose mean-ratio sanity check.
+Three layers of agreement, from statistical to exact:
+
+1. **Convergence-time law** -- the two engines consume the shared random
+   generator differently, so runs are not bitwise identical; instead, for
+   every protocol the compiler supports, the distribution of convergence
+   (parallel) times over independent seeded trials must be statistically
+   indistinguishable (two-sample Kolmogorov-Smirnov plus a loose mean-ratio
+   sanity check).
+2. **Table-vs-delta** -- for every ordered pair of enumerated states, the
+   compiled table's branch list must agree *exactly* with the protocol's
+   ``transition()`` / ``transition_branches()``.  This is exhaustive, not
+   sampled: every entry of every table is checked.
+3. **State-space containment** -- every state a loop-engine execution visits
+   must be encodable by the compiled table (the compiled space covers the
+   reachable space).
 
 All seeds are fixed, so these tests are deterministic; the KS threshold of
 0.001 makes a false alarm essentially impossible while still catching real
@@ -16,21 +25,100 @@ import numpy as np
 import pytest
 from scipy import stats
 
+from repro.core.composition import ComposedProtocol
+from repro.core.fratricide import FratricideLeaderElection
+from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.propagate_reset import ResetWaveProtocol
 from repro.core.silent_n_state import SilentNStateSSR
+from repro.derandomize.synthetic_coin import SyntheticCoinProtocol
 from repro.engine.batch_simulation import BatchSimulation
 from repro.engine.compiled import ProtocolCompiler
-from repro.engine.rng import spawn_rngs
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import make_rng, spawn_rngs
 from repro.engine.simulation import Simulation
+from repro.engine.state import AgentState
+from repro.processes.bounded_epidemic import BoundedEpidemicProtocol
 from repro.processes.epidemic import TwoWayEpidemicProtocol
 from repro.processes.roll_call import RollCallProtocol
 
 TRIALS = 50
 KS_ALPHA = 0.001
 
+#: Pair-probe seeds for deriving a deterministic transition's single branch.
+PROBE_SEEDS = (101, 211)
+
+
+class CoinFlipState(AgentState):
+    def __init__(self, bit: int):
+        self.bit = int(bit)
+
+    def signature(self):
+        return self.bit
+
+
+class LazyEpidemicProtocol(PopulationProtocol):
+    """Randomized fixture: an infected initiator infects with probability p.
+
+    The only *randomized* member of the matrix -- it exercises the table's
+    branch-probability channel end to end (declared branches, cumulative
+    probabilities, batch branch sampling) where the paper protocols are all
+    deterministic per interaction.
+    """
+
+    name = "lazy-epidemic"
+
+    def __init__(self, n: int, p: float = 0.25):
+        super().__init__(n)
+        self.p = p
+
+    def initial_state(self, agent_id, rng):
+        return CoinFlipState(1 if agent_id == 0 else 0)
+
+    def transition(self, initiator, responder, rng):
+        if initiator.bit == 1 and responder.bit == 0 and rng.random() < self.p:
+            responder.bit = 1
+
+    def is_correct(self, configuration):
+        return all(state.bit == 1 for state in configuration)
+
+    def enumerate_states(self):
+        return [CoinFlipState(0), CoinFlipState(1)]
+
+    def transition_branches(self, initiator, responder):
+        if initiator.bit == 1 and responder.bit == 0:
+            return [
+                (self.p, CoinFlipState(1), CoinFlipState(1)),
+                (1.0 - self.p, CoinFlipState(1), CoinFlipState(0)),
+            ]
+        return [(1.0, initiator, responder)]
+
+    def compiled_predicates(self):
+        def all_infected(counts, compiled):
+            susceptible = compiled.encode_state(CoinFlipState(0))
+            return int(counts[susceptible]) == 0
+
+        return {"correct": all_infected}
+
+
+def small_optimal_silent(n: int = 6) -> OptimalSilentSSR:
+    """Constants small enough that the quadratic tables stay test-sized."""
+    return OptimalSilentSSR(n, rmax_multiplier=1.0, dmax_factor=2.0, emax_factor=3.0)
+
+
+def fratricide_over_ranking(n: int = 16) -> ComposedProtocol:
+    return ComposedProtocol(FratricideLeaderElection(n), SilentNStateSSR(n))
+
+
+#: The full compiled catalogue: every protocol with an enumerable state space,
+#: each with a convergence scenario both engines must reproduce.
 CASES = {
     "epidemic": dict(
         protocol=lambda: TwoWayEpidemicProtocol(128),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "lazy-epidemic": dict(
+        protocol=lambda: LazyEpidemicProtocol(64, p=0.25),
         configuration=lambda protocol, rng: protocol.initial_configuration(rng),
         stop="correct",
     ),
@@ -49,6 +137,46 @@ CASES = {
         configuration=lambda protocol, rng: protocol.triggered_configuration(),
         stop="stabilized",
     ),
+    "fratricide": dict(
+        protocol=lambda: FratricideLeaderElection(48),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "bounded-epidemic": dict(
+        protocol=lambda: BoundedEpidemicProtocol(48, k=2),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "synthetic-coin": dict(
+        protocol=lambda: SyntheticCoinProtocol(32, bits_needed=2),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+    "optimal-silent": dict(
+        protocol=lambda: small_optimal_silent(6),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="stabilized",
+    ),
+    "composed": dict(
+        protocol=lambda: fratricide_over_ranking(16),
+        configuration=lambda protocol, rng: protocol.initial_configuration(rng),
+        stop="correct",
+    ),
+}
+
+#: Smaller instances for the exhaustive table checks (same protocols, sized so
+#: S^2 probing stays fast; every case here must stay below ~200 states).
+TABLE_CASES = {
+    "epidemic": lambda: TwoWayEpidemicProtocol(10),
+    "lazy-epidemic": lambda: LazyEpidemicProtocol(10, p=0.25),
+    "silent-n-state": lambda: SilentNStateSSR(24),
+    "roll-call": lambda: RollCallProtocol(4),
+    "reset-wave": lambda: ResetWaveProtocol(16, rmax=3, dmax=3),
+    "fratricide": lambda: FratricideLeaderElection(10),
+    "bounded-epidemic": lambda: BoundedEpidemicProtocol(10, k=2),
+    "synthetic-coin": lambda: SyntheticCoinProtocol(10, bits_needed=2),
+    "optimal-silent": lambda: small_optimal_silent(6),
+    "composed": lambda: fratricide_over_ranking(8),
 }
 
 
@@ -92,3 +220,126 @@ def test_engines_agree_on_convergence_distribution(name):
     assert 0.6 < ratio < 1.6, (
         f"{name}: mean convergence times diverge (ratio {ratio:.2f})"
     )
+
+
+# -- exhaustive table-vs-delta agreement ---------------------------------------------
+
+
+def reference_branches(protocol, initiator, responder):
+    """Branch list ``[(p, sig_i, sig_j), ...]`` straight from the protocol.
+
+    Uses the protocol's declared ``transition_branches`` when present;
+    otherwise probes ``transition()`` with two fixed-seed generators and
+    insists the outcomes agree (deterministic transition).
+    """
+    explicit = protocol.transition_branches(initiator.clone(), responder.clone())
+    if explicit is not None:
+        return [
+            (
+                float(probability),
+                protocol.state_signature(new_initiator),
+                protocol.state_signature(new_responder),
+            )
+            for probability, new_initiator, new_responder in explicit
+        ]
+    outcomes = []
+    for seed in PROBE_SEEDS:
+        probe_initiator, probe_responder = initiator.clone(), responder.clone()
+        protocol.transition(probe_initiator, probe_responder, make_rng(seed))
+        outcomes.append(
+            (
+                protocol.state_signature(probe_initiator),
+                protocol.state_signature(probe_responder),
+            )
+        )
+    assert outcomes[0] == outcomes[1], (
+        f"{protocol.name}: transition() disagrees across probe seeds for "
+        f"({initiator!r}, {responder!r}) -- randomized without declared branches"
+    )
+    return [(1.0, outcomes[0][0], outcomes[0][1])]
+
+
+def table_branches(compiled, row):
+    """Branch list of one table entry, zero-width padded branches dropped."""
+    states = compiled.states
+    signature = compiled.protocol.state_signature
+    if compiled.branch_cumprob is None:
+        new_initiator = int(compiled.result_initiator[row])
+        new_responder = int(compiled.result_responder[row])
+        return [(1.0, signature(states[new_initiator]), signature(states[new_responder]))]
+    probabilities = np.diff(compiled.branch_cumprob[row], prepend=0.0)
+    branches = []
+    for branch in range(compiled.max_branches):
+        if probabilities[branch] <= 0.0:
+            continue
+        branches.append(
+            (
+                float(probabilities[branch]),
+                signature(states[int(compiled.result_initiator[row, branch])]),
+                signature(states[int(compiled.result_responder[row, branch])]),
+            )
+        )
+    return branches
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_CASES))
+def test_compiled_table_matches_delta_on_every_state_pair(name):
+    """Exhaustive: every (initiator, responder) entry agrees with delta()."""
+    protocol = TABLE_CASES[name]()
+    compiled = ProtocolCompiler().compile(protocol)
+    size = compiled.num_states
+    assert size <= 220, f"{name}: {size} states is too large for exhaustive checks"
+    for i in range(size):
+        for j in range(size):
+            row = i * size + j
+            expected = reference_branches(protocol, compiled.states[i], compiled.states[j])
+            actual = table_branches(compiled, row)
+            expected_map = {}
+            for probability, sig_i, sig_j in expected:
+                key = (sig_i, sig_j)
+                expected_map[key] = expected_map.get(key, 0.0) + probability
+            actual_map = {}
+            for probability, sig_i, sig_j in actual:
+                key = (sig_i, sig_j)
+                actual_map[key] = actual_map.get(key, 0.0) + probability
+            assert set(expected_map) == set(actual_map), (
+                f"{name}: outcomes differ for pair "
+                f"({compiled.states[i]!r}, {compiled.states[j]!r})"
+            )
+            for key, probability in expected_map.items():
+                assert actual_map[key] == pytest.approx(probability, abs=1e-9), (
+                    f"{name}: branch probability differs for pair "
+                    f"({compiled.states[i]!r}, {compiled.states[j]!r}) outcome {key}"
+                )
+            # The changes mask must be exact: marked iff some branch alters a state.
+            changes = any(
+                key != (compiled.protocol.state_signature(compiled.states[i]),
+                        compiled.protocol.state_signature(compiled.states[j]))
+                for key in expected_map
+            )
+            assert bool(compiled.changes[row]) == changes, (
+                f"{name}: changes mask wrong for pair "
+                f"({compiled.states[i]!r}, {compiled.states[j]!r})"
+            )
+
+
+# -- reachable state space containment -----------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_CASES))
+def test_loop_reachable_states_are_encodable(name):
+    """Every state a loop execution visits lies inside the compiled space."""
+    protocol = TABLE_CASES[name]()
+    compiled = ProtocolCompiler().compile(protocol)
+    rng = make_rng(97)
+    starts = [protocol.initial_configuration(rng)]
+    try:
+        starts.append(protocol.random_configuration(rng))
+    except NotImplementedError:
+        pass
+    for configuration in starts:
+        simulation = Simulation(protocol, configuration=configuration, rng=rng)
+        for _ in range(15):
+            compiled.encode_configuration(simulation.configuration)
+            simulation.run(100)
+        compiled.encode_configuration(simulation.configuration)

@@ -47,7 +47,7 @@ class TestSimulateCommand:
 
     def test_compiled_engine_rejects_unsupported_protocol(self, capsys):
         code = main(
-            ["simulate", "optimal-silent", "--n", "10", "--seed", "1", "--engine", "compiled"]
+            ["simulate", "sublinear", "--n", "8", "--seed", "1", "--engine", "compiled"]
         )
         output = capsys.readouterr().out
         assert code == 2

@@ -1,0 +1,161 @@
+"""Tests for the process-parallel trial runner.
+
+The contract under test: ``jobs`` redistributes work, never randomness.  The
+same seed must yield **bit-identical** :class:`SimulationResult` records for
+``--jobs 1`` and ``--jobs 4``, on both engines -- per-trial streams are
+derived from ``SeedSequence`` children indexed by trial number, independent
+of the process layout.
+"""
+
+import pytest
+
+from repro.core.propagate_reset import ResetWaveProtocol
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.experiments.harness import (
+    ExperimentSpec,
+    measure_parallel_times,
+    run_trials,
+    sweep_parallel_time,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def loop_workload(jobs):
+    return run_trials(
+        lambda: SilentNStateSSR(12),
+        trials=6,
+        seed=21,
+        configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+        stop="stabilized",
+        engine="loop",
+        jobs=jobs,
+    )
+
+
+def compiled_workload(jobs):
+    return run_trials(
+        lambda: ResetWaveProtocol(48, rmax=5, dmax=5),
+        trials=5,
+        seed=34,
+        configuration_factory=lambda protocol, rng: protocol.triggered_configuration(),
+        stop="stabilized",
+        engine="compiled",
+        jobs=jobs,
+    )
+
+
+class TestJobsDeterminism:
+    """Same seed => bit-identical results regardless of the worker count."""
+
+    def test_loop_engine_results_identical_across_jobs(self):
+        sequential = loop_workload(jobs=1)
+        parallel = loop_workload(jobs=4)
+        assert sequential == parallel
+        assert all(result.engine == "loop" for result in parallel)
+
+    def test_compiled_engine_results_identical_across_jobs(self):
+        sequential = compiled_workload(jobs=1)
+        parallel = compiled_workload(jobs=4)
+        assert sequential == parallel
+        assert all(result.engine == "compiled" for result in parallel)
+
+    def test_statistics_identical_across_jobs(self):
+        kwargs = dict(
+            trials=5,
+            seed=3,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            stop="stabilized",
+        )
+        sequential = measure_parallel_times(lambda: SilentNStateSSR(10), jobs=1, **kwargs)
+        parallel = measure_parallel_times(lambda: SilentNStateSSR(10), jobs=3, **kwargs)
+        assert sequential.values == parallel.values
+
+    def test_sweep_identical_across_jobs(self):
+        kwargs = dict(
+            trials=2,
+            seed=0,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            stop="stabilized",
+        )
+        sequential = sweep_parallel_time([6, 10], lambda n: SilentNStateSSR(n), **kwargs)
+        parallel = sweep_parallel_time(
+            [6, 10], lambda n: SilentNStateSSR(n), jobs=2, **kwargs
+        )
+        assert [s.values for s in sequential] == [s.values for s in parallel]
+
+
+class TestRunTrials:
+    def test_returns_results_in_trial_order(self):
+        results = loop_workload(jobs=2)
+        assert len(results) == 6
+        assert all(result.stopped for result in results)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_trials(lambda: SilentNStateSSR(6), trials=2, jobs=0)
+
+    def test_single_trial_runs_inline(self):
+        results = run_trials(
+            lambda: SilentNStateSSR(6),
+            trials=1,
+            seed=0,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            jobs=8,
+        )
+        assert len(results) == 1
+
+
+class TestJobsThreading:
+    """--jobs reaches runners through ExperimentSpec.run / run_experiment."""
+
+    def _spec(self):
+        def runner(trials=1, jobs=1):
+            return [{"trials": trials, "jobs": jobs}]
+
+        return ExperimentSpec(
+            identifier="jobs-demo",
+            title="Jobs demo",
+            paper_reference="none",
+            runner=runner,
+            quick_kwargs={"trials": 2},
+        )
+
+    def test_jobs_forwarded_to_supporting_runner(self):
+        assert self._spec().run("quick", jobs=4)[0]["jobs"] == 4
+
+    def test_jobs_ignored_by_non_supporting_runner(self):
+        spec = ExperimentSpec(
+            identifier="no-jobs",
+            title="No jobs",
+            paper_reference="none",
+            runner=lambda trials=1: [{"trials": trials}],
+            quick_kwargs={"trials": 1},
+        )
+        assert spec.run("quick", jobs=4) == [{"trials": 1}]
+
+    def test_preconfigured_jobs_kwarg_wins(self):
+        def runner(trials=1, jobs=1):
+            return [{"trials": trials, "jobs": jobs}]
+
+        spec = ExperimentSpec(
+            identifier="jobs-pinned",
+            title="Jobs pinned",
+            paper_reference="none",
+            runner=runner,
+            quick_kwargs={"trials": 2, "jobs": 2},
+        )
+        assert spec.run("quick", jobs=4)[0]["jobs"] == 2
+
+    def test_run_experiment_forwards_jobs(self):
+        spec = self._spec()
+        EXPERIMENTS[spec.identifier] = spec
+        try:
+            rows = run_experiment(spec.identifier, scale="quick", jobs=3)
+            assert rows[0]["jobs"] == 3
+        finally:
+            del EXPERIMENTS[spec.identifier]
+
+    def test_registry_sweeps_support_jobs(self):
+        """The sweep-style experiments advertise the jobs keyword."""
+        for identifier in ("binary_tree_assignment", "optimal_silent"):
+            assert EXPERIMENTS[identifier].supports_jobs()

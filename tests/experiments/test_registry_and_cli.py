@@ -63,3 +63,20 @@ class TestCli:
     def test_run_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["run", "does_not_exist"])
+
+    def test_run_forwards_jobs_flag(self, capsys):
+        from repro.experiments.harness import ExperimentSpec
+
+        spec = ExperimentSpec(
+            identifier="jobs_cli_demo",
+            title="Jobs CLI demo",
+            paper_reference="none",
+            runner=lambda jobs=1: [{"jobs": jobs}],
+        )
+        EXPERIMENTS[spec.identifier] = spec
+        try:
+            assert main(["run", "jobs_cli_demo", "--jobs", "3"]) == 0
+            output = capsys.readouterr().out
+            assert "3" in output
+        finally:
+            del EXPERIMENTS[spec.identifier]

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) over compiled transition tables.
+
+Every compiled table row is a claim about the protocol's dynamics; these
+tests assert that randomly drawn rows conserve the protocol invariants the
+paper's proofs rely on -- fratricide never mints leaders, synthetic-coin bit
+strings only extend within range, bounded-epidemic levels never increase,
+``Optimal-Silent-SSR`` fields stay in their declared ranges, and composed
+tables decompose into their factors.  A second family checks that the
+protocols' fast ``compiled_predicates`` agree with the configuration-level
+predicates on arbitrary encoded configurations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composition import ComposedProtocol
+from repro.core.fratricide import FratricideLeaderElection
+from repro.core.optimal_silent import SETTLED, UNSETTLED, OptimalSilentSSR
+from repro.core.propagate_reset import RESETTING
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.derandomize.synthetic_coin import ALG, FLIP, SyntheticCoinProtocol
+from repro.engine.compiled import ProtocolCompiler
+from repro.processes.bounded_epidemic import UNREACHED, BoundedEpidemicProtocol
+
+#: Compiled once at import; the tables are immutable and shared across examples.
+FRATRICIDE = ProtocolCompiler().compile(FratricideLeaderElection(10))
+COIN = ProtocolCompiler().compile(SyntheticCoinProtocol(10, bits_needed=2))
+BOUNDED = ProtocolCompiler().compile(BoundedEpidemicProtocol(10, k=2))
+OPTIMAL = ProtocolCompiler().compile(
+    OptimalSilentSSR(5, rmax_multiplier=1.0, dmax_factor=2.0, emax_factor=3.0)
+)
+COMPOSED = ProtocolCompiler().compile(
+    ComposedProtocol(FratricideLeaderElection(8), SilentNStateSSR(8))
+)
+
+
+def row_outcomes(compiled, row):
+    """All positive-probability ``(initiator', responder')`` state pairs."""
+    states = compiled.states
+    if compiled.branch_cumprob is None:
+        return [
+            (
+                states[int(compiled.result_initiator[row])],
+                states[int(compiled.result_responder[row])],
+            )
+        ]
+    probabilities = np.diff(compiled.branch_cumprob[row], prepend=0.0)
+    return [
+        (
+            states[int(compiled.result_initiator[row, branch])],
+            states[int(compiled.result_responder[row, branch])],
+        )
+        for branch in range(compiled.max_branches)
+        if probabilities[branch] > 0.0
+    ]
+
+
+def row_inputs(compiled, row):
+    size = compiled.num_states
+    return compiled.states[row // size], compiled.states[row % size]
+
+
+def rows(compiled):
+    return st.integers(min_value=0, max_value=compiled.num_states**2 - 1)
+
+
+class TestFratricideTableInvariants:
+    @given(rows(FRATRICIDE))
+    def test_leaders_are_never_created(self, row):
+        """The motivating non-self-stabilization fact: 0 leaders stay 0."""
+        inputs = row_inputs(FRATRICIDE, row)
+        leaders_in = sum(state.leader for state in inputs)
+        for outcome in row_outcomes(FRATRICIDE, row):
+            leaders_out = sum(state.leader for state in outcome)
+            assert leaders_out <= leaders_in
+            if leaders_in >= 1:
+                assert leaders_out >= 1
+
+
+class TestSyntheticCoinTableInvariants:
+    @given(rows(COIN))
+    def test_bits_extend_in_place_and_stay_in_range(self, row):
+        inputs = row_inputs(COIN, row)
+        for outcome in row_outcomes(COIN, row):
+            for before, after in zip(inputs, outcome):
+                assert after.bits.startswith(before.bits)
+                assert len(after.bits) - len(before.bits) <= 1
+                assert len(after.bits) <= before.bits_needed
+                assert after.coin_role == (FLIP if before.coin_role == ALG else ALG)
+
+
+class TestBoundedEpidemicTableInvariants:
+    @given(rows(BOUNDED))
+    def test_levels_never_increase(self, row):
+        inputs = row_inputs(BOUNDED, row)
+        for outcome in row_outcomes(BOUNDED, row):
+            for before, after in zip(inputs, outcome):
+                assert after.level <= before.level
+                assert after.level == UNREACHED or 0 <= after.level < BOUNDED.protocol.n
+
+
+class TestOptimalSilentTableInvariants:
+    @given(rows(OPTIMAL))
+    def test_fields_stay_in_declared_ranges(self, row):
+        protocol = OPTIMAL.protocol
+        for outcome in row_outcomes(OPTIMAL, row):
+            for state in outcome:
+                if state.role == SETTLED:
+                    assert 1 <= state.rank <= protocol.n
+                    assert 0 <= state.children <= 2
+                elif state.role == UNSETTLED:
+                    assert 0 <= state.errorcount <= protocol.emax
+                else:
+                    assert state.role == RESETTING
+                    assert 0 <= state.resetcount <= protocol.rmax
+                    assert 0 <= state.delaytimer <= protocol.dmax
+
+    @given(rows(OPTIMAL))
+    def test_settled_agents_appear_only_through_legal_paths(self, row):
+        """Newly Settled agents carry rank 1 or were recruited by their partner.
+
+        Rank 1 arises only from a dormant leader's Reset (Protocol 4); every
+        other rank ``r`` is handed out through the binary-tree assignment
+        (Lemma 4.1), whose recruiter ends the interaction Settled with rank
+        ``r // 2`` (a leader whose timer expired may reset *and* recruit in
+        the same interaction, so the recruiter need not have been Settled
+        before it).
+        """
+        inputs = row_inputs(OPTIMAL, row)
+        for outcome in row_outcomes(OPTIMAL, row):
+            for position, state in enumerate(outcome):
+                if state.role != SETTLED or inputs[position].role == SETTLED:
+                    continue
+                if state.rank == 1:
+                    continue
+                partner = outcome[1 - position]
+                assert partner.role == SETTLED and partner.rank == state.rank // 2
+
+
+class TestComposedTableInvariants:
+    @given(rows(COMPOSED))
+    def test_rows_decompose_into_factor_rows(self, row):
+        up, down = COMPOSED.factor_tables
+        size, down_size = COMPOSED.num_states, down.num_states
+        i, j = row // size, row % size
+        up_row = (i // down_size) * up.num_states + (j // down_size)
+        down_row = (i % down_size) * down.num_states + (j % down_size)
+        expected_initiator = (
+            int(up.result_initiator[up_row]) * down_size
+            + int(down.result_initiator[down_row])
+        )
+        expected_responder = (
+            int(up.result_responder[up_row]) * down_size
+            + int(down.result_responder[down_row])
+        )
+        assert int(COMPOSED.result_initiator[row]) == expected_initiator
+        assert int(COMPOSED.result_responder[row]) == expected_responder
+
+
+class TestCompiledPredicateAgreement:
+    """Fast counts predicates must match the configuration-level predicates."""
+
+    @staticmethod
+    def assert_counts_predicate_matches(compiled, kind="correct"):
+        predicate = compiled.protocol.compiled_predicates()[kind]
+        slow = {
+            "correct": compiled.protocol.is_correct,
+            "stabilized": compiled.protocol.has_stabilized,
+            "silent": compiled.protocol.is_silent,
+        }[kind]
+
+        def check(indices):
+            counts = compiled.state_counts(indices)
+            decoded = compiled.decode_configuration(indices)
+            assert bool(predicate(counts, compiled)) == bool(slow(decoded))
+
+        return check
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fratricide(self, data):
+        check = self.assert_counts_predicate_matches(FRATRICIDE)
+        n, size = FRATRICIDE.protocol.n, FRATRICIDE.num_states
+        indices = data.draw(
+            st.lists(st.integers(0, size - 1), min_size=n, max_size=n)
+        )
+        check(np.array(indices, dtype=np.int32))
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_synthetic_coin(self, data):
+        check = self.assert_counts_predicate_matches(COIN)
+        n, size = COIN.protocol.n, COIN.num_states
+        indices = data.draw(
+            st.lists(st.integers(0, size - 1), min_size=n, max_size=n)
+        )
+        check(np.array(indices, dtype=np.int32))
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_silent(self, data):
+        check = self.assert_counts_predicate_matches(OPTIMAL)
+        n, size = OPTIMAL.protocol.n, OPTIMAL.num_states
+        # Mix arbitrary draws with all-Settled draws so the "everyone Settled,
+        # ranks collide / ranks valid" regimes are actually exercised.
+        settled = [
+            k for k, state in enumerate(OPTIMAL.states) if state.role == SETTLED
+        ]
+        pool = data.draw(st.sampled_from([list(range(size)), settled]))
+        indices = data.draw(
+            st.lists(st.sampled_from(pool), min_size=n, max_size=n)
+        )
+        check(np.array(indices, dtype=np.int32))
