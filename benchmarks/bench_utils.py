@@ -7,28 +7,47 @@ output doubles as the reproduction record for the corresponding paper table
 or figure.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Registered runners follow the uniform contract ``runner(params, run:
+RunConfig) -> ExperimentResult``; the helper splits its keyword arguments
+into experiment parameters and the RunConfig's execution options
+(``seed``/``engine``/``jobs``) accordingly.  Ad-hoc callables that take no
+arguments and return bare rows are also accepted (used by the comparison
+benchmarks that measure the harness itself).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine.run_config import RunConfig
+from repro.experiments.result import ExperimentResult
+
 
 def run_experiment_benchmark(
     benchmark,
-    runner: Callable[..., List[Dict]],
+    runner: Callable,
     paper_reference: str,
     claim: str,
     key_columns: Optional[Sequence[str]] = None,
-    **kwargs,
+    seed: int = 0,
+    engine: str = "loop",
+    jobs: int = 1,
+    **params,
 ) -> List[Dict]:
-    """Execute ``runner(**kwargs)`` once under the benchmark fixture.
+    """Execute ``runner`` once under the benchmark fixture.
 
     The resulting rows (restricted to ``key_columns`` if given) are stored in
     ``benchmark.extra_info['rows']`` together with the paper reference and the
     claim being reproduced.
     """
-    rows = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    if getattr(runner, "experiment_identifier", None) is not None:
+        config = RunConfig(seed=seed, engine=engine, jobs=jobs)
+        call = lambda: runner(dict(params), config)  # noqa: E731
+    else:
+        call = lambda: runner(**params)  # noqa: E731
+    outcome = benchmark.pedantic(call, rounds=1, iterations=1)
+    rows = outcome.rows if isinstance(outcome, ExperimentResult) else outcome
     if key_columns is not None:
         compact = [{column: row.get(column) for column in key_columns} for row in rows]
     else:

@@ -18,6 +18,7 @@ import pytest
 from bench_utils import run_experiment_benchmark
 
 from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.run_config import RunConfig
 from repro.experiments.harness import run_trials
 
 #: Population size and trial count sized so one trial takes a few hundred
@@ -34,11 +35,8 @@ def _sweep(jobs: int):
     return run_trials(
         lambda: SilentNStateSSR(N),
         trials=TRIALS,
-        seed=SEED,
+        run=RunConfig(seed=SEED, stop="stabilized", engine="loop", jobs=jobs),
         configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-        stop="stabilized",
-        engine="loop",
-        jobs=jobs,
     )
 
 
@@ -100,17 +98,18 @@ def test_parallel_sweep_parity_smoke(benchmark):
     """Always-on parity check (small workload; runs on any core count)."""
 
     def runner() -> List[Dict]:
-        kwargs = dict(
-            trials=4,
-            seed=7,
-            configuration_factory=lambda protocol, rng: (
-                protocol.worst_case_configuration()
-            ),
-            stop="stabilized",
-            engine="loop",
-        )
-        sequential = run_trials(lambda: SilentNStateSSR(12), jobs=1, **kwargs)
-        parallel = run_trials(lambda: SilentNStateSSR(12), jobs=JOBS, **kwargs)
+        def workload(jobs: int):
+            return run_trials(
+                lambda: SilentNStateSSR(12),
+                trials=4,
+                run=RunConfig(seed=7, stop="stabilized", engine="loop", jobs=jobs),
+                configuration_factory=lambda protocol, rng: (
+                    protocol.worst_case_configuration()
+                ),
+            )
+
+        sequential = workload(1)
+        parallel = workload(JOBS)
         return [
             {
                 "trials": 4,

@@ -39,15 +39,17 @@ from repro.engine import (
     Configuration,
     PopulationProtocol,
     ProtocolCompiler,
+    RunConfig,
     Simulation,
     SimulationResult,
     TrialStatistics,
     UniformPairScheduler,
     make_rng,
+    make_simulation,
     run_trials,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchSimulation",
@@ -59,6 +61,7 @@ __all__ = [
     "PopulationProtocol",
     "ProtocolCompiler",
     "ResetWaveProtocol",
+    "RunConfig",
     "SilentNStateSSR",
     "Simulation",
     "SimulationResult",
@@ -68,5 +71,6 @@ __all__ = [
     "UniformPairScheduler",
     "__version__",
     "make_rng",
+    "make_simulation",
     "run_trials",
 ]

@@ -10,9 +10,15 @@ Run one experiment at the quick scale and print its table::
 
     python -m repro run epidemic --scale quick
 
-Run every experiment (used to regenerate ``EXPERIMENTS.md`` material)::
+Run every experiment with a pinned seed, persisting one artifact per
+experiment (used to regenerate ``EXPERIMENTS.md`` material)::
 
-    python -m repro run all --scale quick --markdown
+    python -m repro run all --scale quick --seed 1 --output artifacts/
+
+Re-render the saved tables later -- no simulation re-runs::
+
+    python -m repro report artifacts/
+    python -m repro report artifacts/epidemic.json --markdown
 
 Simulate one protocol from an adversarial configuration and watch it
 stabilize::
@@ -34,11 +40,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+from repro.engine.run_config import ENGINES, RunConfig
+from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.report import format_table, rows_to_markdown
+from repro.experiments.result import ExperimentResult, load_artifacts
 
 #: Protocols available to the ``simulate`` subcommand.
 SIMULATABLE_PROTOCOLS = (
@@ -74,10 +82,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parameterization to use (default: quick)",
     )
     run_parser.add_argument(
-        "--seed", type=int, default=None, help="override the experiment seed"
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "root seed for the run (default: 0); the same seed reproduces "
+            "the same tables for every experiment"
+        ),
     )
     run_parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown tables instead of text"
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="loop",
+        help=(
+            "execution engine for harness-backed experiments: 'loop' steps one "
+            "interaction at a time; 'compiled' lowers the protocol to "
+            "transition tables (requires an enumerable state space)"
+        ),
     )
     run_parser.add_argument(
         "--jobs",
@@ -86,9 +110,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for multi-trial sweeps (default: 1); results are "
             "bit-identical for any value -- per-trial random streams are derived "
-            "from SeedSequence children independently of the process layout.  "
-            "Forwarded to experiments that support it, ignored by the rest"
+            "from SeedSequence children independently of the process layout"
         ),
+    )
+    run_parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist one artifact per experiment to DIR "
+            "(<identifier>.json; render later with 'repro report DIR')"
+        ),
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="re-render tables from saved artifacts without re-running"
+    )
+    report_parser.add_argument(
+        "artifacts",
+        nargs="+",
+        help="artifact files (.json/.jsonl) or directories containing them",
+    )
+    report_parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables instead of text"
     )
 
     simulate_parser = subparsers.add_parser(
@@ -114,7 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument(
         "--engine",
-        choices=("loop", "compiled"),
+        choices=ENGINES,
         default="loop",
         help=(
             "execution engine: 'loop' steps one interaction at a time; "
@@ -157,27 +201,26 @@ def _build_simulation(args):
 
 def _simulate(args) -> int:
     from repro.core.problems import leaders_from_ranks
-    from repro.engine.batch_simulation import BatchSimulation
     from repro.engine.compiled import CompilationError
-    from repro.engine.simulation import Simulation
+    from repro.engine.run_config import make_simulation
 
     protocol, configuration, rng = _build_simulation(args)
+    config = RunConfig(engine=args.engine, stop="stabilized")
     print(f"protocol:      {protocol.name}")
     print(f"population:    {protocol.n}")
-    print(f"engine:        {args.engine}")
+    print(f"engine:        {config.engine}")
     print(f"start:         {'clean' if args.clean else 'adversarial'}")
     print(f"correct at t=0: {protocol.is_correct(configuration)}")
-    if args.engine == "compiled":
-        try:
-            simulation = BatchSimulation(protocol, configuration=configuration, rng=rng)
-        except CompilationError as error:
-            print(f"error: {error}")
-            print("hint: only protocols with an enumerable state space compile; "
-                  "try --engine loop")
-            return 2
-    else:
-        simulation = Simulation(protocol, configuration=configuration, rng=rng)
-    result = simulation.run_until_stabilized()
+    try:
+        simulation = make_simulation(
+            protocol, config, configuration=configuration, rng=rng
+        )
+    except CompilationError as error:
+        print(f"error: {error}")
+        print("hint: only protocols with an enumerable state space compile; "
+              "try --engine loop")
+        return 2
+    result = simulation.run(config)
     print(f"stabilized:    {result.stopped}  ({result.reason})")
     print(f"parallel time: {result.parallel_time:.1f}   interactions: {result.interactions}")
     ranks = [getattr(state, "rank", None) for state in simulation.configuration]
@@ -189,23 +232,39 @@ def _simulate(args) -> int:
     return 0 if result.stopped else 1
 
 
-def _run_one(
-    identifier: str, scale: str, seed: Optional[int], markdown: bool, jobs: int = 1
-) -> None:
-    spec = get_experiment(identifier)
-    overrides = {}
-    if seed is not None:
-        overrides["seed"] = seed
-    started = time.time()
-    rows = run_experiment(identifier, scale=scale, jobs=jobs, **overrides)
-    elapsed = time.time() - started
-    header = f"== {spec.identifier}: {spec.title} ({spec.paper_reference}) =="
-    print(header)
+def _print_result(result: ExperimentResult, markdown: bool) -> None:
+    """Render one experiment result (same path for live runs and artifacts)."""
+    title = result.title or result.identifier
+    reference = f" ({result.paper_reference})" if result.paper_reference else ""
+    print(f"== {result.identifier}: {title}{reference} ==")
     if markdown:
-        print(rows_to_markdown(rows))
+        print(rows_to_markdown(result.rows, columns=result.columns))
     else:
-        print(format_table(rows))
-    print(f"-- {len(rows)} rows in {elapsed:.1f}s --\n")
+        print(format_table(result.rows, columns=result.columns))
+    print(f"-- {len(result.rows)} rows in {result.wall_time:.1f}s --\n")
+
+
+def _run_one(identifier: str, args) -> None:
+    spec = get_experiment(identifier)
+    config = RunConfig(
+        seed=args.seed if args.seed is not None else 0,
+        engine=args.engine,
+        jobs=args.jobs,
+    )
+    result = spec.run(scale=args.scale, run=config)
+    _print_result(result, args.markdown)
+    if args.output is not None:
+        path = result.save(Path(args.output) / f"{result.identifier}.json")
+        print(f"-- artifact: {path}\n")
+
+
+def _report(args) -> int:
+    results: List[ExperimentResult] = []
+    for entry in args.artifacts:
+        results.extend(load_artifacts(entry))
+    for result in results:
+        _print_result(result, args.markdown)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -222,8 +281,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         identifiers = list_experiments() if args.experiment == "all" else [args.experiment]
         for identifier in identifiers:
-            _run_one(identifier, args.scale, args.seed, args.markdown, jobs=args.jobs)
+            _run_one(identifier, args)
         return 0
+
+    if args.command == "report":
+        return _report(args)
 
     if args.command == "simulate":
         return _simulate(args)

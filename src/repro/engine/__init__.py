@@ -40,6 +40,7 @@ from repro.engine.hooks import CountingHook, InteractionHook, TraceRecorder
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import make_rng, spawn_rngs
+from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
 from repro.engine.scheduler import UniformPairScheduler, ordered_pair_index
 from repro.engine.simulation import Simulation, run_trials
 from repro.engine.state import AgentState
@@ -51,15 +52,19 @@ __all__ = [
     "CompiledProtocol",
     "Configuration",
     "CountingHook",
+    "ENGINES",
     "InteractionHook",
     "PopulationProtocol",
     "ProtocolCompiler",
+    "RunConfig",
+    "STOPS",
     "Simulation",
     "SimulationResult",
     "TraceRecorder",
     "TrialStatistics",
     "UniformPairScheduler",
     "make_rng",
+    "make_simulation",
     "ordered_pair_index",
     "run_trials",
     "spawn_rngs",

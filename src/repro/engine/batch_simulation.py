@@ -46,6 +46,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RngLike, make_rng
+from repro.engine.run_config import RunConfig
 from repro.engine.scheduler import UniformPairScheduler
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
 
@@ -240,8 +241,15 @@ class BatchSimulation:
         self._apply_scalar(initiator, responder)
         self.interactions += 1
 
-    def run(self, num_interactions: int) -> None:
-        """Execute exactly ``num_interactions`` interactions, batched.
+    def run(self, num_interactions) -> Optional[SimulationResult]:
+        """Execute a :class:`RunConfig` plan, or exactly ``n`` interactions, batched.
+
+        Passing a :class:`~repro.engine.run_config.RunConfig` runs until the
+        configured stop condition (or cap) and returns the
+        :class:`SimulationResult` -- the same polymorphic entry point as
+        :class:`~repro.engine.simulation.Simulation`, so harness code is
+        engine-agnostic.  Passing an integer executes exactly that many
+        interactions (returns ``None``).
 
         Each drawn window is consumed by one of two exact paths, selected by
         the recent fraction of active (state-changing) interactions:
@@ -254,6 +262,8 @@ class BatchSimulation:
           pairs impose ordering, so segments run orders of magnitude past the
           birthday bound.
         """
+        if isinstance(num_interactions, RunConfig):
+            return self._run_plan(num_interactions)
         if num_interactions < 0:
             raise ValueError(
                 f"num_interactions must be non-negative, got {num_interactions}"
@@ -275,6 +285,19 @@ class BatchSimulation:
                 applied = self._consume_sparse(initiators, responders, window)
             self.interactions += applied
             remaining -= applied
+        return None
+
+    def _run_plan(self, config: RunConfig) -> SimulationResult:
+        """Run until ``config.stop`` holds, honouring the config's caps.
+
+        ``RunConfig`` validates ``stop`` against ``STOPS``, and every stop in
+        that catalogue has a ``run_until_<stop>`` method on both engines.
+        """
+        stopper = getattr(self, f"run_until_{config.stop}")
+        return stopper(
+            max_interactions=config.max_interactions,
+            check_interval=config.check_interval,
+        )
 
     def _consume_dense(
         self, initiators: np.ndarray, responders: np.ndarray, window: int

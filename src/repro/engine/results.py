@@ -47,6 +47,30 @@ class SimulationResult:
         """Interactions divided by the population size."""
         return self.interactions / self.n
 
+    def to_dict(self) -> Dict:
+        """Canonical JSON-able form (includes the derived ``parallel_time``)."""
+        return {
+            "n": self.n,
+            "interactions": self.interactions,
+            "parallel_time": self.parallel_time,
+            "stopped": self.stopped,
+            "reason": self.reason,
+            "engine": self.engine,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (derived fields are ignored)."""
+        return cls(
+            n=payload["n"],
+            interactions=payload["interactions"],
+            stopped=payload["stopped"],
+            reason=payload["reason"],
+            engine=payload.get("engine", "loop"),
+            extra=dict(payload.get("extra", {})),
+        )
+
 
 @dataclass
 class TrialStatistics:
@@ -119,6 +143,44 @@ class TrialStatistics:
         if not self.values:
             return math.nan
         return sum(1 for v in self.values if v > threshold) / len(self.values)
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-able form: the raw sample, not derived statistics.
+
+        Derived quantities (mean, std, quantiles) are recomputed on demand
+        from ``values``, so the round trip loses nothing.
+        """
+        return {
+            "label": self.label,
+            "n": self.n,
+            "trials": self.trials,
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TrialStatistics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            label=payload["label"],
+            n=payload["n"],
+            trials=payload["trials"],
+            values=list(payload["values"]),
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Summary dictionary for report rows (the one canonical row-builder).
+
+        Experiment modules previously hand-rolled ``sum(times)/len(times)``
+        and ``sorted(times)[int(0.9 * ...)]`` in every file; they now derive
+        row values from this record instead.
+        """
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p90": self.quantile(0.9),
+        }
 
     def __repr__(self) -> str:
         return (

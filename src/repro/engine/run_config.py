@@ -1,0 +1,153 @@
+"""The typed run contract shared by the engines, the harness, and the CLI.
+
+:class:`RunConfig` is a frozen record of *how* to execute a run -- which
+engine, which stop condition, which seed, which caps, how many worker
+processes -- replacing the thicket of parallel ``engine=``/``stop=``/
+``seed=``/``max_interactions=``/``check_interval=``/``jobs=`` keywords that
+used to be threaded through every layer.  One ``RunConfig`` flows unchanged
+from the CLI (``--engine/--jobs/--seed``) through
+:func:`repro.experiments.harness.run_trials` down to the engine, and its
+fields are stamped into every persisted
+:class:`~repro.experiments.result.ExperimentResult` as provenance.
+
+:func:`make_simulation` is the single factory that turns ``(protocol,
+config)`` into the right engine instance, and both
+:class:`~repro.engine.simulation.Simulation` and
+:class:`~repro.engine.batch_simulation.BatchSimulation` accept a
+``RunConfig`` in their polymorphic ``run()`` entry point, so callers never
+dispatch on the stop condition by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.rng import RngLike
+
+#: Execution engines selectable by experiments and the CLI
+#: (see ``docs/ARCHITECTURE.md`` for the tradeoffs).
+ENGINES = ("loop", "compiled")
+
+#: Stop conditions understood by the trial runners and ``run(config)``.
+STOPS = ("stabilized", "correct", "silent")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to execute one run (or one batch of trials).
+
+    Attributes
+    ----------
+    engine:
+        ``"loop"`` (per-interaction :class:`~repro.engine.simulation.Simulation`)
+        or ``"compiled"`` (table-driven
+        :class:`~repro.engine.batch_simulation.BatchSimulation`).
+    stop:
+        Stop condition: ``"stabilized"``, ``"correct"``, or ``"silent"``.
+    seed:
+        Root seed for the run.  ``None`` draws fresh entropy; experiment
+        entry points default it to ``0`` so CLI runs are reproducible.
+    max_interactions:
+        Interaction cap, or ``None`` for the engine default
+        (``DEFAULT_CAP_CUBIC_FACTOR * n**3``).  Experiments with tighter
+        internal caps apply their own default when this is ``None``.
+    check_interval:
+        Interactions between stop-condition checks (``None`` = ``n``).
+    jobs:
+        Worker processes for multi-trial runs.  Results are bit-identical
+        for every value -- parallelism redistributes work, never randomness.
+    """
+
+    engine: str = "loop"
+    stop: str = "stabilized"
+    seed: RngLike = None
+    max_interactions: Optional[int] = None
+    check_interval: Optional[int] = None
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}, expected one of {ENGINES}"
+            )
+        if self.stop not in STOPS:
+            raise ValueError(f"unknown stop condition {self.stop!r}, expected one of {STOPS}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.max_interactions is not None and self.max_interactions < 0:
+            raise ValueError(
+                f"max_interactions must be non-negative, got {self.max_interactions}"
+            )
+        if self.check_interval is not None and self.check_interval < 1:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval}"
+            )
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with the given fields replaced (fields re-validate)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict:
+        """JSON-able provenance view.
+
+        Non-serializable seeds (generators, tuples of entropy) are recorded
+        as ``None`` -- runs seeded that way are not reproducible from the
+        artifact alone, and the field says so honestly.
+        """
+        return {
+            "engine": self.engine,
+            "stop": self.stop,
+            "seed": self.seed if isinstance(self.seed, int) else None,
+            "max_interactions": self.max_interactions,
+            "check_interval": self.check_interval,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunConfig":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown RunConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+def make_simulation(
+    protocol,
+    config: Optional[RunConfig] = None,
+    *,
+    configuration=None,
+    rng: RngLike = None,
+    compiled=None,
+    hooks=None,
+):
+    """Build the engine instance selected by ``config.engine``.
+
+    ``rng`` overrides ``config.seed`` when given (the harness passes the
+    per-trial generator); ``compiled`` lets callers share one compiled table
+    across trials.  Hooks are a loop-engine feature -- requesting them with
+    ``engine="compiled"`` is an error rather than a silent no-op.
+    """
+    from repro.engine.batch_simulation import BatchSimulation
+    from repro.engine.simulation import Simulation
+
+    if config is None:
+        config = RunConfig()
+    if rng is None:
+        rng = config.seed
+    if config.engine == "compiled":
+        if hooks:
+            raise ValueError(
+                "interaction hooks require the loop engine; "
+                "BatchSimulation applies whole batches and cannot call them"
+            )
+        return BatchSimulation(
+            protocol, configuration=configuration, rng=rng, compiled=compiled
+        )
+    return Simulation(protocol, configuration=configuration, rng=rng, hooks=hooks)
+
+
+__all__ = ["ENGINES", "RunConfig", "STOPS", "make_simulation"]

@@ -23,6 +23,7 @@ from repro.engine.hooks import InteractionHook
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import RngLike, make_rng, spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.scheduler import UniformPairScheduler
 
 #: Default cap on interactions, expressed as a multiple of ``n ** 3``: the
@@ -78,8 +79,18 @@ class Simulation:
         for hook in self.hooks:
             hook.on_interaction(self.interactions, initiator_id, responder_id, self.configuration)
 
-    def run(self, num_interactions: int) -> None:
-        """Execute exactly ``num_interactions`` interactions."""
+    def run(self, num_interactions) -> Optional[SimulationResult]:
+        """Execute a :class:`RunConfig` plan, or exactly ``n`` interactions.
+
+        Passing a :class:`~repro.engine.run_config.RunConfig` runs until the
+        configured stop condition (or cap) and returns the
+        :class:`SimulationResult` -- the polymorphic entry point shared with
+        :class:`~repro.engine.batch_simulation.BatchSimulation`, so harness
+        code never dispatches on the stop condition by hand.  Passing an
+        integer keeps the historical exact-step behaviour (returns ``None``).
+        """
+        if isinstance(num_interactions, RunConfig):
+            return self._run_plan(num_interactions)
         if num_interactions < 0:
             raise ValueError(f"num_interactions must be non-negative, got {num_interactions}")
         # Local-variable binding keeps the hot loop as tight as pure Python allows.
@@ -100,8 +111,21 @@ class Simulation:
                 i, j = next_pair()
                 transition(states[i], states[j], rng)
             self.interactions += num_interactions
+        return None
 
     # -- running until a condition --------------------------------------------------
+
+    def _run_plan(self, config: RunConfig) -> SimulationResult:
+        """Run until ``config.stop`` holds, honouring the config's caps.
+
+        ``RunConfig`` validates ``stop`` against ``STOPS``, and every stop in
+        that catalogue has a ``run_until_<stop>`` method on both engines.
+        """
+        stopper = getattr(self, f"run_until_{config.stop}")
+        return stopper(
+            max_interactions=config.max_interactions,
+            check_interval=config.check_interval,
+        )
 
     def run_until(
         self,

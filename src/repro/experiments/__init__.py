@@ -1,14 +1,22 @@
 """Experiment harness reproducing the paper's table, figures, and claims.
 
-Each experiment module exposes one or more ``run_*`` functions that return a
-list of row dictionaries (one per measured setting) ready to be rendered with
-:func:`repro.experiments.report.format_table`.  The registry maps experiment
-identifiers (the ids used in ``DESIGN.md`` and ``EXPERIMENTS.md``) to those
-functions so the CLI and the benchmarks can invoke them uniformly:
+Each experiment module exposes one or more ``run_*`` runners following the
+uniform contract ``runner(params, run: RunConfig) -> ExperimentResult``
+(see :mod:`repro.experiments.api`): ``params`` holds experiment-specific
+knobs, the :class:`~repro.engine.run_config.RunConfig` holds the execution
+options shared by every experiment (seed, engine, jobs), and the returned
+:class:`~repro.experiments.result.ExperimentResult` carries schema'd rows
+plus provenance and round-trips through JSON/JSONL byte-identically.  The
+registry maps experiment identifiers (the ids used in ``DESIGN.md`` and
+``EXPERIMENTS.md``) to those runners so the CLI and the benchmarks can
+invoke them uniformly:
 
-``python -m repro run table1 --scale quick``
+``python -m repro run table1 --scale quick --seed 1 --output artifacts/``
+``python -m repro report artifacts/``
 """
 
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner
 from repro.experiments.harness import (
     ExperimentSpec,
     measure_parallel_times,
@@ -22,13 +30,18 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.report import format_table, rows_to_markdown
+from repro.experiments.result import ExperimentResult, load_artifacts
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentResult",
     "ExperimentSpec",
+    "RunConfig",
+    "experiment_runner",
     "format_table",
     "get_experiment",
     "list_experiments",
+    "load_artifacts",
     "measure_parallel_times",
     "rows_to_markdown",
     "run_experiment",

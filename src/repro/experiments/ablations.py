@@ -21,24 +21,25 @@ ablations quantify what each constant buys at simulable sizes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping
 
 from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.propagate_reset import RESETTING
 from repro.core.sublinear import SublinearTimeSSR
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.experiments.api import experiment_runner, read_params
 
 
-def run_dormancy_ablation(
-    n: int = 32,
-    dmax_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
-    trials: int = 8,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("ablation_dormancy")
+def run_dormancy_ablation(params: Mapping, run: RunConfig) -> List[Dict]:
     """Stabilization time of Optimal-Silent-SSR as a function of ``D_max / n``."""
+    opts = read_params(params, n=32, dmax_factors=(1.0, 2.0, 4.0, 8.0), trials=8)
+    n, dmax_factors, trials = opts["n"], opts["dmax_factors"], opts["trials"]
     rows: List[Dict] = []
-    factor_rngs = spawn_rngs(seed, len(dmax_factors))
+    factor_rngs = spawn_rngs(run.seed, len(dmax_factors))
     for factor, factor_rng in zip(dmax_factors, factor_rngs):
         times: List[float] = []
         for trial_rng in spawn_rngs(factor_rng, trials):
@@ -49,28 +50,27 @@ def run_dormancy_ablation(
             simulation = Simulation(protocol, configuration=configuration, rng=trial_rng)
             result = simulation.run_until_stabilized(max_interactions=4000 * n * n)
             times.append(result.parallel_time)
+        stats = TrialStatistics.from_values(f"dormancy (factor={factor})", n, times)
         rows.append(
             {
                 "n": n,
                 "D_max / n": factor,
                 "trials": trials,
-                "mean stabilization time": sum(times) / len(times),
-                "max stabilization time": max(times),
+                "mean stabilization time": stats.mean,
+                "max stabilization time": stats.maximum,
             }
         )
     return rows
 
 
-def run_timer_ablation(
-    n: int = 20,
-    depth: int = 1,
-    timer_multipliers: Sequence[float] = (0.5, 2.0, 8.0),
-    trials: int = 8,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("ablation_timer")
+def run_timer_ablation(params: Mapping, run: RunConfig) -> List[Dict]:
     """Collision-detection time of Sublinear-Time-SSR as a function of ``T_H``."""
+    opts = read_params(params, n=20, depth=1, timer_multipliers=(0.5, 2.0, 8.0), trials=8)
+    n, depth, trials = opts["n"], opts["depth"], opts["trials"]
+    timer_multipliers = opts["timer_multipliers"]
     rows: List[Dict] = []
-    multiplier_rngs = spawn_rngs(seed, len(timer_multipliers))
+    multiplier_rngs = spawn_rngs(run.seed, len(timer_multipliers))
     for multiplier, multiplier_rng in zip(timer_multipliers, multiplier_rngs):
         detection_times: List[float] = []
         for trial_rng in spawn_rngs(multiplier_rng, trials):
@@ -89,6 +89,7 @@ def run_timer_ablation(
         protocol = SublinearTimeSSR(
             n, depth=depth, rmax_multiplier=3.0, timer_multiplier=multiplier
         )
+        stats = TrialStatistics.from_values(f"timer (x{multiplier})", n, detection_times)
         rows.append(
             {
                 "n": n,
@@ -96,23 +97,21 @@ def run_timer_ablation(
                 "timer multiplier": multiplier,
                 "T_H": protocol.detector.timer_max,
                 "trials": trials,
-                "mean detection time": sum(detection_times) / len(detection_times),
-                "max detection time": max(detection_times),
+                "mean detection time": stats.mean,
+                "max detection time": stats.maximum,
             }
         )
     return rows
 
 
-def run_sync_range_ablation(
-    n: int = 20,
-    depth: int = 1,
-    sync_values: Sequence[int] = (2, 8, 0),
-    trials: int = 8,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("ablation_sync_range")
+def run_sync_range_ablation(params: Mapping, run: RunConfig) -> List[Dict]:
     """Collision-detection time as a function of ``S_max`` (0 = paper default 2 n^2)."""
+    opts = read_params(params, n=20, depth=1, sync_values=(2, 8, 0), trials=8)
+    n, depth, trials = opts["n"], opts["depth"], opts["trials"]
+    sync_values = opts["sync_values"]
     rows: List[Dict] = []
-    value_rngs = spawn_rngs(seed, len(sync_values))
+    value_rngs = spawn_rngs(run.seed, len(sync_values))
     for value, value_rng in zip(sync_values, value_rngs):
         effective = value if value else None
         detection_times: List[float] = []
@@ -130,13 +129,14 @@ def run_sync_range_ablation(
             )
             detection_times.append(result.parallel_time)
         protocol = SublinearTimeSSR(n, depth=depth, rmax_multiplier=3.0, sync_values=effective)
+        stats = TrialStatistics.from_values(f"sync (S={value})", n, detection_times)
         rows.append(
             {
                 "n": n,
                 "H": depth,
                 "S_max": protocol.detector.sync_values,
                 "trials": trials,
-                "mean detection time": sum(detection_times) / len(detection_times),
+                "mean detection time": stats.mean,
             }
         )
     return rows

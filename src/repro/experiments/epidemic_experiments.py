@@ -10,94 +10,96 @@ running time:
 * E6 (Lemmas 2.10 / 2.11): the bounded-epidemic hitting time ``tau_k`` is at
   most ``k n^{1/k}`` parallel time for constant ``k`` and ``O(log n)`` for
   ``k = 3 log2 n``.
+
+All runners follow the uniform contract ``runner(params, run: RunConfig) ->
+ExperimentResult`` (see :mod:`repro.experiments.api`); the closed-form
+process simulators below have no engine choice, so only ``run.seed`` applies.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping
 
-from repro.analysis.statistics import summarize
 from repro.analysis.theory import (
     expected_all_interact_interactions,
     expected_bounded_epidemic_time,
     expected_epidemic_interactions,
     expected_roll_call_interactions,
 )
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner, read_params
 from repro.processes.bounded_epidemic import simulate_level_hitting_times
 from repro.processes.coupon_collector import simulate_all_agents_interact
 from repro.processes.epidemic import simulate_epidemic_interactions
 from repro.processes.roll_call import simulate_roll_call_interactions
 
 
-def run_epidemic(
-    ns: Sequence[int] = (64, 128, 256, 512),
-    trials: int = 200,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("epidemic")
+def run_epidemic(params: Mapping, run: RunConfig) -> List[Dict]:
     """E4: measured vs predicted completion time of the two-way epidemic."""
+    opts = read_params(params, ns=(64, 128, 256, 512), trials=200)
+    ns, trials = opts["ns"], opts["trials"]
     rows: List[Dict] = []
-    rngs = spawn_rngs(seed, len(ns))
+    rngs = spawn_rngs(run.seed, len(ns))
     for n, rng in zip(ns, rngs):
         samples = [simulate_epidemic_interactions(n, rng) for _ in range(trials)]
-        summary = summarize(samples)
+        stats = TrialStatistics.from_values(f"epidemic (n={n})", n, samples)
         predicted = expected_epidemic_interactions(n)
         threshold = 3 * n * math.log(n)
-        exceed = sum(1 for sample in samples if sample > threshold) / len(samples)
         rows.append(
             {
                 "n": n,
                 "trials": trials,
-                "mean interactions": summary.mean,
+                "mean interactions": stats.mean,
                 "predicted (n-1)H_{n-1}": predicted,
-                "mean / predicted": summary.mean / predicted,
-                "P[T_n > 3 n ln n] (measured)": exceed,
+                "mean / predicted": stats.mean / predicted,
+                "P[T_n > 3 n ln n] (measured)": stats.fraction_exceeding(threshold),
                 "P bound (Cor. 2.8)": 1.0 / (n * n),
             }
         )
     return rows
 
 
-def run_roll_call(
-    ns: Sequence[int] = (32, 64, 128, 256),
-    trials: int = 50,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("roll_call")
+def run_roll_call(params: Mapping, run: RunConfig) -> List[Dict]:
     """E5: measured vs predicted completion time of the roll-call process."""
+    opts = read_params(params, ns=(32, 64, 128, 256), trials=50)
+    ns, trials = opts["ns"], opts["trials"]
     rows: List[Dict] = []
-    rngs = spawn_rngs(seed, len(ns))
+    rngs = spawn_rngs(run.seed, len(ns))
     for n, rng in zip(ns, rngs):
         samples = [simulate_roll_call_interactions(n, rng) for _ in range(trials)]
-        summary = summarize(samples)
+        stats = TrialStatistics.from_values(f"roll-call (n={n})", n, samples)
         predicted = expected_roll_call_interactions(n)
         epidemic_predicted = expected_epidemic_interactions(n)
         threshold = 3 * n * math.log(n)
-        exceed = sum(1 for sample in samples if sample > threshold) / len(samples)
         rows.append(
             {
                 "n": n,
                 "trials": trials,
-                "mean interactions": summary.mean,
+                "mean interactions": stats.mean,
                 "predicted 1.5 n ln n": predicted,
-                "mean / epidemic mean": summary.mean / epidemic_predicted,
-                "P[R_n > 3 n ln n] (measured)": exceed,
+                "mean / epidemic mean": stats.mean / epidemic_predicted,
+                "P[R_n > 3 n ln n] (measured)": stats.fraction_exceeding(threshold),
                 "P bound (Lem. 2.9)": 1.0 / n,
             }
         )
     return rows
 
 
-def run_bounded_epidemic(
-    ns: Sequence[int] = (64, 256, 1024),
-    ks: Sequence[int] = (1, 2, 3),
-    trials: int = 50,
-    seed: RngLike = 0,
-    include_log_level: bool = True,
-) -> List[Dict]:
+@experiment_runner("bounded_epidemic")
+def run_bounded_epidemic(params: Mapping, run: RunConfig) -> List[Dict]:
     """E6: hitting times ``tau_k`` of the bounded epidemic vs the paper's bounds."""
+    opts = read_params(
+        params, ns=(64, 256, 1024), ks=(1, 2, 3), trials=50, include_log_level=True
+    )
+    ns, ks, trials = opts["ns"], opts["ks"], opts["trials"]
+    include_log_level = opts["include_log_level"]
     rows: List[Dict] = []
-    rngs = spawn_rngs(seed, len(ns))
+    rngs = spawn_rngs(run.seed, len(ns))
     for n, rng in zip(ns, rngs):
         levels = list(ks)
         if include_log_level:
@@ -109,40 +111,41 @@ def run_bounded_epidemic(
             for k in levels:
                 per_level_samples[k].append(hitting[k] / n)  # parallel time
         for k in levels:
-            summary = summarize(per_level_samples[k])
+            stats = TrialStatistics.from_values(
+                f"tau_{k} (n={n})", n, per_level_samples[k]
+            )
             bound = expected_bounded_epidemic_time(n, k)
             rows.append(
                 {
                     "n": n,
                     "k": k,
                     "trials": trials,
-                    "mean tau_k (parallel)": summary.mean,
+                    "mean tau_k (parallel)": stats.mean,
                     "paper bound": bound,
-                    "mean / bound": summary.mean / bound,
+                    "mean / bound": stats.mean / bound,
                 }
             )
     return rows
 
 
-def run_all_agents_interact(
-    ns: Sequence[int] = (64, 256, 1024),
-    trials: int = 100,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("all_agents_interact")
+def run_all_agents_interact(params: Mapping, run: RunConfig) -> List[Dict]:
     """Auxiliary for E5: interactions until every agent has interacted (~0.5 n ln n)."""
+    opts = read_params(params, ns=(64, 256, 1024), trials=100)
+    ns, trials = opts["ns"], opts["trials"]
     rows: List[Dict] = []
-    rngs = spawn_rngs(seed, len(ns))
+    rngs = spawn_rngs(run.seed, len(ns))
     for n, rng in zip(ns, rngs):
         samples = [simulate_all_agents_interact(n, rng) for _ in range(trials)]
-        summary = summarize(samples)
+        stats = TrialStatistics.from_values(f"all-interact (n={n})", n, samples)
         predicted = expected_all_interact_interactions(n)
         rows.append(
             {
                 "n": n,
                 "trials": trials,
-                "mean interactions": summary.mean,
+                "mean interactions": stats.mean,
                 "predicted 0.5 n ln n": predicted,
-                "mean / predicted": summary.mean / predicted,
+                "mean / predicted": stats.mean / predicted,
             }
         )
     return rows

@@ -1,43 +1,57 @@
 """Shared experiment machinery: repeated trials and population-size sweeps.
 
+One :class:`~repro.engine.run_config.RunConfig` describes *how* to execute --
+engine, stop condition, seed, caps, worker count -- and flows unchanged from
+the CLI through :class:`ExperimentSpec` down to :func:`run_trials`, which
+builds each trial's engine via
+:func:`~repro.engine.run_config.make_simulation` and executes the plan with
+the polymorphic ``simulation.run(config)`` entry point.
+
 Multi-trial measurements embarrassingly parallelize: every trial derives its
 random stream from its own ``numpy.random.SeedSequence`` child, so trials are
-independent no matter which process executes them.  :func:`run_trials` exploits
-this with a ``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1``:
-results are bit-identical across any ``jobs`` value (the stream of trial ``i``
-depends only on ``(seed, i)``), which ``tests/experiments/test_parallel_harness.py``
-enforces.  Worker processes are forked, so closures (the lambdas experiments
-pass as factories) and a pre-compiled transition table are inherited rather
-than pickled; on platforms without ``fork`` the harness silently runs
-sequentially.
+independent no matter which process executes them.  :func:`run_trials`
+exploits this with a ``concurrent.futures.ProcessPoolExecutor`` when
+``config.jobs > 1``: results are bit-identical across any ``jobs`` value (the
+stream of trial ``i`` depends only on ``(seed, i)``), which
+``tests/experiments/test_parallel_harness.py`` enforces.  Worker processes
+are forked, so closures (the lambdas experiments pass as factories) and a
+pre-compiled transition table are inherited rather than pickled; on platforms
+without ``fork`` the harness silently runs sequentially.
+
+The pre-redesign keyword style (``stop=``/``engine=``/``jobs=``/``seed=``
+threaded as parallel keywords) keeps working for one release through
+deprecation shims; see ``docs/ARCHITECTURE.md`` for the migration note.
 """
 
 from __future__ import annotations
 
-import inspect
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.engine.batch_simulation import BatchSimulation
 from repro.engine.compiled import CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import RngLike, spawn_seed_sequences
-from repro.engine.simulation import Simulation
+from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
+from repro.experiments.api import (
+    DEFAULT_EXPERIMENT_SEED,
+    RUN_OPTION_KEYS,
+    warn_deprecated_once,
+)
+from repro.experiments.result import ExperimentResult
 
 ProtocolFactory = Callable[[int], PopulationProtocol]
 ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Configuration]
 
-#: Engines selectable by experiments and the CLI (see docs/ARCHITECTURE.md).
-ENGINES = ("loop", "compiled")
-
-#: Stop conditions understood by the trial runners.
-STOPS = ("stabilized", "correct", "silent")
+#: Per-trial observer: ``on_trial_done(index, result)``, called in trial
+#: order on the coordinating process (also when ``jobs > 1``).
+TrialObserver = Callable[[int, SimulationResult], None]
 
 #: Trial context inherited by forked pool workers (see :func:`run_trials`).
 #: Holding it in a module global instead of pickling it lets experiments keep
@@ -45,54 +59,138 @@ STOPS = ("stabilized", "correct", "silent")
 _POOL_STATE: Optional[Dict] = None
 
 
+def _coerce_run_config(run, legacy: Dict, caller: str) -> RunConfig:
+    """Resolve the new ``run=RunConfig`` form or the deprecated keyword form.
+
+    ``run`` is either a :class:`RunConfig` (new style), ``None``, or -- for
+    backward compatibility -- a seed passed in the old third positional slot.
+    """
+    if isinstance(run, RunConfig):
+        if legacy:
+            raise TypeError(
+                f"{caller}: pass execution options on the RunConfig, "
+                f"not as keywords {sorted(legacy)}"
+            )
+        return run
+    unknown = set(legacy) - set(RUN_OPTION_KEYS)
+    if unknown:
+        raise TypeError(f"{caller}() got unexpected keyword arguments {sorted(unknown)}")
+    if run is not None:
+        if "seed" in legacy:
+            raise TypeError(f"{caller}: seed passed both positionally and as a keyword")
+        legacy = dict(legacy, seed=run)
+    if legacy:
+        warn_deprecated_once(
+            f"harness.{caller}",
+            f"{caller}({', '.join(sorted(legacy))}=...) keywords are deprecated; "
+            f"pass run=RunConfig(...) instead (removed next release)",
+            stacklevel=4,
+        )
+    return RunConfig(
+        seed=legacy.get("seed"),
+        stop=legacy.get("stop", "stabilized"),
+        engine=legacy.get("engine", "loop"),
+        jobs=legacy.get("jobs", 1),
+        max_interactions=legacy.get("max_interactions"),
+        check_interval=legacy.get("check_interval"),
+    )
+
+
 @dataclass
 class ExperimentSpec:
-    """Declarative description of one experiment (used by the registry and CLI)."""
+    """Declarative description of one experiment (used by the registry and CLI).
+
+    ``runner`` follows the uniform contract ``runner(params, run: RunConfig)
+    -> ExperimentResult`` (see :mod:`repro.experiments.api`); ``quick_params``
+    and ``full_params`` hold only experiment-specific parameters -- execution
+    options live on the :class:`RunConfig` that :meth:`run` builds, so
+    ``--seed/--engine/--jobs`` apply uniformly to every experiment.
+    """
 
     identifier: str
     title: str
     paper_reference: str
-    runner: Callable[..., List[Dict]]
+    runner: Callable[[Mapping, RunConfig], ExperimentResult]
     description: str = ""
-    quick_kwargs: Dict = field(default_factory=dict)
-    full_kwargs: Dict = field(default_factory=dict)
+    quick_params: Dict = field(default_factory=dict)
+    full_params: Dict = field(default_factory=dict)
 
-    def supports_jobs(self) -> bool:
-        """``True`` iff the runner accepts a ``jobs`` keyword (worker count)."""
-        try:
-            parameters = inspect.signature(self.runner).parameters
-        except (TypeError, ValueError):
-            return False
-        if "jobs" in parameters:
-            return True
-        return any(
-            parameter.kind is inspect.Parameter.VAR_KEYWORD
-            for parameter in parameters.values()
+    @property
+    def quick_kwargs(self) -> Dict:
+        """Deprecated alias of :attr:`quick_params`."""
+        warn_deprecated_once(
+            "ExperimentSpec.quick_kwargs",
+            "ExperimentSpec.quick_kwargs is deprecated; use quick_params",
         )
+        return self.quick_params
 
-    def run(self, scale: str = "quick", jobs: Optional[int] = None, **overrides) -> List[Dict]:
-        """Run the experiment at the requested scale, applying overrides.
+    @property
+    def full_kwargs(self) -> Dict:
+        """Deprecated alias of :attr:`full_params`."""
+        warn_deprecated_once(
+            "ExperimentSpec.full_kwargs",
+            "ExperimentSpec.full_kwargs is deprecated; use full_params",
+        )
+        return self.full_params
 
-        ``jobs`` (the ``--jobs N`` CLI flag) is forwarded to runners that
-        accept it and ignored otherwise, so a single flag can fan a whole
-        ``run all`` over every sweep-style experiment.
+    def run(
+        self,
+        scale: str = "quick",
+        run: Optional[RunConfig] = None,
+        *,
+        seed: Optional[int] = None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        **overrides,
+    ) -> ExperimentResult:
+        """Run the experiment at the requested scale and return the result.
+
+        Either pass a complete ``run=RunConfig(...)`` or let this method
+        build one from ``seed``/``engine``/``jobs`` (defaults: seed 0,
+        loop engine, one worker).  ``overrides`` update the scale's
+        experiment parameters.
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
-        kwargs = dict(self.quick_kwargs if scale == "quick" else self.full_kwargs)
-        kwargs.update(overrides)
-        if jobs is not None and "jobs" not in kwargs and self.supports_jobs():
-            kwargs["jobs"] = jobs
-        return self.runner(**kwargs)
+        params = dict(self.quick_params if scale == "quick" else self.full_params)
+        params.update(overrides)
+        if run is not None:
+            if seed is not None or engine is not None or jobs is not None:
+                raise TypeError(
+                    "pass seed/engine/jobs on the RunConfig, not alongside it"
+                )
+            config = run
+        else:
+            config = RunConfig(
+                seed=DEFAULT_EXPERIMENT_SEED if seed is None else seed,
+                engine=engine if engine is not None else "loop",
+                jobs=jobs if jobs is not None else 1,
+            )
+        started = time.perf_counter()
+        outcome = self.runner(params, config)
+        if not isinstance(outcome, ExperimentResult):
+            # Undecorated runner returning bare rows: wrap it here so every
+            # spec yields the typed record.
+            outcome = ExperimentResult(
+                identifier=self.identifier,
+                rows=list(outcome),
+                seed=config.seed if isinstance(config.seed, int) else None,
+                engine=config.engine,
+                stop=config.stop,
+                jobs=config.jobs,
+                wall_time=time.perf_counter() - started,
+            )
+        outcome.identifier = outcome.identifier or self.identifier
+        outcome.title = self.title
+        outcome.paper_reference = self.paper_reference
+        outcome.scale = scale
+        return outcome
 
 
 def _execute_trial(
     protocol_factory: Callable[[], PopulationProtocol],
     configuration_factory: Optional[ConfigurationFactory],
-    stop: str,
-    engine: str,
-    max_interactions: Optional[int],
-    check_interval: Optional[int],
+    config: RunConfig,
     compiled: Optional[CompiledProtocol],
     seed_seq: np.random.SeedSequence,
 ) -> SimulationResult:
@@ -102,18 +200,10 @@ def _execute_trial(
     configuration = (
         configuration_factory(protocol, rng) if configuration_factory is not None else None
     )
-    if engine == "compiled":
-        simulation = BatchSimulation(
-            protocol, configuration=configuration, rng=rng, compiled=compiled
-        )
-    else:
-        simulation = Simulation(protocol, configuration=configuration, rng=rng)
-    runner = {
-        "stabilized": simulation.run_until_stabilized,
-        "correct": simulation.run_until_correct,
-        "silent": simulation.run_until_silent,
-    }[stop]
-    return runner(max_interactions=max_interactions, check_interval=check_interval)
+    simulation = make_simulation(
+        protocol, config, configuration=configuration, rng=rng, compiled=compiled
+    )
+    return simulation.run(config)
 
 
 def _pool_trial(index: int) -> SimulationResult:
@@ -127,10 +217,7 @@ def _pool_trial(index: int) -> SimulationResult:
     return _execute_trial(
         protocol_factory=state["protocol_factory"],
         configuration_factory=state["configuration_factory"],
-        stop=state["stop"],
-        engine=state["engine"],
-        max_interactions=state["max_interactions"],
-        check_interval=state["check_interval"],
+        config=state["config"],
         compiled=state["compiled"],
         seed_seq=state["seeds"][index],
     )
@@ -139,22 +226,26 @@ def _pool_trial(index: int) -> SimulationResult:
 def run_trials(
     protocol_factory: Callable[[], PopulationProtocol],
     trials: int,
-    seed: RngLike = None,
+    run: Optional[RunConfig] = None,
+    *,
     configuration_factory: Optional[ConfigurationFactory] = None,
-    stop: str = "stabilized",
-    max_interactions: Optional[int] = None,
-    check_interval: Optional[int] = None,
-    engine: str = "loop",
-    jobs: int = 1,
+    on_trial_done: Optional[TrialObserver] = None,
+    **legacy,
 ) -> List[SimulationResult]:
     """Run ``trials`` independent simulations, optionally across processes.
 
     Returns the per-trial :class:`SimulationResult` records in trial order.
     Trial ``i`` always consumes the generator spawned from the ``i``-th child
-    ``SeedSequence`` of ``seed``, so the results are **bit-identical for every
-    value of ``jobs``** -- parallelism redistributes work, never randomness.
+    ``SeedSequence`` of ``run.seed``, so the results are **bit-identical for
+    every value of ``run.jobs``** -- parallelism redistributes work, never
+    randomness.
 
-    ``jobs > 1`` executes trials on a ``ProcessPoolExecutor`` with forked
+    ``on_trial_done(index, result)`` is invoked in trial order on the
+    coordinating process as results become available -- including the
+    ``jobs > 1`` path, where the pool's ordered result stream drives the
+    callbacks (so observers need no locking).
+
+    ``run.jobs > 1`` executes trials on a ``ProcessPoolExecutor`` with forked
     workers; factories may be arbitrary closures (they are inherited through
     the fork, not pickled).  With ``engine="compiled"`` the protocol is
     compiled once up front and the table shared -- by reference across
@@ -162,58 +253,58 @@ def run_trials(
     without the ``fork`` start method the harness degrades to sequential
     execution (same results, no speedup).
     """
+    config = _coerce_run_config(run, legacy, caller="run_trials")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    if jobs < 1:
-        raise ValueError(f"jobs must be positive, got {jobs}")
-    if stop not in STOPS:
-        raise ValueError(f"unknown stop condition {stop!r}")
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
-    seeds = spawn_seed_sequences(seed, trials)
+    seeds = spawn_seed_sequences(config.seed, trials)
     compiled = (
-        ProtocolCompiler().compile(protocol_factory()) if engine == "compiled" else None
+        ProtocolCompiler().compile(protocol_factory())
+        if config.engine == "compiled"
+        else None
     )
 
     context = None
-    if jobs > 1 and trials > 1:
+    if config.jobs > 1 and trials > 1:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = None
 
     if context is None:
-        return [
-            _execute_trial(
+        results: List[SimulationResult] = []
+        for index, seed_seq in enumerate(seeds):
+            result = _execute_trial(
                 protocol_factory=protocol_factory,
                 configuration_factory=configuration_factory,
-                stop=stop,
-                engine=engine,
-                max_interactions=max_interactions,
-                check_interval=check_interval,
+                config=config,
                 compiled=compiled,
                 seed_seq=seed_seq,
             )
-            for seed_seq in seeds
-        ]
+            results.append(result)
+            if on_trial_done is not None:
+                on_trial_done(index, result)
+        return results
 
     global _POOL_STATE
     _POOL_STATE = {
         "protocol_factory": protocol_factory,
         "configuration_factory": configuration_factory,
-        "stop": stop,
-        "engine": engine,
-        "max_interactions": max_interactions,
-        "check_interval": check_interval,
+        "config": config,
         "compiled": compiled,
         "seeds": seeds,
     }
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, trials), mp_context=context
-        ) as executor:
-            chunksize = max(1, trials // (4 * min(jobs, trials)))
-            return list(executor.map(_pool_trial, range(trials), chunksize=chunksize))
+        workers = min(config.jobs, trials)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
+            chunksize = max(1, trials // (4 * workers))
+            results = []
+            for index, result in enumerate(
+                executor.map(_pool_trial, range(trials), chunksize=chunksize)
+            ):
+                results.append(result)
+                if on_trial_done is not None:
+                    on_trial_done(index, result)
+            return results
     finally:
         _POOL_STATE = None
 
@@ -221,14 +312,12 @@ def run_trials(
 def measure_parallel_times(
     protocol_factory: Callable[[], PopulationProtocol],
     trials: int,
-    seed: RngLike = None,
+    run: Optional[RunConfig] = None,
+    *,
     configuration_factory: Optional[ConfigurationFactory] = None,
-    stop: str = "stabilized",
-    max_interactions: Optional[int] = None,
-    check_interval: Optional[int] = None,
     label: str = "",
-    engine: str = "loop",
-    jobs: int = 1,
+    on_trial_done: Optional[TrialObserver] = None,
+    **legacy,
 ) -> TrialStatistics:
     """Run ``trials`` independent simulations and collect stabilization times.
 
@@ -238,26 +327,19 @@ def measure_parallel_times(
     contribute their (censored) cap time, so results stay conservative rather
     than silently optimistic.
 
-    ``engine`` selects the execution engine: ``"loop"`` (the per-interaction
-    :class:`Simulation`) or ``"compiled"`` (the table-driven
-    :class:`BatchSimulation`; the protocol is compiled once and the tables
-    are shared across trials, so the factory must build identically
-    parameterized protocols every call -- state-space mismatches are
-    detected, but outcome-only parameters such as branch probabilities are
-    the caller's responsibility).  ``jobs`` fans the trials over worker
-    processes without changing any trial's random stream.  See
-    ``docs/ARCHITECTURE.md`` for tradeoffs.
+    ``run`` selects engine, stop condition, seed, caps, and worker count; see
+    :class:`~repro.engine.run_config.RunConfig` and ``docs/ARCHITECTURE.md``
+    for the engine tradeoffs.  With ``engine="compiled"`` the protocol is
+    compiled once and the tables are shared across trials, so the factory
+    must build identically parameterized protocols every call.
     """
+    config = _coerce_run_config(run, legacy, caller="measure_parallel_times")
     results = run_trials(
         protocol_factory=protocol_factory,
         trials=trials,
-        seed=seed,
+        run=config,
         configuration_factory=configuration_factory,
-        stop=stop,
-        max_interactions=max_interactions,
-        check_interval=check_interval,
-        engine=engine,
-        jobs=jobs,
+        on_trial_done=on_trial_done,
     )
     times = [result.parallel_time for result in results]
     n = results[0].n if results else 0
@@ -268,36 +350,40 @@ def sweep_parallel_time(
     ns: Sequence[int],
     protocol_factory: ProtocolFactory,
     trials: int,
-    seed: RngLike = None,
+    run: Optional[RunConfig] = None,
+    *,
     configuration_factory: Optional[ConfigurationFactory] = None,
-    stop: str = "stabilized",
     max_interactions_factory: Optional[Callable[[int], int]] = None,
     label: str = "",
-    engine: str = "loop",
-    jobs: int = 1,
+    on_trial_done: Optional[TrialObserver] = None,
+    **legacy,
 ) -> List[TrialStatistics]:
     """Measure stabilization time across a sweep of population sizes.
 
     ``protocol_factory`` receives the population size; the per-``n`` seeds are
-    derived from ``seed`` so runs are reproducible yet independent.  The
-    ``engine`` and ``jobs`` choices are forwarded to
+    derived from ``run.seed`` so runs are reproducible yet independent.  The
+    engine and worker count on ``run`` are forwarded to
     :func:`measure_parallel_times`, so a multi-trial/multi-``n`` sweep
     saturates ``jobs`` cores with either engine.
     """
+    config = _coerce_run_config(run, legacy, caller="sweep_parallel_time")
     results: List[TrialStatistics] = []
-    seeds = spawn_seed_sequences(seed, len(ns))
+    seeds = spawn_seed_sequences(config.seed, len(ns))
     for n, n_seed in zip(ns, seeds):
-        cap = max_interactions_factory(n) if max_interactions_factory is not None else None
+        cap = (
+            max_interactions_factory(n)
+            if max_interactions_factory is not None
+            else config.max_interactions
+        )
         statistics = measure_parallel_times(
             protocol_factory=lambda n=n: protocol_factory(n),
             trials=trials,
-            seed=np.random.default_rng(n_seed),
+            run=config.replace(
+                seed=np.random.default_rng(n_seed), max_interactions=cap
+            ),
             configuration_factory=configuration_factory,
-            stop=stop,
-            max_interactions=cap,
             label=f"{label or 'sweep'} (n={n})",
-            engine=engine,
-            jobs=jobs,
+            on_trial_done=on_trial_done,
         )
         results.append(statistics)
     return results
@@ -307,6 +393,7 @@ __all__ = [
     "ENGINES",
     "STOPS",
     "ExperimentSpec",
+    "RunConfig",
     "measure_parallel_times",
     "run_trials",
     "sweep_parallel_time",

@@ -6,20 +6,27 @@
   arbitrary adversarial configurations in O(n) expected time.
 * E11 (Theorem 3.4 / Corollary 3.5): ``Propagate-Reset`` brings a partially
   triggered population to an awakening configuration within O(D_max) time.
+
+E7 and E8 run through the multi-trial harness, so the ``RunConfig``'s engine
+and worker count apply; per-``n`` child seeds are derived from ``run.seed``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+import zlib
+from typing import Dict, List, Mapping
 
 from repro.adversary.initial_configs import optimal_silent_adversarial_configuration
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.theory import expected_binary_tree_assignment_time
 from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.sublinear import SublinearTimeSSR
-from repro.engine.rng import RngLike, make_rng, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.experiments.api import experiment_runner, read_params
 from repro.experiments.harness import measure_parallel_times
 
 #: Reduced constants that keep small-n simulations representative of the
@@ -33,27 +40,29 @@ def _make_protocol(n: int, paper_constants: bool) -> OptimalSilentSSR:
     return OptimalSilentSSR(n, **PRACTICAL_CONSTANTS)
 
 
-def run_binary_tree_assignment(
-    ns: Sequence[int] = (32, 64, 128, 256),
-    trials: int = 20,
-    seed: RngLike = 0,
-    paper_constants: bool = False,
-    jobs: int = 1,
-) -> List[Dict]:
+def _base_seed(run: RunConfig) -> int:
+    """Integer root for the per-``n`` seed tuples below."""
+    return run.seed if isinstance(run.seed, int) else 0
+
+
+@experiment_runner("binary_tree_assignment")
+def run_binary_tree_assignment(params: Mapping, run: RunConfig) -> List[Dict]:
     """E7: time for one Settled leader to rank the whole population (Lemma 4.1)."""
+    opts = read_params(params, ns=(32, 64, 128, 256), trials=20, paper_constants=False)
+    ns, trials = opts["ns"], opts["trials"]
+    paper_constants = opts["paper_constants"]
+    seed = _base_seed(run)
     rows: List[Dict] = []
     mean_times: List[float] = []
     for n in ns:
         statistics = measure_parallel_times(
             protocol_factory=lambda n=n: _make_protocol(n, paper_constants),
             trials=trials,
-            seed=(seed, n),
+            run=run.replace(seed=(seed, n), stop="stabilized"),
             configuration_factory=lambda protocol, rng: (
                 protocol.single_leader_awakening_configuration()
             ),
-            stop="stabilized",
             label=f"binary-tree (n={n})",
-            jobs=jobs,
         )
         mean_times.append(statistics.mean)
         rows.append(
@@ -74,20 +83,19 @@ def run_binary_tree_assignment(
     return rows
 
 
-def run_optimal_silent_scaling(
-    ns: Sequence[int] = (16, 32, 64, 128),
-    trials: int = 10,
-    seed: RngLike = 0,
-    paper_constants: bool = False,
-    start: str = "adversarial",
-    jobs: int = 1,
-) -> List[Dict]:
+@experiment_runner("optimal_silent")
+def run_optimal_silent_scaling(params: Mapping, run: RunConfig) -> List[Dict]:
     """E8: stabilization time of ``Optimal-Silent-SSR`` across population sizes.
 
     ``start`` selects the initial configuration: ``"adversarial"`` (independent
     uniformly random states per agent), ``"duplicate-ranks"`` (every agent
     Settled at rank 1), or ``"clean"`` (the protocol's default dormant start).
     """
+    opts = read_params(
+        params, ns=(16, 32, 64, 128), trials=10, paper_constants=False, start="adversarial"
+    )
+    ns, trials = opts["ns"], opts["trials"]
+    paper_constants, start = opts["paper_constants"], opts["start"]
     starts = {
         "adversarial": lambda protocol, rng: optimal_silent_adversarial_configuration(
             protocol, rng
@@ -97,17 +105,21 @@ def run_optimal_silent_scaling(
     }
     if start not in starts:
         raise ValueError(f"unknown start {start!r}")
+    seed = _base_seed(run)
     rows: List[Dict] = []
     mean_times: List[float] = []
     for n in ns:
         statistics = measure_parallel_times(
             protocol_factory=lambda n=n: _make_protocol(n, paper_constants),
             trials=trials,
-            seed=(seed, n, hash(start) % (2**16)),
+            run=run.replace(
+                # crc32, not hash(): str hashing is salted per process, which
+                # would break same-seed reproducibility across runs.
+                seed=(seed, n, zlib.crc32(start.encode()) % (2**16)),
+                stop="stabilized",
+            ),
             configuration_factory=starts[start],
-            stop="stabilized",
             label=f"optimal-silent (n={n})",
-            jobs=jobs,
         )
         mean_times.append(statistics.mean)
         rows.append(
@@ -128,12 +140,8 @@ def run_optimal_silent_scaling(
     return rows
 
 
-def run_propagate_reset(
-    ns: Sequence[int] = (16, 32, 64, 128),
-    trials: int = 20,
-    seed: RngLike = 0,
-    rmax_multiplier: float = 4.0,
-) -> List[Dict]:
+@experiment_runner("propagate_reset")
+def run_propagate_reset(params: Mapping, run: RunConfig) -> List[Dict]:
     """E11: time from a partially triggered configuration back to full computation.
 
     Uses ``Sublinear-Time-SSR`` (whose ``D_max`` is Theta(log n)) so the
@@ -141,8 +149,11 @@ def run_propagate_reset(
     Corollary 3.5 rather than the deliberately long Theta(n) dormancy of
     ``Optimal-Silent-SSR``.
     """
+    opts = read_params(params, ns=(16, 32, 64, 128), trials=20, rmax_multiplier=4.0)
+    ns, trials = opts["ns"], opts["trials"]
+    rmax_multiplier = opts["rmax_multiplier"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(ns))
+    rng_streams = spawn_rngs(run.seed, len(ns))
     for n, n_rng in zip(ns, rng_streams):
         times: List[float] = []
         for _ in range(trials):
@@ -158,15 +169,15 @@ def run_propagate_reset(
                 reason="fully-computing",
             )
             times.append(result.parallel_time)
-        mean_time = sum(times) / len(times)
+        stats = TrialStatistics.from_values(f"propagate-reset (n={n})", n, times)
         rows.append(
             {
                 "n": n,
                 "trials": trials,
                 "D_max": SublinearTimeSSR(n, depth=1, rmax_multiplier=rmax_multiplier).dmax,
-                "mean recovery time": mean_time,
-                "max recovery time": max(times),
-                "mean / log2 n": mean_time / max(1.0, math.log2(n)),
+                "mean recovery time": stats.mean,
+                "max recovery time": stats.maximum,
+                "mean / log2 n": stats.mean / max(1.0, math.log2(n)),
             }
         )
     return rows

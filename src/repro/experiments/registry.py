@@ -6,16 +6,19 @@ Each entry carries a ``quick`` parameterization (seconds to a couple of
 minutes on a laptop) and a ``full`` one (closer to the ranges quoted in
 ``EXPERIMENTS.md``).
 
-:func:`run_experiment` is the single entry point the CLI uses; its ``jobs``
-argument (the ``--jobs N`` flag) fans multi-trial sweeps over worker
-processes for every runner that accepts a ``jobs`` keyword, and is ignored
-for the rest -- see :meth:`repro.experiments.harness.ExperimentSpec.run`.
+Every runner follows the uniform contract ``runner(params, run: RunConfig)
+-> ExperimentResult`` (enforced at registration time), so the execution
+options -- ``--seed``, ``--engine``, ``--jobs`` -- apply to every experiment
+through one :class:`~repro.engine.run_config.RunConfig` built by
+:meth:`~repro.experiments.harness.ExperimentSpec.run`; no signature
+introspection is involved.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.engine.run_config import RunConfig
 from repro.experiments.ablations import (
     run_dormancy_ablation,
     run_sync_range_ablation,
@@ -38,6 +41,7 @@ from repro.experiments.optimal_silent_experiments import (
     run_optimal_silent_scaling,
     run_propagate_reset,
 )
+from repro.experiments.result import ExperimentResult
 from repro.experiments.silent_n_state_experiments import run_silent_n_state_scaling
 from repro.experiments.state_space_experiments import run_state_space
 from repro.experiments.sublinear_experiments import (
@@ -52,6 +56,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {}
 
 
 def _register(spec: ExperimentSpec) -> None:
+    declared = getattr(spec.runner, "experiment_identifier", None)
+    if declared is not None and declared != spec.identifier:
+        raise ValueError(
+            f"runner declares identifier {declared!r} but is registered "
+            f"as {spec.identifier!r}"
+        )
     EXPERIMENTS[spec.identifier] = spec
 
 
@@ -61,8 +71,8 @@ _register(
         title="Table 1: time/space of the three SSR protocols",
         paper_reference="Table 1",
         runner=run_table1,
-        quick_kwargs={"ns": (12, 16), "trials": 3},
-        full_kwargs={"ns": (16, 24, 32), "trials": 5},
+        quick_params={"ns": (12, 16), "trials": 3},
+        full_params={"ns": (16, 24, 32), "trials": 5},
     )
 )
 _register(
@@ -71,8 +81,8 @@ _register(
         title="Silent-n-state-SSR is Theta(n^2) from the worst case",
         paper_reference="Theorem 2.4",
         runner=run_silent_n_state_scaling,
-        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
-        full_kwargs={"ns": (16, 32, 64, 128, 192), "trials": 20},
+        quick_params={"ns": (16, 32, 64), "trials": 10},
+        full_params={"ns": (16, 32, 64, 128, 192), "trials": 20},
     )
 )
 _register(
@@ -81,8 +91,8 @@ _register(
         title="Silent protocols need Omega(n) time",
         paper_reference="Observation 2.6",
         runner=run_silent_lower_bound,
-        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
-        full_kwargs={"ns": (16, 32, 64, 128), "trials": 30},
+        quick_params={"ns": (16, 32, 64), "trials": 10},
+        full_params={"ns": (16, 32, 64, 128), "trials": 30},
     )
 )
 _register(
@@ -91,8 +101,8 @@ _register(
         title="Any SSLE protocol needs Omega(log n) time",
         paper_reference="Section 1.1 remark",
         runner=run_log_lower_bound,
-        quick_kwargs={"ns": (64, 256), "trials": 50},
-        full_kwargs={"ns": (64, 256, 1024, 4096), "trials": 200},
+        quick_params={"ns": (64, 256), "trials": 50},
+        full_params={"ns": (64, 256, 1024, 4096), "trials": 200},
     )
 )
 _register(
@@ -101,8 +111,8 @@ _register(
         title="Initialized leader election is not self-stabilizing",
         paper_reference="Section 1 (Reliable leader election)",
         runner=run_fratricide_failure,
-        quick_kwargs={"n": 32},
-        full_kwargs={"n": 128, "horizon_factor": 200.0},
+        quick_params={"n": 32},
+        full_params={"n": 128, "horizon_factor": 200.0},
     )
 )
 _register(
@@ -111,8 +121,8 @@ _register(
         title="Two-way epidemic completes in ~n ln n interactions",
         paper_reference="Lemma 2.7 / Corollary 2.8",
         runner=run_epidemic,
-        quick_kwargs={"ns": (64, 128, 256), "trials": 100},
-        full_kwargs={"ns": (64, 128, 256, 512, 1024), "trials": 500},
+        quick_params={"ns": (64, 128, 256), "trials": 100},
+        full_params={"ns": (64, 128, 256, 512, 1024), "trials": 500},
     )
 )
 _register(
@@ -121,8 +131,8 @@ _register(
         title="Roll-call process completes in ~1.5 n ln n interactions",
         paper_reference="Lemma 2.9",
         runner=run_roll_call,
-        quick_kwargs={"ns": (32, 64, 128), "trials": 30},
-        full_kwargs={"ns": (32, 64, 128, 256, 512), "trials": 100},
+        quick_params={"ns": (32, 64, 128), "trials": 30},
+        full_params={"ns": (32, 64, 128, 256, 512), "trials": 100},
     )
 )
 _register(
@@ -131,8 +141,8 @@ _register(
         title="Every agent interacts within ~0.5 n ln n interactions",
         paper_reference="Lemma 2.9 (lower-bound step)",
         runner=run_all_agents_interact,
-        quick_kwargs={"ns": (64, 256), "trials": 50},
-        full_kwargs={"ns": (64, 256, 1024), "trials": 200},
+        quick_params={"ns": (64, 256), "trials": 50},
+        full_params={"ns": (64, 256, 1024), "trials": 200},
     )
 )
 _register(
@@ -141,8 +151,8 @@ _register(
         title="Bounded-epidemic hitting times tau_k",
         paper_reference="Lemmas 2.10 and 2.11",
         runner=run_bounded_epidemic,
-        quick_kwargs={"ns": (64, 256), "ks": (1, 2, 3), "trials": 20},
-        full_kwargs={"ns": (64, 256, 1024), "ks": (1, 2, 3, 4), "trials": 50},
+        quick_params={"ns": (64, 256), "ks": (1, 2, 3), "trials": 20},
+        full_params={"ns": (64, 256, 1024), "ks": (1, 2, 3, 4), "trials": 50},
     )
 )
 _register(
@@ -151,8 +161,8 @@ _register(
         title="Leader-driven binary-tree ranking is O(n)",
         paper_reference="Lemma 4.1 / Figure 1",
         runner=run_binary_tree_assignment,
-        quick_kwargs={"ns": (32, 64, 128), "trials": 10},
-        full_kwargs={"ns": (32, 64, 128, 256), "trials": 20},
+        quick_params={"ns": (32, 64, 128), "trials": 10},
+        full_params={"ns": (32, 64, 128, 256), "trials": 20},
     )
 )
 _register(
@@ -161,8 +171,8 @@ _register(
         title="Optimal-Silent-SSR stabilizes in O(n) time",
         paper_reference="Theorem 4.3 / Corollary 4.4",
         runner=run_optimal_silent_scaling,
-        quick_kwargs={"ns": (16, 32, 64), "trials": 5},
-        full_kwargs={"ns": (16, 32, 64, 128), "trials": 10},
+        quick_params={"ns": (16, 32, 64), "trials": 5},
+        full_params={"ns": (16, 32, 64, 128), "trials": 10},
     )
 )
 _register(
@@ -171,8 +181,8 @@ _register(
         title="Propagate-Reset recovers in O(log n) time",
         paper_reference="Theorem 3.4 / Corollary 3.5",
         runner=run_propagate_reset,
-        quick_kwargs={"ns": (16, 32, 64), "trials": 10},
-        full_kwargs={"ns": (16, 32, 64, 128), "trials": 20},
+        quick_params={"ns": (16, 32, 64), "trials": 10},
+        full_params={"ns": (16, 32, 64, 128), "trials": 20},
     )
 )
 _register(
@@ -181,8 +191,8 @@ _register(
         title="Sublinear-Time-SSR: stabilization time vs depth H",
         paper_reference="Theorem 5.7 / Table 1",
         runner=run_sublinear_tradeoff,
-        quick_kwargs={"n": 20, "depths": (0, 1, 2), "trials": 5},
-        full_kwargs={"n": 32, "depths": (0, 1, 2, None), "trials": 10},
+        quick_params={"n": 20, "depths": (0, 1, 2), "trials": 5},
+        full_params={"n": 32, "depths": (0, 1, 2, None), "trials": 10},
     )
 )
 _register(
@@ -191,8 +201,8 @@ _register(
         title="Sublinear-Time-SSR: stabilization time vs n at fixed H",
         paper_reference="Theorem 5.7",
         runner=run_sublinear_scaling,
-        quick_kwargs={"ns": (8, 16, 24), "depth": 1, "trials": 5},
-        full_kwargs={"ns": (8, 16, 32, 48), "depth": 1, "trials": 8},
+        quick_params={"ns": (8, 16, 24), "depth": 1, "trials": 5},
+        full_params={"ns": (8, 16, 32, 48), "depth": 1, "trials": 8},
     )
 )
 _register(
@@ -201,8 +211,8 @@ _register(
         title="No false collision detections after a clean reset",
         paper_reference="Lemmas 5.4 and 5.5 / Figure 2",
         runner=run_safety,
-        quick_kwargs={"n": 12, "depth": 2, "trials": 3},
-        full_kwargs={"n": 16, "depth": 2, "trials": 5},
+        quick_params={"n": 12, "depth": 2, "trials": 3},
+        full_params={"n": 16, "depth": 2, "trials": 5},
     )
 )
 _register(
@@ -211,8 +221,8 @@ _register(
         title="Observed state usage per protocol",
         paper_reference="Table 1 (states column) / Theorem 2.1",
         runner=run_state_space,
-        quick_kwargs={"ns": (8, 16), "interactions_factor": 20},
-        full_kwargs={"ns": (8, 16, 32), "interactions_factor": 40},
+        quick_params={"ns": (8, 16), "interactions_factor": 20},
+        full_params={"ns": (8, 16, 32), "interactions_factor": 40},
     )
 )
 _register(
@@ -221,8 +231,8 @@ _register(
         title="Synthetic-coin derandomization",
         paper_reference="Section 6",
         runner=run_synthetic_coin,
-        quick_kwargs={"ns": (16, 64), "bits_needed": 16},
-        full_kwargs={"ns": (16, 64, 256), "bits_needed": 32},
+        quick_params={"ns": (16, 64), "bits_needed": 16},
+        full_params={"ns": (16, 64, 256), "bits_needed": 32},
     )
 )
 
@@ -233,8 +243,8 @@ _register(
         title="Ablation: dormant-phase length D_max in Optimal-Silent-SSR",
         paper_reference="Lemma 4.2 / Theorem 4.3",
         runner=run_dormancy_ablation,
-        quick_kwargs={"n": 24, "dmax_factors": (1.0, 4.0, 8.0), "trials": 5},
-        full_kwargs={"n": 48, "dmax_factors": (1.0, 2.0, 4.0, 8.0), "trials": 10},
+        quick_params={"n": 24, "dmax_factors": (1.0, 4.0, 8.0), "trials": 5},
+        full_params={"n": 48, "dmax_factors": (1.0, 2.0, 4.0, 8.0), "trials": 10},
     )
 )
 _register(
@@ -243,8 +253,8 @@ _register(
         title="Ablation: edge-timer horizon T_H in Detect-Name-Collision",
         paper_reference="Lemma 5.6",
         runner=run_timer_ablation,
-        quick_kwargs={"n": 16, "timer_multipliers": (0.5, 8.0), "trials": 5},
-        full_kwargs={"n": 24, "timer_multipliers": (0.5, 2.0, 8.0), "trials": 10},
+        quick_params={"n": 16, "timer_multipliers": (0.5, 8.0), "trials": 5},
+        full_params={"n": 24, "timer_multipliers": (0.5, 2.0, 8.0), "trials": 10},
     )
 )
 _register(
@@ -253,8 +263,8 @@ _register(
         title="Ablation: sync-value range S_max in Detect-Name-Collision",
         paper_reference="Lemma 5.6",
         runner=run_sync_range_ablation,
-        quick_kwargs={"n": 16, "sync_values": (2, 0), "trials": 5},
-        full_kwargs={"n": 24, "sync_values": (2, 8, 0), "trials": 10},
+        quick_params={"n": 16, "sync_values": (2, 0), "trials": 5},
+        full_params={"n": 24, "sync_values": (2, 8, 0), "trials": 10},
     )
 )
 
@@ -276,11 +286,22 @@ def get_experiment(identifier: str) -> ExperimentSpec:
 def run_experiment(
     identifier: str,
     scale: str = "quick",
+    run: Optional[RunConfig] = None,
+    *,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
     jobs: Optional[int] = None,
     **overrides,
-) -> List[Dict]:
-    """Resolve ``identifier`` and run it, forwarding ``jobs`` where supported."""
-    return get_experiment(identifier).run(scale=scale, jobs=jobs, **overrides)
+) -> ExperimentResult:
+    """Resolve ``identifier`` and run it with a uniformly built ``RunConfig``.
+
+    Pass either a complete ``run=RunConfig(...)`` or the individual
+    ``seed``/``engine``/``jobs`` options (the CLI flags); ``overrides``
+    update the scale's experiment parameters.
+    """
+    return get_experiment(identifier).run(
+        scale=scale, run=run, seed=seed, engine=engine, jobs=jobs, **overrides
+    )
 
 
 __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]

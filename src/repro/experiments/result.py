@@ -1,0 +1,221 @@
+"""Typed, persistable experiment results.
+
+:class:`ExperimentResult` is the uniform return type of every registered
+experiment runner: schema'd rows (an explicit, ordered column list) plus
+provenance metadata (identifier, scale, seed, engine, jobs, wall time,
+package version).  It round-trips through JSON and JSONL *byte-identically*
+-- ``ExperimentResult.from_json(r.to_json()).to_json() == r.to_json()`` --
+so saved artifacts are durable records: ``repro report`` re-renders the
+exact table from the artifact alone, without re-running any simulation.
+
+Formats
+-------
+* ``.json`` -- one indented, key-sorted JSON document (human-diffable).
+* ``.jsonl`` -- a compact header line followed by one line per row
+  (stream-appendable; the shape sweep runners will grow into).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro import __version__
+
+#: Format tags embedded in artifacts so loaders can reject foreign files.
+JSON_FORMAT = "repro.experiment-result/v1"
+JSONL_FORMAT = "repro.experiment-result/v1-jsonl"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a row value to a plain JSON type.
+
+    NumPy scalars leak out of simulations (``rng.integers`` results, array
+    reductions); tuples come from parameter echoes.  Everything is coerced
+    once, at construction, so the in-memory result renders exactly like a
+    reloaded artifact.  Non-finite floats become ``None``: ``json.dumps``
+    would otherwise emit bare ``NaN``/``Infinity`` tokens, which Python
+    re-reads but strict JSON parsers (jq, JavaScript) reject.
+    """
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, (str, type(None))):
+        return value
+    if isinstance(value, float):  # covers numpy floating via subclass
+        return float(value) if math.isfinite(value) else None
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item"):  # numpy scalar (int64, bool_, float32, ...)
+        return _jsonable(value.item())
+    raise TypeError(
+        f"experiment row value {value!r} ({type(value).__name__}) is not JSON-able"
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's measured rows plus the provenance to reproduce them.
+
+    ``columns`` defaults to the ordered union of row keys and is persisted
+    explicitly, so rendering order survives serialization even though JSON
+    artifacts sort object keys for byte-stable output.
+    """
+
+    identifier: str
+    rows: List[Dict[str, Any]]
+    columns: List[str] = field(default_factory=list)
+    title: str = ""
+    paper_reference: str = ""
+    scale: str = ""
+    seed: Optional[int] = None
+    engine: str = "loop"
+    stop: str = "stabilized"
+    jobs: int = 1
+    wall_time: float = 0.0
+    version: str = __version__
+
+    def __post_init__(self) -> None:
+        self.rows = [
+            {str(key): _jsonable(value) for key, value in row.items()}
+            for row in self.rows
+        ]
+        if not self.columns:
+            seen: List[str] = []
+            for row in self.rows:
+                for key in row:
+                    if key not in seen:
+                        seen.append(key)
+            self.columns = seen
+        else:
+            self.columns = [str(column) for column in self.columns]
+
+    # -- dict / JSON forms ----------------------------------------------------------
+
+    def provenance(self) -> Dict[str, Any]:
+        """The metadata block persisted alongside the rows.
+
+        ``engine``/``jobs``/``stop`` record the *requested* ``RunConfig`` --
+        runners that have no engine choice (closed-form process simulators)
+        honour only the seed, and say so in their module docstrings.
+        """
+        return {
+            "identifier": self.identifier,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "scale": self.scale,
+            "seed": self.seed,
+            "engine": self.engine,
+            "stop": self.stop,
+            "jobs": self.jobs,
+            "wall_time": self.wall_time,
+            "version": self.version,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dictionary form (see :data:`JSON_FORMAT`)."""
+        return {
+            "format": JSON_FORMAT,
+            "provenance": self.provenance(),
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        tag = payload.get("format")
+        if tag not in (JSON_FORMAT, JSONL_FORMAT):
+            raise ValueError(f"not an experiment-result payload (format={tag!r})")
+        provenance = payload.get("provenance", {})
+        return cls(
+            identifier=provenance.get("identifier", ""),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            columns=list(payload.get("columns", [])),
+            title=provenance.get("title", ""),
+            paper_reference=provenance.get("paper_reference", ""),
+            scale=provenance.get("scale", ""),
+            seed=provenance.get("seed"),
+            engine=provenance.get("engine", "loop"),
+            stop=provenance.get("stop", "stabilized"),
+            jobs=provenance.get("jobs", 1),
+            wall_time=provenance.get("wall_time", 0.0),
+            version=provenance.get("version", __version__),
+        )
+
+    def to_json(self) -> str:
+        """Indented, key-sorted JSON document (byte-stable round trip)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def to_jsonl(self) -> str:
+        """Header line plus one compact JSON line per row."""
+        header = {
+            "format": JSONL_FORMAT,
+            "provenance": self.provenance(),
+            "columns": list(self.columns),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"), allow_nan=False)]
+        lines.extend(
+            json.dumps(row, sort_keys=True, separators=(",", ":"), allow_nan=False)
+            for row in self.rows
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_jsonl`."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty JSONL artifact")
+        header = json.loads(lines[0])
+        header["rows"] = [json.loads(line) for line in lines[1:]]
+        return cls.from_dict(header)
+
+    # -- files ----------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact; a ``.jsonl`` suffix selects the JSONL format."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = self.to_jsonl() if path.suffix == ".jsonl" else self.to_json()
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentResult":
+        """Read an artifact written by :meth:`save` (either format)."""
+        text = Path(path).read_text(encoding="utf-8")
+        try:
+            return cls.from_json(text)
+        except json.JSONDecodeError:
+            return cls.from_jsonl(text)
+
+
+def load_artifacts(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Load one artifact file, or every ``*.json``/``*.jsonl`` in a directory."""
+    path = Path(path)
+    if path.is_dir():
+        files: Iterable[Path] = sorted(
+            entry
+            for entry in path.iterdir()
+            if entry.suffix in (".json", ".jsonl") and entry.is_file()
+        )
+        results = [ExperimentResult.load(entry) for entry in files]
+        if not results:
+            raise FileNotFoundError(f"no .json/.jsonl artifacts in {path}")
+        return results
+    return [ExperimentResult.load(path)]
+
+
+__all__ = ["ExperimentResult", "JSONL_FORMAT", "JSON_FORMAT", "load_artifacts"]

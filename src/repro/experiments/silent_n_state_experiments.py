@@ -8,31 +8,31 @@ assignments; the measured parallel times are compared against the predicted
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping
 
 from repro.analysis.scaling import fit_power_law
-from repro.analysis.statistics import summarize
 from repro.analysis.theory import expected_silent_n_state_worst_case_interactions
 from repro.core.silent_n_state import simulate_silent_n_state
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner, read_params
 
 
-def run_silent_n_state_scaling(
-    ns: Sequence[int] = (16, 32, 64, 128),
-    trials: int = 20,
-    seed: RngLike = 0,
-    start: str = "worst-case",
-) -> List[Dict]:
+@experiment_runner("silent_n_state_quadratic")
+def run_silent_n_state_scaling(params: Mapping, run: RunConfig) -> List[Dict]:
     """Measure stabilization time of Protocol 1 across a sweep of ``n``.
 
     ``start`` is ``"worst-case"`` (Theorem 2.4's lower-bound configuration) or
     ``"random"`` (uniformly random ranks).
     """
+    opts = read_params(params, ns=(16, 32, 64, 128), trials=20, start="worst-case")
+    ns, trials, start = opts["ns"], opts["trials"], opts["start"]
     if start not in ("worst-case", "random"):
         raise ValueError(f"start must be 'worst-case' or 'random', got {start!r}")
     rows: List[Dict] = []
     mean_times: List[float] = []
-    rngs = spawn_rngs(seed, len(ns))
+    rngs = spawn_rngs(run.seed, len(ns))
     for n, rng in zip(ns, rngs):
         samples = []
         for _ in range(trials):
@@ -42,18 +42,18 @@ def run_silent_n_state_scaling(
                 initial_ranks = rng.integers(0, n, size=n).tolist()
             interactions = simulate_silent_n_state(n, initial_ranks=initial_ranks, rng=rng)
             samples.append(interactions / n)
-        summary = summarize(samples)
-        mean_times.append(summary.mean)
+        stats = TrialStatistics.from_values(f"silent-n-state (n={n})", n, samples)
+        mean_times.append(stats.mean)
         predicted = expected_silent_n_state_worst_case_interactions(n) / n
         rows.append(
             {
                 "n": n,
                 "start": start,
                 "trials": trials,
-                "mean time": summary.mean,
-                "max time": summary.maximum,
+                "mean time": stats.mean,
+                "max time": stats.maximum,
                 "predicted time (worst case)": predicted,
-                "mean / n^2": summary.mean / (n * n),
+                "mean / n^2": stats.mean / (n * n),
             }
         )
     if len(ns) >= 2:

@@ -9,26 +9,27 @@ history-tree protocol as ``H`` grows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping
 
 from repro.analysis.state_space import count_observed_states
 from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.core.sublinear import SublinearTimeSSR
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner, read_params
 from repro.experiments.optimal_silent_experiments import PRACTICAL_CONSTANTS
 from repro.experiments.sublinear_experiments import PRACTICAL_RMAX_MULTIPLIER
 
 
-def run_state_space(
-    ns: Sequence[int] = (8, 16, 32),
-    interactions_factor: int = 30,
-    seed: RngLike = 0,
-    sublinear_depth: int = 1,
-) -> List[Dict]:
+@experiment_runner("state_complexity")
+def run_state_space(params: Mapping, run: RunConfig) -> List[Dict]:
     """Observed distinct states per protocol, per population size."""
+    opts = read_params(params, ns=(8, 16, 32), interactions_factor=30, sublinear_depth=1)
+    ns, interactions_factor = opts["ns"], opts["interactions_factor"]
+    sublinear_depth = opts["sublinear_depth"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(ns))
+    rng_streams = spawn_rngs(run.seed, len(ns))
     for n, n_rng in zip(ns, rng_streams):
         protocol_rngs = spawn_rngs(n_rng, 3)
         interactions = interactions_factor * n

@@ -12,16 +12,18 @@
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.adversary.initial_configs import corrupted_tree_configuration
 from repro.analysis.theory import predicted_parallel_time
 from repro.core.propagate_reset import RESETTING
 from repro.core.sublinear import SublinearTimeSSR
 from repro.engine.hooks import CountingHook
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.experiments.api import experiment_runner, read_params
 
 #: Reduced reset constant used by default; the paper's R_max = 60 ln n adds a
 #: large additive overhead that hides the H-dependence at simulable sizes.
@@ -42,20 +44,24 @@ def _make_protocol(
     )
 
 
-def run_sublinear_tradeoff(
-    n: int = 24,
-    depths: Sequence[Optional[int]] = (0, 1, 2, None),
-    trials: int = 10,
-    seed: RngLike = 0,
-    rmax_multiplier: float = PRACTICAL_RMAX_MULTIPLIER,
-    max_time_factor: float = 60.0,
-) -> List[Dict]:
+@experiment_runner("sublinear_tradeoff")
+def run_sublinear_tradeoff(params: Mapping, run: RunConfig) -> List[Dict]:
     """E9: stabilization time from a planted name collision, per depth ``H``.
 
     ``None`` in ``depths`` selects ``H = ceil(log2 n)`` (the O(log n) regime).
     """
+    opts = read_params(
+        params,
+        n=24,
+        depths=(0, 1, 2, None),
+        trials=10,
+        rmax_multiplier=PRACTICAL_RMAX_MULTIPLIER,
+        max_time_factor=60.0,
+    )
+    n, depths, trials = opts["n"], opts["depths"], opts["trials"]
+    rmax_multiplier, max_time_factor = opts["rmax_multiplier"], opts["max_time_factor"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(depths))
+    rng_streams = spawn_rngs(run.seed, len(depths))
     for depth, depth_rng in zip(depths, rng_streams):
         times: List[float] = []
         detection_times: List[float] = []
@@ -76,17 +82,19 @@ def run_sublinear_tradeoff(
             result = simulation.run_until_stabilized(max_interactions=cap, check_interval=n)
             times.append(result.parallel_time)
         effective_depth = protocol.depth
-        mean_time = sum(times) / len(times)
-        mean_detection = sum(detection_times) / len(detection_times)
+        stats = TrialStatistics.from_values(f"sublinear (H={effective_depth})", n, times)
+        detection_stats = TrialStatistics.from_values(
+            f"detection (H={effective_depth})", n, detection_times
+        )
         predicted = predicted_parallel_time("sublinear", n, depth=max(effective_depth, 1))
         rows.append(
             {
                 "n": n,
                 "H": effective_depth,
                 "trials": trials,
-                "mean detection time": mean_detection,
-                "mean stabilization time": mean_time,
-                "max stabilization time": max(times),
+                "mean detection time": detection_stats.mean,
+                "mean stabilization time": stats.mean,
+                "max stabilization time": stats.maximum,
                 "predicted shape": predicted,
                 "T_H": getattr(protocol.detector, "timer_max", 0),
             }
@@ -94,16 +102,17 @@ def run_sublinear_tradeoff(
     return rows
 
 
-def run_sublinear_scaling(
-    ns: Sequence[int] = (8, 16, 32),
-    depth: Optional[int] = 1,
-    trials: int = 8,
-    seed: RngLike = 0,
-    rmax_multiplier: float = PRACTICAL_RMAX_MULTIPLIER,
-) -> List[Dict]:
+@experiment_runner("sublinear_scaling")
+def run_sublinear_scaling(params: Mapping, run: RunConfig) -> List[Dict]:
     """E9 (companion): stabilization time vs ``n`` at a fixed depth ``H``."""
+    opts = read_params(
+        params, ns=(8, 16, 32), depth=1, trials=8,
+        rmax_multiplier=PRACTICAL_RMAX_MULTIPLIER,
+    )
+    ns, depth, trials = opts["ns"], opts["depth"], opts["trials"]
+    rmax_multiplier = opts["rmax_multiplier"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(ns))
+    rng_streams = spawn_rngs(run.seed, len(ns))
     for n, n_rng in zip(ns, rng_streams):
         times: List[float] = []
         for trial_rng in spawn_rngs(n_rng, trials):
@@ -114,14 +123,14 @@ def run_sublinear_scaling(
                 max_interactions=80 * n * n, check_interval=n
             )
             times.append(result.parallel_time)
-        mean_time = sum(times) / len(times)
         effective_depth = protocol.depth
+        stats = TrialStatistics.from_values(f"sublinear (n={n})", n, times)
         rows.append(
             {
                 "n": n,
                 "H": effective_depth,
                 "trials": trials,
-                "mean stabilization time": mean_time,
+                "mean stabilization time": stats.mean,
                 "predicted shape": predicted_parallel_time(
                     "sublinear", n, depth=max(effective_depth, 1)
                 ),
@@ -130,14 +139,8 @@ def run_sublinear_scaling(
     return rows
 
 
-def run_safety(
-    n: int = 16,
-    depth: int = 2,
-    horizon_factor: float = 30.0,
-    trials: int = 5,
-    seed: RngLike = 0,
-    rmax_multiplier: float = PRACTICAL_RMAX_MULTIPLIER,
-) -> List[Dict]:
+@experiment_runner("history_tree_safety")
+def run_safety(params: Mapping, run: RunConfig) -> List[Dict]:
     """E10: no false collision detections from clean configurations.
 
     From a stabilized configuration (unique names, full rosters, correct
@@ -148,8 +151,14 @@ def run_safety(
     where a bounded number of resets is allowed but the run must end
     stabilized again.
     """
+    opts = read_params(
+        params, n=16, depth=2, horizon_factor=30.0, trials=5,
+        rmax_multiplier=PRACTICAL_RMAX_MULTIPLIER,
+    )
+    n, depth, trials = opts["n"], opts["depth"], opts["trials"]
+    horizon_factor, rmax_multiplier = opts["horizon_factor"], opts["rmax_multiplier"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, trials)
+    rng_streams = spawn_rngs(run.seed, trials)
     clean_false_positives = 0
     corrupted_recovered = 0
     corrupted_resets = 0

@@ -8,24 +8,25 @@ times.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping
 
 from repro.derandomize.synthetic_coin import (
     SyntheticCoinProtocol,
     expected_interactions_per_bit,
 )
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.experiments.api import experiment_runner, read_params
 
 
-def run_synthetic_coin(
-    ns: Sequence[int] = (16, 64, 256),
-    bits_needed: int = 16,
-    seed: RngLike = 0,
-) -> List[Dict]:
+@experiment_runner("synthetic_coin")
+def run_synthetic_coin(params: Mapping, run: RunConfig) -> List[Dict]:
     """Bias and harvesting rate of the time-multiplexed synthetic coin."""
+    opts = read_params(params, ns=(16, 64, 256), bits_needed=16)
+    ns, bits_needed = opts["ns"], opts["bits_needed"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(ns))
+    rng_streams = spawn_rngs(run.seed, len(ns))
     for n, n_rng in zip(ns, rng_streams):
         protocol = SyntheticCoinProtocol(n, bits_needed=bits_needed)
         simulation = Simulation(protocol, rng=n_rng)

@@ -10,16 +10,18 @@ prints them next to the asymptotic entries of the paper's Table 1.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.adversary.initial_configs import optimal_silent_adversarial_configuration
 from repro.analysis.state_space import count_observed_states
-from repro.analysis.statistics import summarize
 from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.silent_n_state import SilentNStateSSR, simulate_silent_n_state
 from repro.core.sublinear import SublinearTimeSSR
-from repro.engine.rng import RngLike, spawn_rngs
+from repro.engine.results import TrialStatistics
+from repro.engine.rng import spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.experiments.api import experiment_runner, read_params
 from repro.experiments.optimal_silent_experiments import PRACTICAL_CONSTANTS
 from repro.experiments.sublinear_experiments import PRACTICAL_RMAX_MULTIPLIER
 
@@ -29,13 +31,13 @@ def _measure_silent_n_state(n: int, trials: int, rng) -> Dict:
     for trial_rng in spawn_rngs(rng, trials):
         initial_ranks = trial_rng.integers(0, n, size=n).tolist()
         times.append(simulate_silent_n_state(n, initial_ranks=initial_ranks, rng=trial_rng) / n)
-    summary = summarize(times)
+    stats = TrialStatistics.from_values("silent-n-state", n, times)
     return {
         "protocol": "Silent-n-state-SSR [21]",
         "n": n,
         "trials": trials,
-        "mean time": summary.mean,
-        "p90 time": sorted(times)[max(0, int(0.9 * len(times)) - 1)],
+        "mean time": stats.mean,
+        "p90 time": stats.quantile(0.9),
         "states": SilentNStateSSR(n).theoretical_state_count(),
         "silent": True,
         "paper expected time": "Theta(n^2)",
@@ -57,14 +59,14 @@ def _measure_optimal_silent(n: int, trials: int, rng, paper_constants: bool) -> 
         observed_states = max(
             observed_states, count_observed_states(protocol, interactions=5 * n, rng=trial_rng)
         )
-    summary = summarize(times)
+    stats = TrialStatistics.from_values("optimal-silent", n, times)
     protocol = OptimalSilentSSR(n) if paper_constants else OptimalSilentSSR(n, **PRACTICAL_CONSTANTS)
     return {
         "protocol": "Optimal-Silent-SSR (Sec. 4)",
         "n": n,
         "trials": trials,
-        "mean time": summary.mean,
-        "p90 time": sorted(times)[max(0, int(0.9 * len(times)) - 1)],
+        "mean time": stats.mean,
+        "p90 time": stats.quantile(0.9),
         "states": protocol.theoretical_state_count(),
         "silent": True,
         "paper expected time": "Theta(n)",
@@ -84,7 +86,7 @@ def _measure_sublinear(n: int, trials: int, rng, depth: Optional[int]) -> Dict:
             max_interactions=100 * n * n, check_interval=n
         )
         times.append(result.parallel_time)
-    summary = summarize(times)
+    stats = TrialStatistics.from_values("sublinear", n, times)
     protocol = SublinearTimeSSR(n, depth=depth, rmax_multiplier=PRACTICAL_RMAX_MULTIPLIER)
     effective_depth = protocol.depth
     if effective_depth >= math.log2(n):
@@ -99,8 +101,8 @@ def _measure_sublinear(n: int, trials: int, rng, depth: Optional[int]) -> Dict:
         "protocol": label,
         "n": n,
         "trials": trials,
-        "mean time": summary.mean,
-        "p90 time": sorted(times)[max(0, int(0.9 * len(times)) - 1)],
+        "mean time": stats.mean,
+        "p90 time": stats.quantile(0.9),
         "states": f"~2^{protocol.theoretical_state_bits():.0f}",
         "silent": False,
         "paper expected time": paper_time,
@@ -108,16 +110,17 @@ def _measure_sublinear(n: int, trials: int, rng, depth: Optional[int]) -> Dict:
     }
 
 
-def run_table1(
-    ns: Sequence[int] = (16, 32),
-    trials: int = 5,
-    seed: RngLike = 0,
-    paper_constants: bool = False,
-    sublinear_constant_depth: int = 1,
-) -> List[Dict]:
+@experiment_runner("table1")
+def run_table1(params: Mapping, run: RunConfig) -> List[Dict]:
     """Measure every Table 1 row for each population size in ``ns``."""
+    opts = read_params(
+        params, ns=(16, 32), trials=5, paper_constants=False, sublinear_constant_depth=1
+    )
+    ns, trials = opts["ns"], opts["trials"]
+    paper_constants = opts["paper_constants"]
+    sublinear_constant_depth = opts["sublinear_constant_depth"]
     rows: List[Dict] = []
-    rng_streams = spawn_rngs(seed, len(ns))
+    rng_streams = spawn_rngs(run.seed, len(ns))
     for n, n_rng in zip(ns, rng_streams):
         protocol_rngs = spawn_rngs(n_rng, 4)
         rows.append(_measure_silent_n_state(n, trials, protocol_rngs[0]))

@@ -1,5 +1,6 @@
 """Tests for the constant ablation experiments."""
 
+from repro.engine.run_config import RunConfig
 from repro.experiments.ablations import (
     run_dormancy_ablation,
     run_sync_range_ablation,
@@ -9,29 +10,40 @@ from repro.experiments.ablations import (
 
 class TestDormancyAblation:
     def test_rows_cover_requested_factors(self):
-        rows = run_dormancy_ablation(n=16, dmax_factors=(2.0, 6.0), trials=3, seed=0)
+        rows = run_dormancy_ablation(
+            {"n": 16, "dmax_factors": (2.0, 6.0), "trials": 3}, RunConfig(seed=0)
+        ).rows
         assert [row["D_max / n"] for row in rows] == [2.0, 6.0]
         assert all(row["mean stabilization time"] > 0 for row in rows)
 
     def test_all_settings_stabilize(self):
-        rows = run_dormancy_ablation(n=16, dmax_factors=(1.0,), trials=3, seed=1)
+        rows = run_dormancy_ablation(
+            {"n": 16, "dmax_factors": (1.0,), "trials": 3}, RunConfig(seed=1)
+        ).rows
         assert rows[0]["max stabilization time"] < 4000 * 16  # far below the cap
 
 
 class TestTimerAblation:
     def test_rows_report_effective_timer(self):
-        rows = run_timer_ablation(n=12, depth=1, timer_multipliers=(1.0, 8.0), trials=3, seed=0)
+        rows = run_timer_ablation(
+            {"n": 12, "depth": 1, "timer_multipliers": (1.0, 8.0), "trials": 3},
+            RunConfig(seed=0),
+        ).rows
         assert rows[0]["T_H"] < rows[1]["T_H"]
         assert all(row["mean detection time"] > 0 for row in rows)
 
 
 class TestSyncRangeAblation:
     def test_zero_selects_paper_default(self):
-        rows = run_sync_range_ablation(n=12, depth=1, sync_values=(4, 0), trials=3, seed=0)
+        rows = run_sync_range_ablation(
+            {"n": 12, "depth": 1, "sync_values": (4, 0), "trials": 3}, RunConfig(seed=0)
+        ).rows
         by_request = {row["S_max"] for row in rows}
         assert 4 in by_request
         assert 2 * 12 * 12 in by_request
 
     def test_detection_happens_for_all_ranges(self):
-        rows = run_sync_range_ablation(n=12, depth=1, sync_values=(2,), trials=3, seed=1)
+        rows = run_sync_range_ablation(
+            {"n": 12, "depth": 1, "sync_values": (2,), "trials": 3}, RunConfig(seed=1)
+        ).rows
         assert rows[0]["mean detection time"] > 0

@@ -1,0 +1,68 @@
+"""CLI artifact persistence: ``repro run --output`` and ``repro report``.
+
+The acceptance contract: ``repro report`` reproduces the rendered table from
+the saved artifact alone -- no simulation re-run -- byte-for-byte equal to
+the live ``repro run`` rendering.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENT = "fratricide_failure"
+
+
+def _run_with_output(capsys, tmp_path, extra=()):
+    code = main(
+        ["run", EXPERIMENT, "--scale", "quick", "--seed", "3", "--output", str(tmp_path)]
+        + list(extra)
+    )
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def _table_block(run_output: str) -> str:
+    """The rendered table portion of a ``run --output`` transcript."""
+    block, separator, _ = run_output.partition("-- artifact:")
+    assert separator, "run --output should announce the artifact path"
+    return block
+
+
+class TestRunOutput:
+    def test_artifact_is_written_and_loadable(self, capsys, tmp_path):
+        output = _run_with_output(capsys, tmp_path)
+        artifact = tmp_path / f"{EXPERIMENT}.json"
+        assert str(artifact) in output
+        result = ExperimentResult.load(artifact)
+        assert result.identifier == EXPERIMENT
+        assert result.seed == 3
+        assert result.scale == "quick"
+        assert result.rows
+
+    def test_artifact_resave_is_byte_identical(self, capsys, tmp_path):
+        _run_with_output(capsys, tmp_path)
+        artifact = tmp_path / f"{EXPERIMENT}.json"
+        original = artifact.read_bytes()
+        ExperimentResult.load(artifact).save(artifact)
+        assert artifact.read_bytes() == original
+
+
+class TestReport:
+    def test_report_reproduces_the_rendered_table(self, capsys, tmp_path):
+        run_output = _run_with_output(capsys, tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        report_output = capsys.readouterr().out
+        assert report_output == _table_block(run_output)
+
+    def test_report_single_file_markdown(self, capsys, tmp_path):
+        run_output = _run_with_output(capsys, tmp_path, extra=["--markdown"])
+        artifact = tmp_path / f"{EXPERIMENT}.json"
+        assert main(["report", str(artifact), "--markdown"]) == 0
+        report_output = capsys.readouterr().out
+        assert report_output == _table_block(run_output)
+        assert "|" in report_output
+
+    def test_report_missing_artifact_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope.json")])

@@ -1,0 +1,139 @@
+"""The one-release compatibility shims: old call forms work, warn exactly once.
+
+The pre-redesign API threaded ``seed``/``stop``/``engine``/``jobs`` as
+parallel keywords through runners and the harness.  Each shim must (a)
+reproduce the old behaviour bit-for-bit, (b) emit ``DeprecationWarning``
+exactly once per call site per process -- loud enough to be seen, quiet
+enough not to drown a sweep.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import reset_deprecation_warnings
+from repro.experiments.epidemic_experiments import run_epidemic
+from repro.experiments.harness import measure_parallel_times, run_trials
+from repro.experiments.registry import EXPERIMENTS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _collect_deprecations(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = fn()
+    return value, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestRunnerShims:
+    def test_legacy_keywords_return_bare_rows(self):
+        rows, _ = _collect_deprecations(lambda: run_epidemic(ns=(32,), trials=5, seed=0))
+        assert isinstance(rows, list)
+        assert rows and isinstance(rows[0], dict)
+
+    def test_legacy_and_new_paths_agree(self):
+        rows, _ = _collect_deprecations(lambda: run_epidemic(ns=(32,), trials=5, seed=0))
+        result = run_epidemic({"ns": (32,), "trials": 5}, RunConfig(seed=0))
+        assert result.rows == rows
+
+    def test_warns_exactly_once_across_repeated_calls(self):
+        def twice():
+            run_epidemic(ns=(32,), trials=2, seed=0)
+            run_epidemic(ns=(32,), trials=2, seed=1)
+
+        _, deprecations = _collect_deprecations(twice)
+        assert len(deprecations) == 1
+        assert "deprecated" in str(deprecations[0].message)
+
+    def test_new_style_call_does_not_warn(self):
+        _, deprecations = _collect_deprecations(
+            lambda: run_epidemic({"ns": (32,), "trials": 2}, RunConfig(seed=0))
+        )
+        assert deprecations == []
+
+    def test_mixing_forms_is_an_error(self):
+        with pytest.raises(TypeError, match="legacy keywords"):
+            run_epidemic({"ns": (32,)}, trials=5)
+
+    def test_legacy_default_seed_is_zero(self):
+        first, _ = _collect_deprecations(lambda: run_epidemic(ns=(32,), trials=3))
+        reset_deprecation_warnings()
+        second, _ = _collect_deprecations(lambda: run_epidemic(ns=(32,), trials=3, seed=0))
+        assert first == second
+
+
+class TestHarnessShims:
+    def _legacy(self):
+        return run_trials(
+            lambda: SilentNStateSSR(10),
+            trials=3,
+            seed=5,
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            stop="stabilized",
+            engine="loop",
+            jobs=1,
+        )
+
+    def test_legacy_keywords_match_run_config(self):
+        legacy, deprecations = _collect_deprecations(self._legacy)
+        assert len(deprecations) == 1
+        modern = run_trials(
+            lambda: SilentNStateSSR(10),
+            trials=3,
+            run=RunConfig(seed=5, stop="stabilized", engine="loop", jobs=1),
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+        )
+        assert legacy == modern
+
+    def test_warns_exactly_once_across_repeated_calls(self):
+        def twice():
+            self._legacy()
+            self._legacy()
+
+        _, deprecations = _collect_deprecations(twice)
+        assert len(deprecations) == 1
+
+    def test_positional_seed_still_works(self):
+        legacy, _ = _collect_deprecations(
+            lambda: measure_parallel_times(
+                lambda: SilentNStateSSR(8),
+                3,
+                5,
+                configuration_factory=lambda protocol, rng: (
+                    protocol.worst_case_configuration()
+                ),
+            )
+        )
+        modern = measure_parallel_times(
+            lambda: SilentNStateSSR(8),
+            trials=3,
+            run=RunConfig(seed=5),
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+        )
+        assert legacy.values == modern.values
+
+    def test_unknown_keyword_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            run_trials(lambda: SilentNStateSSR(8), trials=1, turbo=True)
+
+
+class TestSpecAliases:
+    def test_quick_kwargs_alias_warns_once_and_matches(self):
+        spec = EXPERIMENTS["epidemic"]
+
+        def read_twice():
+            return spec.quick_kwargs, spec.full_kwargs, spec.quick_kwargs
+
+        (quick, full, again), deprecations = _collect_deprecations(read_twice)
+        assert quick == spec.quick_params and full == spec.full_params
+        assert quick is again or quick == again
+        # one warning per alias property (quick_kwargs, full_kwargs)
+        assert len(deprecations) == 2

@@ -1,29 +1,37 @@
-"""Tests for the experiment harness."""
+"""Tests for the experiment harness (RunConfig-based API)."""
 
 import pytest
 
 from repro.core.fratricide import FratricideLeaderElection
 from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.run_config import RunConfig
 from repro.experiments.harness import (
     ExperimentSpec,
     measure_parallel_times,
     sweep_parallel_time,
 )
+from repro.experiments.result import ExperimentResult
 
 
 class TestMeasureParallelTimes:
     def test_returns_requested_trial_count(self):
         stats = measure_parallel_times(
-            lambda: FratricideLeaderElection(8), trials=4, seed=0, stop="correct"
+            lambda: FratricideLeaderElection(8),
+            trials=4,
+            run=RunConfig(seed=0, stop="correct"),
         )
         assert stats.trials == 4 and stats.n == 8
 
     def test_reproducible_with_same_seed(self):
         first = measure_parallel_times(
-            lambda: FratricideLeaderElection(8), trials=3, seed=1, stop="correct"
+            lambda: FratricideLeaderElection(8),
+            trials=3,
+            run=RunConfig(seed=1, stop="correct"),
         )
         second = measure_parallel_times(
-            lambda: FratricideLeaderElection(8), trials=3, seed=1, stop="correct"
+            lambda: FratricideLeaderElection(8),
+            trials=3,
+            run=RunConfig(seed=1, stop="correct"),
         )
         assert first.values == second.values
 
@@ -31,7 +39,7 @@ class TestMeasureParallelTimes:
         stats = measure_parallel_times(
             lambda: SilentNStateSSR(6),
             trials=2,
-            seed=0,
+            run=RunConfig(seed=0),
             configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
         )
         assert all(value > 0 for value in stats.values)
@@ -40,19 +48,25 @@ class TestMeasureParallelTimes:
         with pytest.raises(ValueError):
             measure_parallel_times(lambda: FratricideLeaderElection(8), trials=0)
         with pytest.raises(ValueError):
-            measure_parallel_times(lambda: FratricideLeaderElection(8), trials=1, stop="bogus")
+            RunConfig(stop="bogus")
         with pytest.raises(ValueError):
+            RunConfig(engine="turbo")
+
+    def test_runconfig_plus_legacy_keywords_is_an_error(self):
+        with pytest.raises(TypeError, match="RunConfig"):
             measure_parallel_times(
-                lambda: FratricideLeaderElection(8), trials=1, engine="turbo"
+                lambda: FratricideLeaderElection(8),
+                trials=1,
+                run=RunConfig(seed=0),
+                stop="correct",
             )
 
     def test_compiled_engine(self):
         stats = measure_parallel_times(
             lambda: SilentNStateSSR(12),
             trials=3,
-            seed=0,
+            run=RunConfig(seed=0, engine="compiled"),
             configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            engine="compiled",
         )
         assert stats.trials == 3
         assert all(value > 0 for value in stats.values)
@@ -61,16 +75,14 @@ class TestMeasureParallelTimes:
         loop = measure_parallel_times(
             lambda: SilentNStateSSR(10),
             trials=8,
-            seed=4,
+            run=RunConfig(seed=4, engine="loop"),
             configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            engine="loop",
         )
         compiled = measure_parallel_times(
             lambda: SilentNStateSSR(10),
             trials=8,
-            seed=4,
+            run=RunConfig(seed=4, engine="compiled"),
             configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            engine="compiled",
         )
         assert 0.3 < compiled.mean / loop.mean < 3.0
 
@@ -78,7 +90,10 @@ class TestMeasureParallelTimes:
 class TestSweep:
     def test_one_result_per_population_size(self):
         results = sweep_parallel_time(
-            [6, 12], lambda n: FratricideLeaderElection(n), trials=2, seed=0, stop="correct"
+            [6, 12],
+            lambda n: FratricideLeaderElection(n),
+            trials=2,
+            run=RunConfig(seed=0, stop="correct"),
         )
         assert [stats.n for stats in results] == [6, 12]
 
@@ -87,8 +102,7 @@ class TestSweep:
             [6],
             lambda n: FratricideLeaderElection(n),
             trials=1,
-            seed=0,
-            stop="correct",
+            run=RunConfig(seed=0, stop="correct"),
             max_interactions_factory=lambda n: 10 * n * n,
         )
         assert results[0].mean <= 10 * 6
@@ -96,23 +110,56 @@ class TestSweep:
 
 class TestExperimentSpec:
     def _spec(self):
+        def runner(params, run):
+            return [{"trials": params.get("trials", 1), "bonus": params.get("bonus", 0)}]
+
         return ExperimentSpec(
             identifier="demo",
             title="Demo",
             paper_reference="none",
-            runner=lambda trials=1, bonus=0: [{"trials": trials, "bonus": bonus}],
-            quick_kwargs={"trials": 1},
-            full_kwargs={"trials": 5},
+            runner=runner,
+            quick_params={"trials": 1},
+            full_params={"trials": 5},
         )
 
     def test_quick_and_full_scales(self):
         spec = self._spec()
-        assert spec.run("quick")[0]["trials"] == 1
-        assert spec.run("full")[0]["trials"] == 5
+        assert spec.run("quick").rows[0]["trials"] == 1
+        assert spec.run("full").rows[0]["trials"] == 5
 
     def test_overrides(self):
-        assert self._spec().run("quick", bonus=7)[0]["bonus"] == 7
+        assert self._spec().run("quick", bonus=7).rows[0]["bonus"] == 7
 
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             self._spec().run("medium")
+
+    def test_returns_typed_result_with_provenance(self):
+        result = self._spec().run("quick", seed=11, jobs=2)
+        assert isinstance(result, ExperimentResult)
+        assert result.identifier == "demo"
+        assert result.title == "Demo"
+        assert result.scale == "quick"
+        assert result.seed == 11
+        assert result.jobs == 2
+        assert result.engine == "loop"
+        assert result.wall_time >= 0.0
+        assert result.columns == ["trials", "bonus"]
+
+    def test_runconfig_and_options_are_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            self._spec().run("quick", run=RunConfig(seed=0), seed=3)
+
+    def test_runner_receives_run_config(self):
+        received = {}
+
+        def runner(params, run):
+            received["run"] = run
+            return []
+
+        spec = ExperimentSpec(
+            identifier="probe", title="Probe", paper_reference="none", runner=runner
+        )
+        config = RunConfig(seed=9, engine="compiled", jobs=3)
+        spec.run("quick", run=config)
+        assert received["run"] is config

@@ -1,16 +1,17 @@
 """Tests for the process-parallel trial runner.
 
-The contract under test: ``jobs`` redistributes work, never randomness.  The
-same seed must yield **bit-identical** :class:`SimulationResult` records for
-``--jobs 1`` and ``--jobs 4``, on both engines -- per-trial streams are
-derived from ``SeedSequence`` children indexed by trial number, independent
-of the process layout.
+The contract under test: ``RunConfig.jobs`` redistributes work, never
+randomness.  The same seed must yield **bit-identical**
+:class:`SimulationResult` records for ``jobs=1`` and ``jobs=4``, on both
+engines -- per-trial streams are derived from ``SeedSequence`` children
+indexed by trial number, independent of the process layout.
 """
 
 import pytest
 
 from repro.core.propagate_reset import ResetWaveProtocol
 from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.run_config import RunConfig
 from repro.experiments.harness import (
     ExperimentSpec,
     measure_parallel_times,
@@ -24,11 +25,8 @@ def loop_workload(jobs):
     return run_trials(
         lambda: SilentNStateSSR(12),
         trials=6,
-        seed=21,
+        run=RunConfig(seed=21, stop="stabilized", engine="loop", jobs=jobs),
         configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-        stop="stabilized",
-        engine="loop",
-        jobs=jobs,
     )
 
 
@@ -36,11 +34,8 @@ def compiled_workload(jobs):
     return run_trials(
         lambda: ResetWaveProtocol(48, rmax=5, dmax=5),
         trials=5,
-        seed=34,
+        run=RunConfig(seed=34, stop="stabilized", engine="compiled", jobs=jobs),
         configuration_factory=lambda protocol, rng: protocol.triggered_configuration(),
-        stop="stabilized",
-        engine="compiled",
-        jobs=jobs,
     )
 
 
@@ -60,28 +55,31 @@ class TestJobsDeterminism:
         assert all(result.engine == "compiled" for result in parallel)
 
     def test_statistics_identical_across_jobs(self):
-        kwargs = dict(
-            trials=5,
-            seed=3,
-            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            stop="stabilized",
-        )
-        sequential = measure_parallel_times(lambda: SilentNStateSSR(10), jobs=1, **kwargs)
-        parallel = measure_parallel_times(lambda: SilentNStateSSR(10), jobs=3, **kwargs)
-        assert sequential.values == parallel.values
+        def measure(jobs):
+            return measure_parallel_times(
+                lambda: SilentNStateSSR(10),
+                trials=5,
+                run=RunConfig(seed=3, stop="stabilized", jobs=jobs),
+                configuration_factory=lambda protocol, rng: (
+                    protocol.worst_case_configuration()
+                ),
+            )
+
+        assert measure(1).values == measure(3).values
 
     def test_sweep_identical_across_jobs(self):
-        kwargs = dict(
-            trials=2,
-            seed=0,
-            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            stop="stabilized",
-        )
-        sequential = sweep_parallel_time([6, 10], lambda n: SilentNStateSSR(n), **kwargs)
-        parallel = sweep_parallel_time(
-            [6, 10], lambda n: SilentNStateSSR(n), jobs=2, **kwargs
-        )
-        assert [s.values for s in sequential] == [s.values for s in parallel]
+        def sweep(jobs):
+            return sweep_parallel_time(
+                [6, 10],
+                lambda n: SilentNStateSSR(n),
+                trials=2,
+                run=RunConfig(seed=0, stop="stabilized", jobs=jobs),
+                configuration_factory=lambda protocol, rng: (
+                    protocol.worst_case_configuration()
+                ),
+            )
+
+        assert [s.values for s in sweep(1)] == [s.values for s in sweep(2)]
 
 
 class TestRunTrials:
@@ -92,70 +90,73 @@ class TestRunTrials:
 
     def test_invalid_jobs(self):
         with pytest.raises(ValueError, match="jobs"):
-            run_trials(lambda: SilentNStateSSR(6), trials=2, jobs=0)
+            RunConfig(jobs=0)
 
     def test_single_trial_runs_inline(self):
         results = run_trials(
             lambda: SilentNStateSSR(6),
             trials=1,
-            seed=0,
+            run=RunConfig(seed=0, jobs=8),
             configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
-            jobs=8,
         )
         assert len(results) == 1
 
 
+class TestTrialObserver:
+    """on_trial_done fires in trial order on both execution paths."""
+
+    def _observe(self, jobs):
+        seen = []
+        results = run_trials(
+            lambda: SilentNStateSSR(10),
+            trials=5,
+            run=RunConfig(seed=7, jobs=jobs),
+            configuration_factory=lambda protocol, rng: protocol.worst_case_configuration(),
+            on_trial_done=lambda index, result: seen.append((index, result)),
+        )
+        return seen, results
+
+    def test_sequential_observer_order_and_payload(self):
+        seen, results = self._observe(jobs=1)
+        assert [index for index, _ in seen] == [0, 1, 2, 3, 4]
+        assert [result for _, result in seen] == results
+
+    def test_parallel_observer_order_and_payload(self):
+        seen, results = self._observe(jobs=4)
+        assert [index for index, _ in seen] == [0, 1, 2, 3, 4]
+        assert [result for _, result in seen] == results
+
+
 class TestJobsThreading:
-    """--jobs reaches runners through ExperimentSpec.run / run_experiment."""
+    """A RunConfig built from --jobs reaches runners through the registry."""
 
     def _spec(self):
-        def runner(trials=1, jobs=1):
-            return [{"trials": trials, "jobs": jobs}]
+        def runner(params, run):
+            return [{"trials": params.get("trials", 1), "jobs": run.jobs}]
 
         return ExperimentSpec(
             identifier="jobs-demo",
             title="Jobs demo",
             paper_reference="none",
             runner=runner,
-            quick_kwargs={"trials": 2},
+            quick_params={"trials": 2},
         )
 
-    def test_jobs_forwarded_to_supporting_runner(self):
-        assert self._spec().run("quick", jobs=4)[0]["jobs"] == 4
-
-    def test_jobs_ignored_by_non_supporting_runner(self):
-        spec = ExperimentSpec(
-            identifier="no-jobs",
-            title="No jobs",
-            paper_reference="none",
-            runner=lambda trials=1: [{"trials": trials}],
-            quick_kwargs={"trials": 1},
-        )
-        assert spec.run("quick", jobs=4) == [{"trials": 1}]
-
-    def test_preconfigured_jobs_kwarg_wins(self):
-        def runner(trials=1, jobs=1):
-            return [{"trials": trials, "jobs": jobs}]
-
-        spec = ExperimentSpec(
-            identifier="jobs-pinned",
-            title="Jobs pinned",
-            paper_reference="none",
-            runner=runner,
-            quick_kwargs={"trials": 2, "jobs": 2},
-        )
-        assert spec.run("quick", jobs=4)[0]["jobs"] == 2
+    def test_jobs_reaches_runner_via_run_config(self):
+        assert self._spec().run("quick", jobs=4).rows[0]["jobs"] == 4
 
     def test_run_experiment_forwards_jobs(self):
         spec = self._spec()
         EXPERIMENTS[spec.identifier] = spec
         try:
-            rows = run_experiment(spec.identifier, scale="quick", jobs=3)
-            assert rows[0]["jobs"] == 3
+            result = run_experiment(spec.identifier, scale="quick", jobs=3)
+            assert result.rows[0]["jobs"] == 3
+            assert result.jobs == 3
         finally:
             del EXPERIMENTS[spec.identifier]
 
-    def test_registry_sweeps_support_jobs(self):
-        """The sweep-style experiments advertise the jobs keyword."""
-        for identifier in ("binary_tree_assignment", "optimal_silent"):
-            assert EXPERIMENTS[identifier].supports_jobs()
+    def test_every_registered_runner_follows_the_uniform_contract(self):
+        """The explicit contract replaced supports_jobs() introspection."""
+        for identifier, spec in EXPERIMENTS.items():
+            assert getattr(spec.runner, "experiment_identifier", None) == identifier
+        assert not hasattr(next(iter(EXPERIMENTS.values())), "supports_jobs")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.engine.run_config import RunConfig
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 
 
@@ -26,10 +27,10 @@ class TestRegistry:
         }
         assert expected <= set(list_experiments())
 
-    def test_every_spec_has_quick_and_full_kwargs(self):
+    def test_every_spec_has_quick_and_full_params(self):
         for spec in EXPERIMENTS.values():
-            assert isinstance(spec.quick_kwargs, dict)
-            assert isinstance(spec.full_kwargs, dict)
+            assert isinstance(spec.quick_params, dict)
+            assert isinstance(spec.full_params, dict)
             assert spec.title and spec.paper_reference
 
     def test_get_experiment_unknown_id(self):
@@ -39,6 +40,24 @@ class TestRegistry:
     def test_list_is_sorted(self):
         identifiers = list_experiments()
         assert identifiers == sorted(identifiers)
+
+    def test_registration_rejects_mismatched_identifier(self):
+        from repro.experiments.harness import ExperimentSpec
+        from repro.experiments.registry import _register
+
+        def runner(params, run):
+            return []
+
+        runner.experiment_identifier = "something_else"
+        with pytest.raises(ValueError, match="something_else"):
+            _register(
+                ExperimentSpec(
+                    identifier="mismatch",
+                    title="Mismatch",
+                    paper_reference="none",
+                    runner=runner,
+                )
+            )
 
 
 class TestCli:
@@ -71,12 +90,83 @@ class TestCli:
             identifier="jobs_cli_demo",
             title="Jobs CLI demo",
             paper_reference="none",
-            runner=lambda jobs=1: [{"jobs": jobs}],
+            runner=lambda params, run: [{"jobs": run.jobs}],
         )
         EXPERIMENTS[spec.identifier] = spec
         try:
             assert main(["run", "jobs_cli_demo", "--jobs", "3"]) == 0
             output = capsys.readouterr().out
             assert "3" in output
+        finally:
+            del EXPERIMENTS[spec.identifier]
+
+    def test_run_forwards_engine_flag(self, capsys):
+        spec_holder = {}
+
+        def runner(params, run):
+            spec_holder["config"] = run
+            return [{"engine": run.engine}]
+
+        from repro.experiments.harness import ExperimentSpec
+
+        spec = ExperimentSpec(
+            identifier="engine_cli_demo",
+            title="Engine CLI demo",
+            paper_reference="none",
+            runner=runner,
+        )
+        EXPERIMENTS[spec.identifier] = spec
+        try:
+            assert main(["run", "engine_cli_demo", "--engine", "compiled"]) == 0
+            assert spec_holder["config"] == RunConfig(engine="compiled", seed=0)
+        finally:
+            del EXPERIMENTS[spec.identifier]
+
+
+class TestCliSeedRegression:
+    """--seed makes experiment runs reproducible from the CLI."""
+
+    def _capture(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_same_seed_same_table(self, capsys):
+        first = self._capture(
+            capsys, ["run", "log_lower_bound", "--scale", "quick", "--seed", "7"]
+        )
+        second = self._capture(
+            capsys, ["run", "log_lower_bound", "--scale", "quick", "--seed", "7"]
+        )
+        assert first == second
+
+    def test_different_seed_different_table(self, capsys):
+        first = self._capture(
+            capsys, ["run", "log_lower_bound", "--scale", "quick", "--seed", "7"]
+        )
+        second = self._capture(
+            capsys, ["run", "log_lower_bound", "--scale", "quick", "--seed", "8"]
+        )
+        assert first != second
+
+    def test_seed_reaches_runner_via_run_config(self, capsys):
+        from repro.experiments.harness import ExperimentSpec
+
+        seeds = []
+
+        def runner(params, run):
+            seeds.append(run.seed)
+            return [{"seed": run.seed}]
+
+        spec = ExperimentSpec(
+            identifier="seed_cli_demo",
+            title="Seed CLI demo",
+            paper_reference="none",
+            runner=runner,
+        )
+        EXPERIMENTS[spec.identifier] = spec
+        try:
+            assert main(["run", "seed_cli_demo", "--seed", "42"]) == 0
+            assert main(["run", "seed_cli_demo"]) == 0  # default pins seed 0
+            assert seeds == [42, 0]
         finally:
             del EXPERIMENTS[spec.identifier]

@@ -1,0 +1,205 @@
+"""ExperimentResult artifacts: round-trip properties and registry conformance.
+
+Two contracts are enforced here:
+
+* **Byte-identical persistence** -- for any result,
+  ``from_json(to_json()).to_json() == to_json()`` (and likewise for JSONL and
+  for files on disk), so saved artifacts are faithful records.
+* **Registry-wide schema conformance** -- every registered experiment, run at
+  a tiny parameterization through the uniform ``RunConfig`` path, returns a
+  typed ``ExperimentResult`` whose rows fit its column schema and survive the
+  round trip.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.run_config import RunConfig
+from repro.experiments.registry import EXPERIMENTS, list_experiments
+from repro.experiments.result import ExperimentResult, load_artifacts
+
+#: Far-below-quick parameterizations keyed by registry identifier, so the
+#: conformance sweep stays fast.  The completeness assertion below forces an
+#: entry (and hence coverage) for every newly registered experiment.
+TINY_PARAMS = {
+    "table1": {"ns": (10,), "trials": 1},
+    "silent_n_state_quadratic": {"ns": (8, 12), "trials": 2},
+    "silent_lower_bound": {"ns": (10,), "trials": 2},
+    "log_lower_bound": {"ns": (32,), "trials": 5},
+    "fratricide_failure": {"n": 12, "horizon_factor": 10.0},
+    "epidemic": {"ns": (32,), "trials": 5},
+    "roll_call": {"ns": (16,), "trials": 3},
+    "all_agents_interact": {"ns": (32,), "trials": 5},
+    "bounded_epidemic": {
+        "ns": (32,),
+        "ks": (1,),
+        "trials": 3,
+        "include_log_level": False,
+    },
+    "binary_tree_assignment": {"ns": (16,), "trials": 2},
+    "optimal_silent": {"ns": (10,), "trials": 2},
+    "propagate_reset": {"ns": (10,), "trials": 2},
+    "sublinear_tradeoff": {"n": 10, "depths": (0,), "trials": 1},
+    "sublinear_scaling": {"ns": (8,), "depth": 1, "trials": 1},
+    "history_tree_safety": {"n": 8, "depth": 1, "trials": 1, "horizon_factor": 5.0},
+    "state_complexity": {"ns": (8,), "interactions_factor": 5},
+    "synthetic_coin": {"ns": (12,), "bits_needed": 4},
+    "ablation_dormancy": {"n": 10, "dmax_factors": (4.0,), "trials": 1},
+    "ablation_timer": {"n": 10, "timer_multipliers": (8.0,), "trials": 1},
+    "ablation_sync_range": {"n": 10, "sync_values": (2,), "trials": 1},
+}
+
+
+def _tiny_result(identifier):
+    return EXPERIMENTS[identifier].run(
+        "quick", run=RunConfig(seed=0), **TINY_PARAMS[identifier]
+    )
+
+
+def test_tiny_params_cover_the_whole_registry():
+    assert set(TINY_PARAMS) == set(list_experiments())
+
+
+class TestRegistryConformance:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {identifier: _tiny_result(identifier) for identifier in TINY_PARAMS}
+
+    def test_every_experiment_returns_a_typed_result(self, results):
+        for identifier, result in results.items():
+            assert isinstance(result, ExperimentResult), identifier
+            assert result.identifier == identifier
+            assert result.rows, f"{identifier} returned no rows"
+
+    def test_rows_conform_to_the_column_schema(self, results):
+        for identifier, result in results.items():
+            assert result.columns, identifier
+            for row in result.rows:
+                assert set(row) <= set(result.columns), identifier
+
+    def test_provenance_is_stamped(self, results):
+        for identifier, result in results.items():
+            spec = EXPERIMENTS[identifier]
+            assert result.title == spec.title
+            assert result.paper_reference == spec.paper_reference
+            assert result.scale == "quick"
+            assert result.seed == 0
+            assert result.engine == "loop"
+            assert result.jobs == 1
+            assert result.wall_time >= 0.0
+            assert result.version
+
+    def test_byte_identical_json_round_trip(self, results):
+        for identifier, result in results.items():
+            text = result.to_json()
+            assert ExperimentResult.from_json(text).to_json() == text, identifier
+
+    def test_byte_identical_jsonl_round_trip(self, results):
+        for identifier, result in results.items():
+            text = result.to_jsonl()
+            assert ExperimentResult.from_jsonl(text).to_jsonl() == text, identifier
+
+    def test_rows_are_json_native(self, results):
+        """Coercion at construction: artifacts and live results render alike."""
+        for identifier, result in results.items():
+            for row in result.rows:
+                for value in row.values():
+                    assert value is None or isinstance(
+                        value, (bool, int, float, str, list, dict)
+                    ), (identifier, value)
+            json.dumps(result.rows)
+
+
+ROW_VALUES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+ROWS = st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=10), ROW_VALUES, max_size=5),
+    max_size=5,
+)
+
+
+class TestRoundTripProperties:
+    @given(rows=ROWS, seed=st.one_of(st.none(), st.integers(0, 2**31)))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_json_round_trip_is_byte_identical(self, rows, seed):
+        result = ExperimentResult(
+            identifier="prop", rows=rows, title="t", paper_reference="p",
+            scale="quick", seed=seed, wall_time=0.25,
+        )
+        text = result.to_json()
+        reloaded = ExperimentResult.from_json(text)
+        assert reloaded.to_json() == text
+        assert reloaded.rows == result.rows
+        assert reloaded.columns == result.columns
+
+    @given(rows=ROWS)
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_jsonl_round_trip_is_byte_identical(self, rows):
+        result = ExperimentResult(identifier="prop", rows=rows)
+        text = result.to_jsonl()
+        reloaded = ExperimentResult.from_jsonl(text)
+        assert reloaded.to_jsonl() == text
+        assert reloaded.rows == result.rows
+
+
+class TestFiles:
+    def test_save_load_json_is_byte_identical(self, tmp_path):
+        result = _tiny_result("fratricide_failure")
+        path = result.save(tmp_path / "fratricide.json")
+        first = path.read_bytes()
+        ExperimentResult.load(path).save(path)
+        assert path.read_bytes() == first
+
+    def test_save_load_jsonl_is_byte_identical(self, tmp_path):
+        result = _tiny_result("fratricide_failure")
+        path = result.save(tmp_path / "fratricide.jsonl")
+        first = path.read_bytes()
+        ExperimentResult.load(path).save(path)
+        assert path.read_bytes() == first
+
+    def test_load_artifacts_from_directory(self, tmp_path):
+        result = _tiny_result("fratricide_failure")
+        result.save(tmp_path / "b.json")
+        result.save(tmp_path / "a.jsonl")
+        loaded = load_artifacts(tmp_path)
+        assert len(loaded) == 2
+        assert all(item.identifier == "fratricide_failure" for item in loaded)
+
+    def test_load_artifacts_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_artifacts(tmp_path)
+
+    def test_numpy_values_are_coerced(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            identifier="np",
+            rows=[{"count": np.int64(3), "flag": np.bool_(True), "x": np.float64(0.5)}],
+        )
+        assert result.rows == [{"count": 3, "flag": True, "x": 0.5}]
+        text = result.to_json()
+        assert ExperimentResult.from_json(text).to_json() == text
+
+    def test_non_jsonable_value_is_rejected(self):
+        with pytest.raises(TypeError, match="not JSON-able"):
+            ExperimentResult(identifier="bad", rows=[{"x": object()}])
+
+    def test_non_finite_floats_become_null(self):
+        """Artifacts must be strict JSON: no bare NaN/Infinity tokens."""
+        import math
+
+        result = ExperimentResult(
+            identifier="nan",
+            rows=[{"a": math.nan, "b": math.inf, "c": -math.inf, "d": 1.5}],
+        )
+        assert result.rows == [{"a": None, "b": None, "c": None, "d": 1.5}]
+        for text in (result.to_json(), result.to_jsonl()):
+            assert "NaN" not in text and "Infinity" not in text
