@@ -24,6 +24,8 @@ Quickstart
 True
 """
 
+from repro.adversary.plan import FaultEvent, FaultPlan
+from repro.adversary.schedulers import SchedulerSpec
 from repro.core import (
     FratricideLeaderElection,
     OptimalSilentSSR,
@@ -49,19 +51,22 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchSimulation",
     "CompilationError",
     "CompiledProtocol",
     "Configuration",
+    "FaultEvent",
+    "FaultPlan",
     "FratricideLeaderElection",
     "OptimalSilentSSR",
     "PopulationProtocol",
     "ProtocolCompiler",
     "ResetWaveProtocol",
     "RunConfig",
+    "SchedulerSpec",
     "SilentNStateSSR",
     "Simulation",
     "SimulationResult",

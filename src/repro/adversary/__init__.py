@@ -1,17 +1,32 @@
-"""Adversarial initial configurations and transient fault injection.
+"""The adversary subsystem: everything that attacks a running protocol.
 
-Self-stabilization means recovering from *any* configuration -- in particular
-from configurations an adversary (or an arbitrary burst of transient memory
-faults) has crafted.  This subpackage centralizes the nasty starting points
-used by the experiments and tests:
+Self-stabilization means recovering from *any* configuration under *any*
+fair scheduler -- in particular from configurations and interaction patterns
+an adversary has crafted.  This subpackage centralizes the attacks:
 
-* worst-case and maximally-colliding configurations for each protocol,
-* configurations with planted name collisions, ghost names, and corrupted
-  history trees for ``Sublinear-Time-SSR``,
-* the all-leaders / zero-leader configurations behind the lower bounds,
-* a transient fault injector that corrupts a chosen number of agents mid-run.
+* **Adversarial starting points** (:mod:`repro.adversary.initial_configs`):
+  worst-case and maximally colliding configurations for each protocol,
+  planted name collisions and corrupted history trees, the all-leaders /
+  zero-leader configurations behind the lower bounds.
+* **Transient faults** (:mod:`repro.adversary.faults`,
+  :mod:`repro.adversary.plan`, :mod:`repro.adversary.campaign`): the
+  one-shot injector plus the declarative :class:`FaultPlan` timeline
+  (corrupt / reset / reseed bursts pinned to interaction counts) that both
+  engines execute mid-run via :class:`FaultCampaign`.
+* **Adversarial schedulers** (:mod:`repro.adversary.schedulers`): biased
+  (weight-proportional) and epoch-partition (split-then-merge)
+  implementations of the engine's scheduler contract, declaratively
+  described by :class:`SchedulerSpec`.
+
+Plans and scheduler specs ride on
+:class:`~repro.engine.run_config.RunConfig` (fields ``faults`` and
+``scheduler``), so a stress scenario flows unchanged from the CLI through
+the harness into either engine and into persisted artifact provenance; see
+``docs/ARCHITECTURE.md`` (adversary subsystem) and the ``repro stress``
+CLI subcommand.
 """
 
+from repro.adversary.campaign import FaultCampaign, FaultCheckpoint, signature_digest
 from repro.adversary.faults import inject_transient_faults
 from repro.adversary.initial_configs import (
     corrupted_tree_configuration,
@@ -20,12 +35,29 @@ from repro.adversary.initial_configs import (
     silent_n_state_worst_case,
     sublinear_adversarial_configuration,
 )
+from repro.adversary.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.adversary.schedulers import (
+    SCHEDULER_KINDS,
+    BiasedPairScheduler,
+    EpochPartitionScheduler,
+    SchedulerSpec,
+)
 
 __all__ = [
+    "BiasedPairScheduler",
+    "EpochPartitionScheduler",
+    "FAULT_KINDS",
+    "FaultCampaign",
+    "FaultCheckpoint",
+    "FaultEvent",
+    "FaultPlan",
+    "SCHEDULER_KINDS",
+    "SchedulerSpec",
     "corrupted_tree_configuration",
     "duplicate_leader_silent_configuration",
     "inject_transient_faults",
     "optimal_silent_adversarial_configuration",
+    "signature_digest",
     "silent_n_state_worst_case",
     "sublinear_adversarial_configuration",
 ]

@@ -1,0 +1,238 @@
+"""Mid-run execution of a :class:`~repro.adversary.plan.FaultPlan`.
+
+Both engines execute fault campaigns through one :class:`FaultCampaign`
+object: the loop engine applies events to its :class:`Configuration`
+(:meth:`FaultCampaign.apply_to_configuration`), the compiled batch engine to
+its integer state-index array (:meth:`FaultCampaign.apply_to_batch`,
+scattering encoded indices and updating the cached state-count vector
+incrementally -- no ``O(n)`` decode of agent objects, so million-agent
+campaigns stay fast).
+
+Determinism contract
+--------------------
+Every event draws its victims and replacement states from its own generator,
+spawned via :func:`~repro.engine.rng.spawn_seed_sequences` from the engine's
+generator *seed sequence* -- not from the engine's random stream.  Three
+properties follow:
+
+1. **Cross-engine equivalence.**  The two engines consume the shared stream
+   differently (their trajectory equivalence is statistical), but both build
+   their generator from the same per-trial ``SeedSequence``, so a campaign
+   injects bit-identical (victim, state) sequences on either engine.  After
+   an event that determines the full configuration (``reseed``, or
+   ``corrupt`` with ``count == n``) the engines' configurations are exactly
+   equal -- ``tests/adversary/test_campaign.py`` asserts checkpoint equality.
+2. **Jobs invariance.**  A trial's fault stream depends only on
+   ``(root seed, trial index)``, never on which worker process runs it, so
+   ``run_trials`` results remain bit-identical for every ``jobs`` value.
+3. **Plan-shape stability.**  Event ``k`` always uses child ``k``; adding an
+   event never perturbs the draws of the events before it.
+
+Each applied event records a :class:`FaultCheckpoint` (victims, injected
+state signatures, and the post-event signature histogram); the engines expose
+the campaign as ``simulation.campaign`` and a combined CRC digest of the
+checkpoints travels inside ``SimulationResult.extra`` so cross-engine and
+cross-jobs equivalence can be asserted from results alone.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.adversary.plan import FaultEvent, FaultPlan
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import SimulationResult
+from repro.engine.rng import spawn_seed_sequences
+from repro.engine.state import AgentState
+
+#: Keys the campaign writes into ``SimulationResult.extra``.
+FAULT_EVENTS_KEY = "fault_events"
+LAST_FAULT_AT_KEY = "last_fault_at"
+FAULT_DIGEST_KEY = "fault_checkpoint_digest"
+
+
+def signature_digest(signature_counts: Dict[Hashable, int]) -> int:
+    """Stable CRC32 of a signature histogram.
+
+    Entries are ordered by ``repr`` (signatures of different shapes need not
+    be comparable) and hashed as text, so the digest is reproducible across
+    processes -- unlike ``hash()``, which salts strings per interpreter.
+    """
+    body = "|".join(
+        f"{key}:{count}"
+        for key, count in sorted(
+            ((repr(sig), int(count)) for sig, count in signature_counts.items())
+        )
+    )
+    return zlib.crc32(body.encode())
+
+
+@dataclass
+class FaultCheckpoint:
+    """Record of one applied fault event (the campaign's audit trail)."""
+
+    index: int
+    at: int
+    kind: str
+    victims: List[int]
+    injected_signatures: List[Hashable]
+    signature_counts: Dict[Hashable, int]
+    digest: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.digest = signature_digest(self.signature_counts)
+
+
+class FaultCampaign:
+    """Executes one plan's events against a running simulation.
+
+    Built by the engines inside ``run(config)`` when the
+    :class:`~repro.engine.run_config.RunConfig` carries a
+    :class:`~repro.adversary.plan.FaultPlan`; the engine exposes it as
+    ``simulation.campaign`` so callers can inspect the checkpoints.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        self.plan = plan
+        self._rngs = [
+            np.random.default_rng(seq)
+            for seq in spawn_seed_sequences(rng, len(plan.events))
+        ]
+        self.checkpoints: List[FaultCheckpoint] = []
+
+    # -- event drawing (engine-independent) ------------------------------------------
+
+    def _draw_event(
+        self, index: int, protocol: PopulationProtocol
+    ) -> Tuple[FaultEvent, np.ndarray, List[AgentState]]:
+        """Victims and replacement states of event ``index``.
+
+        The draw order is fixed -- victims first, then one state per victim
+        in victim order -- so both engines consume the event generator
+        identically.
+        """
+        event = self.plan.events[index]
+        rng = self._rngs[index]
+        n = protocol.n
+        if event.kind == "reseed":
+            victims = np.arange(n, dtype=np.int64)
+        elif event.agent_ids is not None:
+            victims = np.asarray(event.agent_ids, dtype=np.int64)
+            if len(victims) and int(victims.max()) >= n:
+                raise ValueError(
+                    f"event {index}: agent_ids {list(event.agent_ids)} out of "
+                    f"range for population size {n}"
+                )
+        else:
+            if event.count > n:
+                raise ValueError(
+                    f"event {index}: fault count {event.count} exceeds "
+                    f"population size {n}"
+                )
+            victims = (
+                rng.choice(n, size=event.count, replace=False).astype(np.int64)
+                if event.count
+                else np.empty(0, dtype=np.int64)
+            )
+        if event.kind == "reset":
+            states = [protocol.initial_state(int(victim), rng) for victim in victims]
+        else:
+            states = [protocol.random_state(rng) for _ in victims]
+        return event, victims, states
+
+    # -- engine entry points -----------------------------------------------------------
+
+    def apply_to_configuration(
+        self, index: int, protocol: PopulationProtocol, configuration: Configuration
+    ) -> FaultCheckpoint:
+        """Apply event ``index`` in place on a loop-engine configuration."""
+        event, victims, states = self._draw_event(index, protocol)
+        for victim, state in zip(victims, states):
+            configuration[int(victim)] = state
+        checkpoint = FaultCheckpoint(
+            index=index,
+            at=event.at,
+            kind=event.kind,
+            victims=[int(v) for v in victims],
+            injected_signatures=[protocol.state_signature(s) for s in states],
+            signature_counts=dict(
+                configuration.signature_counts(protocol.state_signature)
+            ),
+        )
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    def apply_to_batch(self, index: int, simulation) -> FaultCheckpoint:
+        """Apply event ``index`` on a compiled batch engine.
+
+        ``simulation`` is a
+        :class:`~repro.engine.batch_simulation.BatchSimulation` (duck-typed
+        to keep this module engine-agnostic).  Replacement states are
+        encoded to table indices and scattered straight into the index
+        array; the state-count vector is updated incrementally, so the cost
+        is ``O(burst size)``, never ``O(n)`` object churn.
+        """
+        protocol = simulation.protocol
+        event, victims, states = self._draw_event(index, protocol)
+        compiled = simulation.compiled
+        indices = np.fromiter(
+            (compiled.encode_state(state) for state in states),
+            dtype=np.int32,
+            count=len(states),
+        )
+        simulation.apply_fault(victims, indices)
+        counts = simulation.state_counts
+        present = np.nonzero(counts > 0)[0]
+        signature_counts = {
+            protocol.state_signature(compiled.states[int(k)]): int(counts[k])
+            for k in present
+        }
+        checkpoint = FaultCheckpoint(
+            index=index,
+            at=event.at,
+            kind=event.kind,
+            victims=[int(v) for v in victims],
+            injected_signatures=[protocol.state_signature(s) for s in states],
+            signature_counts=signature_counts,
+        )
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    # -- result annotation -------------------------------------------------------------
+
+    @property
+    def digest(self) -> int:
+        """CRC32 over the per-checkpoint digests (order-sensitive)."""
+        body = ",".join(str(checkpoint.digest) for checkpoint in self.checkpoints)
+        return zlib.crc32(body.encode())
+
+    def annotate(self, result: SimulationResult) -> SimulationResult:
+        """Stamp campaign provenance into ``result.extra``.
+
+        ``last_fault_at`` is what :mod:`repro.analysis.stabilization` uses to
+        measure recovery from the final burst.  It records the last event
+        that actually *applied* -- events beyond the run's interaction cap
+        are truncated by the engines and must not shift the recovery origin.
+        The digest makes cross-engine and cross-jobs equivalence checkable
+        from results alone.
+        """
+        last_applied = self.checkpoints[-1].at if self.checkpoints else 0
+        result.extra[FAULT_EVENTS_KEY] = float(len(self.checkpoints))
+        result.extra[LAST_FAULT_AT_KEY] = float(last_applied)
+        result.extra[FAULT_DIGEST_KEY] = float(self.digest)
+        return result
+
+
+__all__ = [
+    "FAULT_DIGEST_KEY",
+    "FAULT_EVENTS_KEY",
+    "FaultCampaign",
+    "FaultCheckpoint",
+    "LAST_FAULT_AT_KEY",
+    "signature_digest",
+]

@@ -43,11 +43,15 @@ def inject_transient_faults(
     if agent_ids is None:
         victims = list(rng.choice(n, size=count, replace=False)) if count else []
     else:
-        victims = list(agent_ids)
+        victims = [int(v) for v in agent_ids]
         if len(victims) != count:
             raise ValueError("agent_ids length must equal count")
         if any(not 0 <= v < n for v in victims):
             raise ValueError("agent_ids must be valid agent indices")
+        if len(set(victims)) != len(victims):
+            # [3, 3] with count=2 would pass the length check yet corrupt
+            # only one distinct agent, silently weakening the burst.
+            raise ValueError(f"agent_ids contains duplicates: {victims}")
     for victim in victims:
         configuration[int(victim)] = protocol.random_state(rng)
     return [int(v) for v in victims]

@@ -1,0 +1,202 @@
+"""Declarative fault campaigns: what the adversary does, and when.
+
+A :class:`FaultPlan` is a timeline of :class:`FaultEvent` records, each
+pinned to an absolute interaction count.  Plans are plain frozen data -- they
+carry no population size, no randomness, and no engine state -- so one plan
+can ride on a :class:`~repro.engine.run_config.RunConfig` from the CLI
+through the experiment harness into either engine, and be persisted verbatim
+in artifact provenance.
+
+Event kinds
+-----------
+``corrupt``
+    Replace the states of ``count`` victims (chosen uniformly without
+    replacement, or the explicit ``agent_ids``) with draws from the
+    protocol's adversarial sampler (``random_state``) -- the paper's
+    transient-memory-fault model.
+``reset``
+    Put the victims back into their *clean* initial states
+    (``initial_state``) -- a partial re-initialization, e.g. modelling
+    replaced devices joining a running population.
+``reseed``
+    Redraw the *entire* configuration from the adversarial sampler -- the
+    strongest burst, equivalent to restarting the run from a fresh
+    adversarial configuration at interaction ``at``.  Immediately after a
+    ``reseed`` the configuration is fully adversary-determined, which is what
+    makes exact cross-engine checkpoint comparisons possible (see
+    :mod:`repro.adversary.campaign`).
+
+Execution semantics (both engines): events fire in timeline order when the
+run's interaction count reaches ``at``; the run's stop condition is then
+evaluated only after the *last* event, so the resulting
+:class:`~repro.engine.results.SimulationResult` measures recovery from the
+final burst (see :mod:`repro.analysis.stabilization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Event kinds understood by the campaign executor.
+FAULT_KINDS = ("corrupt", "reset", "reseed")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One adversarial intervention pinned to an interaction count.
+
+    Attributes
+    ----------
+    at:
+        Absolute interaction count at which the event fires.  Events whose
+        ``at`` lies in the past when the plan starts executing (the engine
+        already ran beyond it) fire immediately, in timeline order.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    count:
+        Number of victims for ``corrupt``/``reset`` (chosen uniformly
+        without replacement from the population).  Mutually exclusive with
+        ``agent_ids``; forbidden for ``reseed`` (always the whole
+        population).
+    agent_ids:
+        Explicit, duplicate-free victim indices for ``corrupt``/``reset``.
+        Bounds against the population size are checked at application time
+        (the plan does not know ``n``).
+    """
+
+    at: int
+    kind: str = "corrupt"
+    count: Optional[int] = None
+    agent_ids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be non-negative, got {self.at}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}, expected one of {FAULT_KINDS}"
+            )
+        if self.kind == "reseed":
+            if self.count is not None or self.agent_ids is not None:
+                raise ValueError(
+                    "reseed redraws the whole population; count/agent_ids "
+                    "must not be given"
+                )
+            return
+        if (self.count is None) == (self.agent_ids is None):
+            raise ValueError(
+                f"{self.kind} events need exactly one of count or agent_ids"
+            )
+        if self.agent_ids is not None:
+            ids = tuple(int(agent) for agent in self.agent_ids)
+            object.__setattr__(self, "agent_ids", ids)
+            if len(set(ids)) != len(ids):
+                raise ValueError(f"agent_ids contains duplicates: {list(ids)}")
+            if any(agent < 0 for agent in ids):
+                raise ValueError(f"agent_ids must be non-negative, got {list(ids)}")
+        if self.count is not None and self.count < 0:
+            raise ValueError(f"fault count must be non-negative, got {self.count}")
+
+    def victim_count(self, n: int) -> int:
+        """Number of victims when applied to a population of size ``n``."""
+        if self.kind == "reseed":
+            return n
+        if self.agent_ids is not None:
+            return len(self.agent_ids)
+        return int(self.count)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict:
+        """JSON-able form."""
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "count": self.count,
+            "agent_ids": list(self.agent_ids) if self.agent_ids is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        unknown = set(payload) - {"at", "kind", "count", "agent_ids"}
+        if unknown:
+            raise ValueError(f"unknown FaultEvent fields: {sorted(unknown)}")
+        agent_ids = payload.get("agent_ids")
+        return cls(
+            at=payload["at"],
+            kind=payload.get("kind", "corrupt"),
+            count=payload.get("count"),
+            agent_ids=tuple(agent_ids) if agent_ids is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered timeline of fault events.
+
+    Events must be sorted by non-decreasing ``at``; events sharing an ``at``
+    fire in listing order.  The empty plan is valid and means "no faults".
+    """
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        object.__setattr__(self, "events", events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"plan events must be FaultEvent, got {event!r}")
+        times = [event.at for event in events]
+        if times != sorted(times):
+            raise ValueError(f"events must be sorted by interaction count, got {times}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def last_fault_at(self) -> int:
+        """Interaction count of the final event (0 for the empty plan)."""
+        return self.events[-1].at if self.events else 0
+
+    @classmethod
+    def bursts(
+        cls, bursts: Iterable[Tuple[int, int]], kind: str = "corrupt"
+    ) -> "FaultPlan":
+        """Plan of ``(at, count)`` bursts -- the common campaign shape."""
+        return cls(tuple(FaultEvent(at=at, kind=kind, count=count) for at, count in bursts))
+
+    @classmethod
+    def reseeds(cls, times: Iterable[int]) -> "FaultPlan":
+        """Plan of full adversarial redraws at the given interaction counts."""
+        return cls(tuple(FaultEvent(at=at, kind="reseed") for at in times))
+
+    def to_dict(self) -> Dict:
+        """JSON-able form."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        unknown = set(payload) - {"events"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(
+            tuple(FaultEvent.from_dict(event) for event in payload.get("events", ()))
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary (used by the CLI)."""
+        if not self.events:
+            return "no faults"
+        parts: List[str] = []
+        for event in self.events:
+            if event.kind == "reseed":
+                parts.append(f"reseed@{event.at}")
+            elif event.agent_ids is not None:
+                parts.append(f"{event.kind} {len(event.agent_ids)} ids@{event.at}")
+            else:
+                parts.append(f"{event.kind} {event.count}@{event.at}")
+        return ", ".join(parts)
+
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]

@@ -1,0 +1,381 @@
+"""Adversarial pair schedulers and their declarative spec.
+
+Self-stabilization must hold under *any* fair scheduler, not just the
+uniform one the paper analyses.  This module provides two adversarial
+implementations of the :class:`~repro.engine.scheduler.PairScheduler`
+contract plus :class:`SchedulerSpec`, the frozen declarative form that rides
+on a :class:`~repro.engine.run_config.RunConfig` (and therefore flows from
+the CLI into artifact provenance).
+
+* :class:`BiasedPairScheduler` -- agents carry non-uniform selection
+  weights; both the initiator and the responder are drawn proportionally to
+  weight (the responder conditioned on being distinct).  A "hot set" of
+  over-scheduled agents models e.g. physically clustered devices.
+* :class:`EpochPartitionScheduler` -- the population is temporarily split
+  into blocks; until a configured interaction count, pairs are drawn only
+  *within* a block (each within-block ordered pair equally likely), after
+  which the blocks merge and scheduling becomes uniform.  This models
+  transient network partitions and stresses information flow across the
+  merge.
+
+Performance
+-----------
+``BiasedPairScheduler`` groups agents into *weight classes* and samples with
+one uniform draw per agent slot: the draw selects the class through the
+class-probability partition of ``[0, 1)`` and its position within the class
+from the leftover fraction of the same uniform -- no per-agent alias or
+cumulative table, so the hot arrays stay cache-resident.  When every class
+occupies a contiguous agent-id range (always true for specs built from
+``hot_fraction``) the member lookup collapses to arithmetic.  Batches are
+drawn in large chunks and served as slices, amortizing the fixed NumPy call
+cost over the batch engine's adaptively sized windows.  The compiled-engine
+overhead versus the uniform scheduler is gated at <= 25% by
+``benchmarks/test_bench_adversary.py``.
+
+``EpochPartitionScheduler`` is time-inhomogeneous: it tracks the interaction
+position to know which side of the split boundary each drawn pair falls on.
+The loop engine applies every pair it is served, so the internal position is
+exact there; the batch engine discards window tails after conflicts and
+re-aligns the scheduler with :meth:`~repro.engine.scheduler.PairScheduler.sync`
+before every draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.rng import RngLike
+from repro.engine.scheduler import (
+    PairScheduler,
+    UniformPairScheduler,
+    draw_uniform_pairs,
+)
+
+#: Scheduler kinds understood by :class:`SchedulerSpec`.
+SCHEDULER_KINDS = ("uniform", "biased", "epoch")
+
+
+class BiasedPairScheduler(PairScheduler):
+    """Ordered pairs with weight-proportional agent selection.
+
+    The initiator is agent ``a`` with probability ``w_a / W``; the responder
+    is drawn from the same distribution conditioned on being distinct from
+    the initiator (rare collisions are redrawn).  Zero-weight agents are
+    never scheduled; at least two agents must have positive weight.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        weights: Sequence[float],
+        rng: RngLike = None,
+        batch_size: int = 4096,
+        chunk: int = 1 << 16,
+    ):
+        super().__init__(n, rng=rng, batch_size=batch_size)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},), got {weights.shape}")
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+            raise ValueError("weights must be finite and non-negative")
+        if int(np.count_nonzero(weights)) < 2:
+            raise ValueError("at least two agents need positive weight")
+        self.weights = weights.copy()
+
+        # Group agents into classes of equal weight (stable sort keeps each
+        # class's member ids ascending); zero-weight agents are dropped.
+        order = np.argsort(weights, kind="stable")
+        sorted_weights = weights[order]
+        positive = sorted_weights > 0
+        order = order[positive]
+        sorted_weights = sorted_weights[positive]
+        boundaries = np.nonzero(np.diff(sorted_weights))[0] + 1
+        starts = np.concatenate(([0], boundaries)).astype(np.int64)
+        ends = np.concatenate((boundaries, [len(order)])).astype(np.int64)
+        sizes = (ends - starts).astype(np.float64)
+        class_probability = sorted_weights[starts] * sizes
+        class_probability /= class_probability.sum()
+        self._cum = np.cumsum(class_probability)
+        self._cum[-1] = 1.0
+        cum_low = self._cum - class_probability
+        # Positions per unit of probability mass: a uniform that lands in a
+        # class also encodes, through its leftover fraction, a uniform member.
+        self._inv = sizes / class_probability
+        limits = sizes.astype(np.int64) - 1
+        contiguous = bool(np.all(order[ends - 1] - order[starts] == limits))
+        self._bases = order[starts].astype(np.int64) if contiguous else None
+        self._members = None if contiguous else order.astype(np.int64)
+        # Fused per-class lookup tables: agent = min(u * inv + offset, top),
+        # gathered through the class index -- three small-array gathers total.
+        first = order[starts].astype(np.float64) if contiguous else starts.astype(np.float64)
+        self._offset = first - cum_low * self._inv
+        self._top = first.astype(np.int64) + limits
+        self._chunk = max(int(chunk), batch_size)
+        self._buffer_i: np.ndarray = np.empty(0, dtype=np.int64)
+        self._buffer_j: np.ndarray = np.empty(0, dtype=np.int64)
+        self._buffer_pos = 0
+
+    def _class_of(self, u: np.ndarray) -> np.ndarray:
+        """Class index of each uniform (the partition of [0, 1) by ``_cum``).
+
+        ``searchsorted`` pays a per-element binary search even over a
+        two-entry table; for the handful of weight classes real campaigns
+        use, accumulating vectorized comparisons is several times faster.
+        """
+        thresholds = self._cum
+        if len(thresholds) <= 8:
+            cls = np.zeros(len(u), dtype=np.int64)
+            for threshold in thresholds[:-1]:
+                cls += u >= threshold
+            return cls
+        cls = np.searchsorted(thresholds, u, side="right")
+        np.minimum(cls, len(thresholds) - 1, out=cls)
+        return cls
+
+    def _sample_agents(self, count: int) -> np.ndarray:
+        """Draw ``count`` independent weight-proportional agent ids."""
+        u = self._rng.random(count)
+        cls = self._class_of(u)
+        slot = (u * self._inv[cls] + self._offset[cls]).astype(np.int64)
+        # The fused multiply-add can land one ulp outside the class's slot
+        # range at the boundaries; clamp both ends (a one-ulp class bleed is
+        # harmless, an out-of-range index is not).
+        np.minimum(slot, self._top[cls], out=slot)
+        np.maximum(slot, 0, out=slot)
+        if self._members is None:
+            return slot
+        return self._members[slot]
+
+    def _draw(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        agents = self._sample_agents(2 * count)
+        initiators = agents[:count]
+        responders = agents[count:]
+        colliding = np.nonzero(initiators == responders)[0]
+        while len(colliding):
+            responders[colliding] = self._sample_agents(len(colliding))
+            colliding = colliding[initiators[colliding] == responders[colliding]]
+        return initiators, responders
+
+    def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        if count >= self._chunk:
+            return self._draw(count)
+        if self._buffer_pos + count > len(self._buffer_i):
+            self._buffer_i, self._buffer_j = self._draw(self._chunk)
+            self._buffer_pos = 0
+        window = slice(self._buffer_pos, self._buffer_pos + count)
+        self._buffer_pos += count
+        return self._buffer_i[window], self._buffer_j[window]
+
+
+class EpochPartitionScheduler(PairScheduler):
+    """Temporarily partitioned scheduling: within-block pairs, then merge.
+
+    Until ``split_interactions`` interactions, each drawn pair is uniform
+    over the within-block ordered pairs (block ``b`` is selected with
+    probability proportional to ``s_b * (s_b - 1)``, so every within-block
+    ordered pair is equally likely overall); afterwards pairs are uniform
+    over the whole population.  Blocks are the ``blocks`` near-equal
+    contiguous id ranges; every block needs at least two agents.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        blocks: int,
+        split_interactions: int,
+        rng: RngLike = None,
+        batch_size: int = 4096,
+    ):
+        super().__init__(n, rng=rng, batch_size=batch_size)
+        if blocks < 2:
+            raise ValueError(f"blocks must be at least 2, got {blocks}")
+        if n < 2 * blocks:
+            raise ValueError(
+                f"every block needs at least 2 agents: n={n} cannot hold {blocks} blocks"
+            )
+        if split_interactions < 0:
+            raise ValueError(
+                f"split_interactions must be non-negative, got {split_interactions}"
+            )
+        self.blocks = int(blocks)
+        self.split_interactions = int(split_interactions)
+        bounds = np.array([b * n // blocks for b in range(blocks + 1)], dtype=np.int64)
+        self._starts = bounds[:-1]
+        self._sizes = (bounds[1:] - bounds[:-1]).astype(np.float64)
+        pair_weight = self._sizes * (self._sizes - 1.0)
+        self._cum = np.cumsum(pair_weight / pair_weight.sum())
+        self._cum[-1] = 1.0
+        self._position = 0
+
+    def sync(self, interactions: int) -> None:
+        """Align the phase clock with the number of applied interactions."""
+        self._position = int(interactions)
+
+    def _draw_partitioned(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        block = np.searchsorted(self._cum, rng.random(count), side="right")
+        np.minimum(block, len(self._cum) - 1, out=block)
+        sizes = self._sizes[block]
+        local_i = (rng.random(count) * sizes).astype(np.int64)
+        np.minimum(local_i, sizes.astype(np.int64) - 1, out=local_i)
+        local_j = (rng.random(count) * (sizes - 1.0)).astype(np.int64)
+        np.minimum(local_j, sizes.astype(np.int64) - 2, out=local_j)
+        local_j += local_j >= local_i
+        start = self._starts[block]
+        return start + local_i, start + local_j
+
+    def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        head = min(count, max(0, self.split_interactions - self._position))
+        self._position += count
+        if head == count:
+            return self._draw_partitioned(count)
+        if head == 0:
+            return draw_uniform_pairs(self._rng, self._n, count)
+        head_i, head_j = self._draw_partitioned(head)
+        tail_i, tail_j = draw_uniform_pairs(self._rng, self._n, count - head)
+        return (
+            np.concatenate((head_i, tail_i)),
+            np.concatenate((head_j, tail_j)),
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Declarative, serializable description of a pair scheduler.
+
+    Carried on :class:`~repro.engine.run_config.RunConfig` (field
+    ``scheduler``) so the scheduling adversary flows from the CLI through
+    the harness into both engines and into artifact provenance.
+
+    Kinds
+    -----
+    ``uniform``
+        The paper's scheduler; no parameters.
+    ``biased``
+        Either explicit per-agent ``weights`` (small populations, tests) or
+        the declarative hot set: the first ``round(hot_fraction * n)``
+        agents get weight ``hot_weight``, the rest weight 1 -- the form that
+        scales to any ``n`` and serializes compactly.
+    ``epoch``
+        ``blocks`` near-equal contiguous blocks, merged after
+        ``split_time * n`` interactions (``split_time`` is in parallel-time
+        units so the spec is population-size independent).
+    """
+
+    kind: str = "uniform"
+    weights: Optional[Tuple[float, ...]] = None
+    hot_fraction: Optional[float] = None
+    hot_weight: Optional[float] = None
+    blocks: Optional[int] = None
+    split_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULER_KINDS:
+            raise ValueError(
+                f"unknown scheduler kind {self.kind!r}, expected one of {SCHEDULER_KINDS}"
+            )
+        if self.weights is not None:
+            object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        forbidden = {
+            "uniform": ("weights", "hot_fraction", "hot_weight", "blocks", "split_time"),
+            "biased": ("blocks", "split_time"),
+            "epoch": ("weights", "hot_fraction", "hot_weight"),
+        }[self.kind]
+        for name in forbidden:
+            if getattr(self, name) is not None:
+                raise ValueError(f"{self.kind} scheduler does not take {name}")
+        if self.kind == "biased":
+            explicit = self.weights is not None
+            hot = self.hot_fraction is not None or self.hot_weight is not None
+            if explicit == hot:
+                raise ValueError(
+                    "biased scheduler needs either weights or hot_fraction+hot_weight"
+                )
+            if hot:
+                if self.hot_fraction is None or self.hot_weight is None:
+                    raise ValueError("hot_fraction and hot_weight must be given together")
+                if not 0.0 < self.hot_fraction < 1.0:
+                    raise ValueError(
+                        f"hot_fraction must be in (0, 1), got {self.hot_fraction}"
+                    )
+                if self.hot_weight <= 0.0:
+                    raise ValueError(f"hot_weight must be positive, got {self.hot_weight}")
+        if self.kind == "epoch":
+            if self.blocks is None or self.split_time is None:
+                raise ValueError("epoch scheduler needs blocks and split_time")
+            if self.blocks < 2:
+                raise ValueError(f"blocks must be at least 2, got {self.blocks}")
+            if self.split_time <= 0.0:
+                raise ValueError(f"split_time must be positive, got {self.split_time}")
+
+    def build(self, n: int, rng: RngLike = None) -> PairScheduler:
+        """Instantiate the scheduler for a population of size ``n``.
+
+        ``rng`` is normally the engine's generator, so scheduler and
+        transition randomness share one stream exactly like the default
+        uniform scheduler does.
+        """
+        if self.kind == "uniform":
+            return UniformPairScheduler(n, rng=rng)
+        if self.kind == "biased":
+            if self.weights is not None:
+                return BiasedPairScheduler(n, self.weights, rng=rng)
+            hot = max(1, min(n - 1, int(round(self.hot_fraction * n))))
+            weights = np.ones(n)
+            weights[:hot] = self.hot_weight
+            return BiasedPairScheduler(n, weights, rng=rng)
+        return EpochPartitionScheduler(
+            n,
+            blocks=self.blocks,
+            split_interactions=int(round(self.split_time * n)),
+            rng=rng,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-able form (``None`` fields included for a stable schema)."""
+        return {
+            "kind": self.kind,
+            "weights": list(self.weights) if self.weights is not None else None,
+            "hot_fraction": self.hot_fraction,
+            "hot_weight": self.hot_weight,
+            "blocks": self.blocks,
+            "split_time": self.split_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SchedulerSpec":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {"kind", "weights", "hot_fraction", "hot_weight", "blocks", "split_time"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SchedulerSpec fields: {sorted(unknown)}")
+        weights = payload.get("weights")
+        return cls(
+            kind=payload.get("kind", "uniform"),
+            weights=tuple(weights) if weights is not None else None,
+            hot_fraction=payload.get("hot_fraction"),
+            hot_weight=payload.get("hot_weight"),
+            blocks=payload.get("blocks"),
+            split_time=payload.get("split_time"),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary (used by the CLI and reports)."""
+        if self.kind == "uniform":
+            return "uniform"
+        if self.kind == "biased":
+            if self.weights is not None:
+                return f"biased (explicit weights, {len(self.weights)} agents)"
+            return f"biased (hot {self.hot_fraction:.0%} x{self.hot_weight:g})"
+        return f"epoch ({self.blocks} blocks until t={self.split_time:g})"
+
+
+__all__ = [
+    "BiasedPairScheduler",
+    "EpochPartitionScheduler",
+    "SCHEDULER_KINDS",
+    "SchedulerSpec",
+]

@@ -15,6 +15,14 @@ from repro.analysis.scaling import (
     fit_growth_model,
     fit_power_law,
 )
+from repro.analysis.stabilization import (
+    measure_recovery,
+    recovered_fraction,
+    recovery_curve,
+    recovery_interactions,
+    recovery_parallel_time,
+    recovery_statistics,
+)
 from repro.analysis.state_space import ObservedStateCounter, count_observed_states
 from repro.analysis.statistics import summarize
 from repro.analysis.traces import (
@@ -67,6 +75,12 @@ __all__ = [
     "harmonic_number",
     "janson_lower_tail",
     "janson_upper_tail",
+    "measure_recovery",
     "predicted_parallel_time",
+    "recovered_fraction",
+    "recovery_curve",
+    "recovery_interactions",
+    "recovery_parallel_time",
+    "recovery_statistics",
     "summarize",
 ]

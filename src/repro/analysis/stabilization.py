@@ -1,0 +1,141 @@
+"""Stabilization-time analysis for fault campaigns.
+
+A self-stabilization claim is a statement about what happens *after the last
+transient fault*: the paper's protocols must reach a correct output (and,
+for the silent ones, a silent configuration) within their time bound from
+whatever configuration the final burst leaves behind.  This module turns the
+:class:`~repro.engine.results.SimulationResult` records produced by runs
+with a :class:`~repro.adversary.plan.FaultPlan` into exactly those
+quantities:
+
+* **recovery time** -- parallel time from the final fault event to the stop
+  condition (time-to-correct-output or time-to-silence, depending on the
+  run's ``stop``);
+* **recovery statistics** -- :class:`~repro.engine.results.TrialStatistics`
+  over repeated trials, with censored (capped) trials kept conservative;
+* **recovery curves** -- the empirical fraction of trials recovered as a
+  function of time since the last fault.
+
+Runs without faults degrade gracefully: the "last fault" is interaction 0,
+so recovery time equals plain stabilization time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+# The writer of the key (FaultCampaign.annotate) owns its name; importing it
+# keeps reader and writer from drifting apart silently.
+from repro.adversary.campaign import LAST_FAULT_AT_KEY
+from repro.engine.results import SimulationResult, TrialStatistics
+
+
+def recovery_interactions(result: SimulationResult) -> int:
+    """Interactions executed after the final fault event.
+
+    Results without campaign provenance count from interaction 0, so the
+    function is total over fault-free runs.
+    """
+    last_fault_at = int(result.extra.get(LAST_FAULT_AT_KEY, 0.0))
+    return max(0, result.interactions - last_fault_at)
+
+
+def recovery_parallel_time(result: SimulationResult) -> float:
+    """Parallel time (interactions / n) from the final fault to the stop."""
+    return recovery_interactions(result) / result.n
+
+
+def recovered_fraction(results: Sequence[SimulationResult]) -> float:
+    """Fraction of trials whose stop condition fired before the cap."""
+    if not results:
+        raise ValueError("recovered_fraction needs at least one result")
+    return sum(1 for result in results if result.stopped) / len(results)
+
+
+def recovery_statistics(
+    label: str, results: Sequence[SimulationResult]
+) -> TrialStatistics:
+    """Per-trial recovery times as :class:`TrialStatistics`.
+
+    Trials that hit the interaction cap contribute their (censored) cap
+    time, matching the harness convention: summary statistics stay
+    conservative rather than silently optimistic.
+    """
+    if not results:
+        raise ValueError("recovery_statistics needs at least one result")
+    times = [recovery_parallel_time(result) for result in results]
+    return TrialStatistics.from_values(label, results[0].n, times)
+
+
+def recovery_curve(
+    results: Sequence[SimulationResult], points: int = 32
+) -> List[Dict[str, float]]:
+    """Empirical recovery curve: fraction of trials recovered by time ``t``.
+
+    Returns ``points`` rows ``{"time": t, "fraction_recovered": f}`` on an
+    even grid from 0 to the largest *successful* recovery time.  Censored
+    trials (cap hit before the stop condition) never count as recovered but
+    stay in the denominator, so the curve's plateau below 1.0 is the honest
+    failure rate within the cap.
+    """
+    if points < 2:
+        raise ValueError(f"points must be at least 2, got {points}")
+    if not results:
+        raise ValueError("recovery_curve needs at least one result")
+    recovered = sorted(
+        recovery_parallel_time(result) for result in results if result.stopped
+    )
+    horizon = recovered[-1] if recovered else 0.0
+    total = len(results)
+    rows: List[Dict[str, float]] = []
+    for step in range(points):
+        time = horizon * step / (points - 1)
+        done = sum(1 for value in recovered if value <= time)
+        rows.append({"time": time, "fraction_recovered": done / total})
+    return rows
+
+
+def measure_recovery(
+    protocol_factory: Callable,
+    plan,
+    trials: int,
+    run,
+    configuration_factory: Optional[Callable] = None,
+    stops: Sequence[str] = ("correct", "silent"),
+    label: str = "",
+) -> Dict[str, TrialStatistics]:
+    """Recovery-time statistics per stop condition for one fault plan.
+
+    Runs ``trials`` independent campaigns through the experiment harness for
+    each requested stop condition (``"correct"`` measures time to correct
+    output, ``"silent"`` time to silence) and returns a mapping ``stop ->
+    TrialStatistics`` of the recovery times after the plan's last event.
+    ``run`` selects engine, seed, caps, and worker count as usual; its
+    ``faults``/``stop`` fields are overridden per measurement.
+    """
+    # Imported here: analysis is a lower layer than the experiment harness.
+    from repro.experiments.harness import run_trials
+
+    measurements: Dict[str, TrialStatistics] = {}
+    for stop in stops:
+        results = run_trials(
+            protocol_factory,
+            trials,
+            run=run.replace(stop=stop, faults=plan),
+            configuration_factory=configuration_factory,
+        )
+        measurements[stop] = recovery_statistics(
+            f"{label or protocol_factory().name} ({stop})", results
+        )
+    return measurements
+
+
+__all__ = [
+    "LAST_FAULT_AT_KEY",
+    "measure_recovery",
+    "recovered_fraction",
+    "recovery_curve",
+    "recovery_interactions",
+    "recovery_parallel_time",
+    "recovery_statistics",
+]

@@ -34,6 +34,12 @@ Fan a multi-trial sweep over 4 worker processes (same results as --jobs 1,
 just faster)::
 
     python -m repro run optimal_silent --scale full --jobs 4
+
+Run the stress campaigns (timed fault bursts + adversarial schedulers) on
+either engine, persisting artifacts like any other experiment::
+
+    python -m repro stress --scale quick --seed 1
+    python -m repro stress recovery_burst --engine compiled --output artifacts/
 """
 
 from __future__ import annotations
@@ -44,7 +50,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine.run_config import ENGINES, RunConfig
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    STRESS_EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
 from repro.experiments.report import format_table, rows_to_markdown
 from repro.experiments.result import ExperimentResult, load_artifacts
 
@@ -114,6 +124,63 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist one artifact per experiment to DIR "
+            "(<identifier>.json; render later with 'repro report DIR')"
+        ),
+    )
+
+    stress_parser = subparsers.add_parser(
+        "stress",
+        help="run fault-campaign stress experiments (adversary subsystem)",
+        description=(
+            "Run the registered stress experiments: timed fault bursts "
+            "(corrupt/reset/reseed) executed mid-run by either engine, with "
+            "recovery measured from the last burst; see "
+            "docs/ARCHITECTURE.md (adversary subsystem)."
+        ),
+    )
+    stress_parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=STRESS_EXPERIMENTS + ("all",),
+        default="all",
+        help="which stress experiment to run (default: all)",
+    )
+    stress_parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="parameterization to use (default: quick)",
+    )
+    stress_parser.add_argument(
+        "--n", type=int, default=None, help="override the population size"
+    )
+    stress_parser.add_argument(
+        "--trials", type=int, default=None, help="override the trial count"
+    )
+    stress_parser.add_argument(
+        "--seed", type=int, default=None, help="root seed for the run (default: 0)"
+    )
+    stress_parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables instead of text"
+    )
+    stress_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="loop",
+        help="execution engine; fault campaigns run on both (default: loop)",
+    )
+    stress_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trial sweeps (default: 1)",
+    )
+    stress_parser.add_argument(
         "--output",
         metavar="DIR",
         default=None,
@@ -244,18 +311,32 @@ def _print_result(result: ExperimentResult, markdown: bool) -> None:
     print(f"-- {len(result.rows)} rows in {result.wall_time:.1f}s --\n")
 
 
-def _run_one(identifier: str, args) -> None:
+def _run_one(identifier: str, args, **overrides) -> None:
     spec = get_experiment(identifier)
     config = RunConfig(
         seed=args.seed if args.seed is not None else 0,
         engine=args.engine,
         jobs=args.jobs,
     )
-    result = spec.run(scale=args.scale, run=config)
+    result = spec.run(scale=args.scale, run=config, **overrides)
     _print_result(result, args.markdown)
     if args.output is not None:
         path = result.save(Path(args.output) / f"{result.identifier}.json")
         print(f"-- artifact: {path}\n")
+
+
+def _stress(args) -> int:
+    identifiers = (
+        list(STRESS_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    for identifier in identifiers:
+        _run_one(identifier, args, **overrides)
+    return 0
 
 
 def _report(args) -> int:
@@ -283,6 +364,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for identifier in identifiers:
             _run_one(identifier, args)
         return 0
+
+    if args.command == "stress":
+        return _stress(args)
 
     if args.command == "report":
         return _report(args)

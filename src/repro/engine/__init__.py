@@ -15,8 +15,10 @@ Public surface
   initial/adversarial configurations).
 * :class:`~repro.engine.configuration.Configuration` -- a snapshot of all
   agents' states with multiset-style helpers.
-* :class:`~repro.engine.scheduler.UniformPairScheduler` -- the uniformly random
-  ordered-pair scheduler (batched for speed).
+* :class:`~repro.engine.scheduler.PairScheduler` /
+  :class:`~repro.engine.scheduler.UniformPairScheduler` -- the batched
+  pair-scheduler contract and its uniform default (adversarial
+  implementations live in :mod:`repro.adversary.schedulers`).
 * :class:`~repro.engine.simulation.Simulation` -- the per-interaction loop
   with convergence / stabilization / silence detection and instrumentation
   hooks.
@@ -41,7 +43,7 @@ from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import make_rng, spawn_rngs
 from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
-from repro.engine.scheduler import UniformPairScheduler, ordered_pair_index
+from repro.engine.scheduler import PairScheduler, UniformPairScheduler, ordered_pair_index
 from repro.engine.simulation import Simulation, run_trials
 from repro.engine.state import AgentState
 
@@ -54,6 +56,7 @@ __all__ = [
     "CountingHook",
     "ENGINES",
     "InteractionHook",
+    "PairScheduler",
     "PopulationProtocol",
     "ProtocolCompiler",
     "RunConfig",

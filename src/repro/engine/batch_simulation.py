@@ -47,7 +47,7 @@ from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RngLike, make_rng
 from repro.engine.run_config import RunConfig
-from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.scheduler import PairScheduler, UniformPairScheduler
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
 
 #: Stop-condition kinds understood by :meth:`BatchSimulation.run_until_*`.
@@ -129,6 +129,7 @@ class BatchSimulation:
         compiled: Optional[CompiledProtocol] = None,
         compiler: Optional[ProtocolCompiler] = None,
         max_window: int = 1 << 16,
+        scheduler: Optional[PairScheduler] = None,
     ):
         if configuration is not None and indices is not None:
             raise ValueError("pass either configuration or indices, not both")
@@ -162,8 +163,17 @@ class BatchSimulation:
                 )
             self._indices = compiled.encode_configuration(configuration)
 
-        self.scheduler = UniformPairScheduler(n, rng=self.rng)
+        if scheduler is not None and scheduler.n != n:
+            raise ValueError(
+                f"scheduler is for population size {scheduler.n}, protocol has {n}"
+            )
+        self.scheduler: PairScheduler = (
+            scheduler if scheduler is not None else UniformPairScheduler(n, rng=self.rng)
+        )
         self.interactions = 0
+        #: The fault campaign of the last ``run(config)`` with a FaultPlan
+        #: (checkpoints and digests; see :mod:`repro.adversary.campaign`).
+        self.campaign = None
         self._max_window = int(max_window)
         self._window_ema = 512.0
         self._active_fraction = 1.0
@@ -278,6 +288,10 @@ class BatchSimulation:
             window = int(
                 min(max(64.0, scale * self._window_ema), self._max_window, remaining)
             )
+            # Sparse windows discard drawn-but-unapplied tails, so
+            # time-inhomogeneous schedulers (epoch partition) re-align their
+            # phase clock with the applied count before every draw.
+            self.scheduler.sync(self.interactions)
             initiators, responders = self.scheduler.pair_batch(window)
             if dense:
                 applied = self._consume_dense(initiators, responders, window)
@@ -292,12 +306,41 @@ class BatchSimulation:
 
         ``RunConfig`` validates ``stop`` against ``STOPS``, and every stop in
         that catalogue has a ``run_until_<stop>`` method on both engines.
+
+        Scheduler specs and fault plans are honoured exactly like on the
+        loop engine (see :meth:`Simulation._run_plan`): faults fire at their
+        pinned interaction counts, operating directly on the state-index
+        array via :meth:`apply_fault`, the stop condition is evaluated only
+        after the final event, and ``max_interactions`` is one absolute cap
+        -- events scheduled beyond it never fire.
         """
+        if config.scheduler is not None:
+            self.scheduler = config.scheduler.build(self.protocol.n, rng=self.rng)
         stopper = getattr(self, f"run_until_{config.stop}")
-        return stopper(
+        if config.faults is None or not config.faults.events:
+            return stopper(
+                max_interactions=config.max_interactions,
+                check_interval=config.check_interval,
+            )
+        from repro.adversary.campaign import FaultCampaign
+
+        n = self.protocol.n
+        cap = config.max_interactions
+        if cap is None:
+            cap = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
+        campaign = FaultCampaign(config.faults, self.rng)
+        self.campaign = campaign
+        for index, event in enumerate(config.faults.events):
+            if event.at > cap:
+                break  # the cap truncates the fault timeline
+            if self.interactions < event.at:
+                self.run(event.at - self.interactions)
+            campaign.apply_to_batch(index, self)
+        result = stopper(
             max_interactions=config.max_interactions,
             check_interval=config.check_interval,
         )
+        return campaign.annotate(result)
 
     def _consume_dense(
         self, initiators: np.ndarray, responders: np.ndarray, window: int
@@ -455,6 +498,36 @@ class BatchSimulation:
         targets[0::2] = initiators
         targets[1::2] = responders
         self._apply_packed(targets, rows)
+
+    def apply_fault(self, agent_ids: np.ndarray, state_indices: np.ndarray) -> None:
+        """Overwrite the states of ``agent_ids`` with ``state_indices``.
+
+        The fault path of :class:`~repro.adversary.campaign.FaultCampaign`:
+        replacement states arrive already encoded, are scattered straight
+        into the index array, and the cached state-count vector is updated
+        incrementally from the old/new index histograms -- ``O(burst size)``
+        work, never an ``O(n)`` decode, so million-agent campaigns stay
+        cheap.  ``agent_ids`` must be duplicate-free (a duplicate would make
+        the incremental count update wrong, so it is rejected).
+        """
+        agent_ids = np.asarray(agent_ids, dtype=np.int64)
+        state_indices = np.asarray(state_indices, dtype=np.int32)
+        if agent_ids.shape != state_indices.shape or agent_ids.ndim != 1:
+            raise ValueError("agent_ids and state_indices must be 1-D and equal length")
+        if len(agent_ids) == 0:
+            return
+        n = self.protocol.n
+        if int(agent_ids.min()) < 0 or int(agent_ids.max()) >= n:
+            raise ValueError(f"agent_ids out of range for population size {n}")
+        if len(np.unique(agent_ids)) != len(agent_ids):
+            raise ValueError("agent_ids contains duplicates")
+        num_states = self.compiled.num_states
+        if int(state_indices.min()) < 0 or int(state_indices.max()) >= num_states:
+            raise ValueError("state indices out of range for the compiled state space")
+        if self._counts is not None:
+            self._counts -= np.bincount(self._indices[agent_ids], minlength=num_states)
+            self._counts += np.bincount(state_indices, minlength=num_states)
+        self._indices[agent_ids] = state_indices
 
     def _apply_scalar(self, initiator: int, responder: int) -> None:
         """Apply one interaction to the index array (reads current states)."""

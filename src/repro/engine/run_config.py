@@ -58,6 +58,17 @@ class RunConfig:
     jobs:
         Worker processes for multi-trial runs.  Results are bit-identical
         for every value -- parallelism redistributes work, never randomness.
+    faults:
+        Optional :class:`~repro.adversary.plan.FaultPlan` both engines
+        execute mid-run (timed corrupt / reset / reseed bursts).  The stop
+        condition is evaluated only after the final event, so the result
+        measures recovery from the last burst; campaign provenance lands in
+        ``SimulationResult.extra`` (see :mod:`repro.adversary.campaign`).
+    scheduler:
+        Optional :class:`~repro.adversary.schedulers.SchedulerSpec`
+        selecting the pair scheduler (``None`` = the paper's uniform one).
+        ``run(config)`` builds it with the engine's generator, replacing the
+        engine's default scheduler for the plan execution.
     """
 
     engine: str = "loop"
@@ -66,8 +77,26 @@ class RunConfig:
     max_interactions: Optional[int] = None
     check_interval: Optional[int] = None
     jobs: int = 1
+    faults: Optional[object] = None
+    scheduler: Optional[object] = None
 
     def __post_init__(self) -> None:
+        # Imported lazily: the adversary package sits above the engine in the
+        # layering, so the types cannot be imported at module scope.
+        if self.faults is not None:
+            from repro.adversary.plan import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+                )
+        if self.scheduler is not None:
+            from repro.adversary.schedulers import SchedulerSpec
+
+            if not isinstance(self.scheduler, SchedulerSpec):
+                raise TypeError(
+                    f"scheduler must be a SchedulerSpec, got {type(self.scheduler).__name__}"
+                )
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}, expected one of {ENGINES}"
@@ -103,6 +132,8 @@ class RunConfig:
             "max_interactions": self.max_interactions,
             "check_interval": self.check_interval,
             "jobs": self.jobs,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "scheduler": self.scheduler.to_dict() if self.scheduler is not None else None,
         }
 
     @classmethod
@@ -112,6 +143,15 @@ class RunConfig:
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown RunConfig fields: {sorted(unknown)}")
+        payload = dict(payload)
+        if isinstance(payload.get("faults"), dict):
+            from repro.adversary.plan import FaultPlan
+
+            payload["faults"] = FaultPlan.from_dict(payload["faults"])
+        if isinstance(payload.get("scheduler"), dict):
+            from repro.adversary.schedulers import SchedulerSpec
+
+            payload["scheduler"] = SchedulerSpec.from_dict(payload["scheduler"])
         return cls(**payload)
 
 

@@ -1,36 +1,73 @@
-"""The uniformly random ordered-pair scheduler.
+"""Pair schedulers: who interacts with whom.
 
-At each step the scheduler picks an ordered pair of distinct agents uniformly
-at random from the ``n * (n - 1)`` possibilities; the first agent is the
-*initiator*, the second the *responder*.
+At each step a scheduler picks an ordered pair of distinct agents; the first
+agent is the *initiator*, the second the *responder*.  The paper's model uses
+the uniformly random scheduler (:class:`UniformPairScheduler`); the adversary
+subsystem plugs in non-uniform ones (:mod:`repro.adversary.schedulers`) to
+stress protocols under biased and temporarily partitioned interaction
+patterns.
+
+The scheduler contract
+----------------------
+:class:`PairScheduler` is the abstract contract both engines program against:
+
+* :meth:`~PairScheduler.pair_batch` returns ``count`` pairs as two NumPy
+  arrays -- the entry point of the compiled batch engine
+  (:mod:`repro.engine.batch_simulation`), which draws whole windows at once.
+* :meth:`~PairScheduler.next_pair` serves single pairs to the pure-Python
+  loop engine; the base class buffers a ``pair_batch`` internally so the loop
+  stays fast.
+* :meth:`~PairScheduler.sync` tells the scheduler how many interactions have
+  actually been *applied*.  Time-homogeneous schedulers ignore it; the
+  epoch-partition scheduler needs it because the batch engine discards the
+  tail of a drawn window after a conflict, which would otherwise desync the
+  scheduler's notion of time from the interaction count.
 
 Distinct-pair sampling trick
 ----------------------------
 A rejection loop ("redraw while ``i == j``") would make batch sizes random;
-instead the scheduler samples the responder from ``{0, ..., n-2}`` and shifts
-values ``>= initiator`` up by one.  The shift is a bijection between
-``{0, ..., n-2}`` and ``{0, ..., n-1} \\ {initiator}``, so the responder is
-uniform over the ``n - 1`` agents distinct from the initiator and the ordered
-pair is uniform over all ``n * (n - 1)`` possibilities -- with exactly two
-fixed-size NumPy draws per batch.
-
-Pairs are drawn in batches both to keep the pure-Python interaction loop fast
-(:meth:`UniformPairScheduler.next_pair` refills an internal buffer) and to
-feed the compiled batch engine whole windows at once
-(:meth:`UniformPairScheduler.pair_batch`).
+instead the uniform scheduler samples the responder from ``{0, ..., n-2}``
+and shifts values ``>= initiator`` up by one.  The shift is a bijection
+between ``{0, ..., n-2}`` and ``{0, ..., n-1} \\ {initiator}``, so the
+responder is uniform over the ``n - 1`` agents distinct from the initiator
+and the ordered pair is uniform over all ``n * (n - 1)`` possibilities --
+with exactly two fixed-size NumPy draws per batch.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+import abc
+from typing import Iterator, Tuple
 
 import numpy as np
 
 from repro.engine.rng import RngLike, make_rng
 
 
-class UniformPairScheduler:
-    """Batched generator of uniformly random ordered agent pairs."""
+def draw_uniform_pairs(
+    rng: np.random.Generator, n: int, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` uniform ordered pairs of distinct agents (shift trick).
+
+    The single home of the distinct-pair bijection described above; the
+    uniform scheduler and the merged phase of the epoch-partition scheduler
+    both sample through it.
+    """
+    initiators = rng.integers(0, n, size=count)
+    # Sample responders from {0, ..., n-2} and shift values >= initiator by
+    # one, which yields a uniform responder distinct from the initiator.
+    responders = rng.integers(0, n - 1, size=count)
+    responders = responders + (responders >= initiators)
+    return initiators, responders
+
+
+class PairScheduler(abc.ABC):
+    """Abstract batched generator of ordered agent pairs.
+
+    Subclasses implement :meth:`pair_batch`; the base class provides the
+    buffered single-pair view (:meth:`next_pair`) on top of it, so the loop
+    engine and the batch engine consume one implementation.
+    """
 
     def __init__(self, n: int, rng: RngLike = None, batch_size: int = 4096):
         if n < 2:
@@ -54,21 +91,40 @@ class UniformPairScheduler:
         """Underlying random generator (shared with transition randomness)."""
         return self._rng
 
-    def _refill(self) -> None:
-        size = self._batch_size
-        initiators = self._rng.integers(0, self._n, size=size)
-        # Sample responders from {0, ..., n-2} and shift values >= initiator by
-        # one, which yields a uniform responder distinct from the initiator.
-        responders = self._rng.integers(0, self._n - 1, size=size)
-        responders = responders + (responders >= initiators)
-        self._initiators = initiators
-        self._responders = responders
-        self._cursor = 0
+    @property
+    def ordered_pair_count(self) -> int:
+        """Number of possible ordered distinct pairs, ``n * (n - 1)``."""
+        return self._n * (self._n - 1)
+
+    @abc.abstractmethod
+    def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``count`` pairs as two NumPy arrays (initiators, responders).
+
+        This is the entry point used by the compiled batch engine, which
+        draws a whole window of pairs and applies them vectorized.  The
+        returned arrays may be views into scheduler-internal buffers; callers
+        must treat them as read-only and consume them before the next call.
+        """
+
+    def sync(self, interactions: int) -> None:
+        """Inform the scheduler of the number of interactions applied so far.
+
+        The batch engine may draw more pairs than it applies (it discards a
+        window's tail after an ordering conflict); it calls ``sync`` before
+        every draw so time-*in*homogeneous schedulers can align their phase
+        with the true interaction count.  Time-homogeneous schedulers -- the
+        uniform and biased ones -- ignore it (the default).
+
+        The loop engine never calls ``sync``: it applies every pair it is
+        served, so a scheduler's own issued-pair counter already equals the
+        interaction count there.
+        """
 
     def next_pair(self) -> Tuple[int, int]:
-        """Return the next (initiator, responder) pair."""
+        """Return the next (initiator, responder) pair (buffered)."""
         if self._cursor >= len(self._initiators):
-            self._refill()
+            self._initiators, self._responders = self.pair_batch(self._batch_size)
+            self._cursor = 0
         i = int(self._initiators[self._cursor])
         j = int(self._responders[self._cursor])
         self._cursor += 1
@@ -79,22 +135,12 @@ class UniformPairScheduler:
         for _ in range(count):
             yield self.next_pair()
 
-    @property
-    def ordered_pair_count(self) -> int:
-        """Number of possible ordered distinct pairs, ``n * (n - 1)``."""
-        return self._n * (self._n - 1)
+
+class UniformPairScheduler(PairScheduler):
+    """The paper's scheduler: uniformly random ordered pairs of distinct agents."""
 
     def pair_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``count`` pairs as two NumPy arrays (initiators, responders).
-
-        Bypasses the internal buffer; this is the entry point used by the
-        compiled batch engine (:mod:`repro.engine.batch_simulation`), which
-        draws a whole window of pairs and applies them vectorized.
-        """
-        initiators = self._rng.integers(0, self._n, size=count)
-        responders = self._rng.integers(0, self._n - 1, size=count)
-        responders = responders + (responders >= initiators)
-        return initiators, responders
+        return draw_uniform_pairs(self._rng, self._n, count)
 
 
 def ordered_pair_index(
@@ -114,4 +160,9 @@ def ordered_pair_index(
     return initiators * (n - 1) + responders - (responders > initiators)
 
 
-__all__ = ["UniformPairScheduler", "ordered_pair_index"]
+__all__ = [
+    "PairScheduler",
+    "UniformPairScheduler",
+    "draw_uniform_pairs",
+    "ordered_pair_index",
+]

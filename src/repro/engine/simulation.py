@@ -24,7 +24,7 @@ from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import RngLike, make_rng, spawn_rngs
 from repro.engine.run_config import RunConfig
-from repro.engine.scheduler import UniformPairScheduler
+from repro.engine.scheduler import PairScheduler, UniformPairScheduler
 
 #: Default cap on interactions, expressed as a multiple of ``n ** 3``: the
 #: quadratic-*parallel-time* baseline protocol (``Silent-n-state-SSR``,
@@ -47,6 +47,7 @@ class Simulation:
         rng: RngLike = None,
         hooks: Optional[Sequence[InteractionHook]] = None,
         scheduler_batch_size: int = 4096,
+        scheduler: Optional[PairScheduler] = None,
     ):
         self.protocol = protocol
         self.rng = make_rng(rng)
@@ -57,11 +58,20 @@ class Simulation:
             raise ValueError(
                 f"configuration has {len(self.configuration)} agents but protocol expects {protocol.n}"
             )
-        self.scheduler = UniformPairScheduler(
-            protocol.n, rng=self.rng, batch_size=scheduler_batch_size
+        if scheduler is not None and scheduler.n != protocol.n:
+            raise ValueError(
+                f"scheduler is for population size {scheduler.n}, protocol has {protocol.n}"
+            )
+        self.scheduler: PairScheduler = (
+            scheduler
+            if scheduler is not None
+            else UniformPairScheduler(protocol.n, rng=self.rng, batch_size=scheduler_batch_size)
         )
         self.hooks: List[InteractionHook] = list(hooks) if hooks else []
         self.interactions = 0
+        #: The fault campaign of the last ``run(config)`` with a FaultPlan
+        #: (checkpoints and digests; see :mod:`repro.adversary.campaign`).
+        self.campaign = None
 
     # -- basic stepping -----------------------------------------------------------
 
@@ -120,12 +130,44 @@ class Simulation:
 
         ``RunConfig`` validates ``stop`` against ``STOPS``, and every stop in
         that catalogue has a ``run_until_<stop>`` method on both engines.
+
+        A ``config.scheduler`` spec replaces the engine's scheduler for the
+        plan (built with the engine's generator); a ``config.faults`` plan is
+        executed mid-run: the engine advances to each event's interaction
+        count, applies it, and evaluates the stop condition only after the
+        final event -- so the result measures recovery from the last burst.
+        ``config.max_interactions`` stays an *absolute* cap, shared by the
+        fault timeline and the recovery phase: events scheduled beyond the
+        cap never fire (the run stops at the cap, and the result's
+        ``last_fault_at`` records the last event that actually applied).
         """
+        if config.scheduler is not None:
+            self.scheduler = config.scheduler.build(self.protocol.n, rng=self.rng)
         stopper = getattr(self, f"run_until_{config.stop}")
-        return stopper(
+        if config.faults is None or not config.faults.events:
+            return stopper(
+                max_interactions=config.max_interactions,
+                check_interval=config.check_interval,
+            )
+        from repro.adversary.campaign import FaultCampaign
+
+        n = self.protocol.n
+        cap = config.max_interactions
+        if cap is None:
+            cap = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
+        campaign = FaultCampaign(config.faults, self.rng)
+        self.campaign = campaign
+        for index, event in enumerate(config.faults.events):
+            if event.at > cap:
+                break  # the cap truncates the fault timeline
+            if self.interactions < event.at:
+                self.run(event.at - self.interactions)
+            campaign.apply_to_configuration(index, self.protocol, self.configuration)
+        result = stopper(
             max_interactions=config.max_interactions,
             check_interval=config.check_interval,
         )
+        return campaign.annotate(result)
 
     def run_until(
         self,

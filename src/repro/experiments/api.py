@@ -141,6 +141,10 @@ def experiment_runner(
                 engine=config.engine,
                 stop=config.stop,
                 jobs=config.jobs,
+                faults=config.faults.to_dict() if config.faults is not None else None,
+                scheduler=(
+                    config.scheduler.to_dict() if config.scheduler is not None else None
+                ),
                 wall_time=wall_time,
             )
 

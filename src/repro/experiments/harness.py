@@ -178,6 +178,10 @@ class ExperimentSpec:
                 engine=config.engine,
                 stop=config.stop,
                 jobs=config.jobs,
+                faults=config.faults.to_dict() if config.faults is not None else None,
+                scheduler=(
+                    config.scheduler.to_dict() if config.scheduler is not None else None
+                ),
                 wall_time=time.perf_counter() - started,
             )
         outcome.identifier = outcome.identifier or self.identifier

@@ -44,6 +44,10 @@ from repro.experiments.optimal_silent_experiments import (
 from repro.experiments.result import ExperimentResult
 from repro.experiments.silent_n_state_experiments import run_silent_n_state_scaling
 from repro.experiments.state_space_experiments import run_state_space
+from repro.experiments.stress_experiments import (
+    run_recovery_burst,
+    run_recovery_scheduler,
+)
 from repro.experiments.sublinear_experiments import (
     run_safety,
     run_sublinear_scaling,
@@ -269,6 +273,39 @@ _register(
 )
 
 
+_register(
+    ExperimentSpec(
+        identifier="recovery_burst",
+        title="Stress: recovery time vs transient-fault burst size",
+        paper_reference="Section 1 (self-stabilization)",
+        runner=run_recovery_burst,
+        description=(
+            "Timed corrupt bursts mid-run; parallel time from the last burst "
+            "to re-stabilization, per burst size (see 'repro stress')."
+        ),
+        quick_params={"n": 12, "burst_sizes": (2, 6, 12), "trials": 4},
+        full_params={"n": 24, "burst_sizes": (2, 6, 12, 24), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="recovery_scheduler",
+        title="Stress: recovery time under adversarial schedulers",
+        paper_reference="Section 1 (fair schedulers)",
+        runner=run_recovery_scheduler,
+        description=(
+            "The same fault campaign under uniform, weight-biased, and "
+            "epoch-partition scheduling (see 'repro stress')."
+        ),
+        quick_params={"n": 12, "burst_size": 6, "trials": 4},
+        full_params={"n": 24, "burst_size": 12, "trials": 10},
+    )
+)
+
+#: Registry identifiers the ``repro stress`` subcommand fronts.
+STRESS_EXPERIMENTS = ("recovery_burst", "recovery_scheduler")
+
+
 def list_experiments() -> List[str]:
     """Identifiers of all registered experiments (sorted)."""
     return sorted(EXPERIMENTS)
@@ -304,4 +341,10 @@ def run_experiment(
     )
 
 
-__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "STRESS_EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -78,6 +78,8 @@ class ExperimentResult:
     engine: str = "loop"
     stop: str = "stabilized"
     jobs: int = 1
+    faults: Optional[Dict[str, Any]] = None
+    scheduler: Optional[Dict[str, Any]] = None
     wall_time: float = 0.0
     version: str = __version__
 
@@ -104,6 +106,11 @@ class ExperimentResult:
         ``engine``/``jobs``/``stop`` record the *requested* ``RunConfig`` --
         runners that have no engine choice (closed-form process simulators)
         honour only the seed, and say so in their module docstrings.
+        ``faults``/``scheduler`` hold the serialized
+        :class:`~repro.adversary.plan.FaultPlan` /
+        :class:`~repro.adversary.schedulers.SchedulerSpec` of the run's
+        config (``None`` when the run was not adversarial); stress runners
+        that build per-row plans additionally echo them in their rows.
         """
         return {
             "identifier": self.identifier,
@@ -114,6 +121,8 @@ class ExperimentResult:
             "engine": self.engine,
             "stop": self.stop,
             "jobs": self.jobs,
+            "faults": self.faults,
+            "scheduler": self.scheduler,
             "wall_time": self.wall_time,
             "version": self.version,
         }
@@ -145,6 +154,8 @@ class ExperimentResult:
             engine=provenance.get("engine", "loop"),
             stop=provenance.get("stop", "stabilized"),
             jobs=provenance.get("jobs", 1),
+            faults=provenance.get("faults"),
+            scheduler=provenance.get("scheduler"),
             wall_time=provenance.get("wall_time", 0.0),
             version=provenance.get("version", __version__),
         )

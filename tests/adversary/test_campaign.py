@@ -1,0 +1,274 @@
+"""Tests for mid-run fault campaigns on both engines.
+
+The determinism contract under test: a campaign's victim/state draws come
+from the engine generator's *seed sequence* (not its stream), so the same
+seed produces bit-identical injections on the loop engine, the compiled
+engine, and any ``jobs`` layout -- even though the engines' trajectories
+between events only agree statistically.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.adversary.campaign import (
+    FAULT_DIGEST_KEY,
+    FAULT_EVENTS_KEY,
+    FaultCampaign,
+    LAST_FAULT_AT_KEY,
+)
+from repro.adversary.plan import FaultEvent, FaultPlan
+from repro.adversary.schedulers import BiasedPairScheduler, SchedulerSpec
+from repro.core.optimal_silent import OptimalSilentSSR
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import ProtocolCompiler
+from repro.engine.run_config import RunConfig
+from repro.engine.simulation import Simulation
+from repro.experiments.harness import run_trials
+
+
+def make_small_optimal_silent(n: int = 6) -> OptimalSilentSSR:
+    """Compile-friendly instance (same constants as the equivalence matrix)."""
+    return OptimalSilentSSR(n, rmax_multiplier=1.0, dmax_factor=2.0, emax_factor=3.0)
+
+
+@pytest.fixture(scope="module")
+def optimal_silent_compiled():
+    """One shared compiled table for every batch-engine test in this module."""
+    return ProtocolCompiler().compile(make_small_optimal_silent())
+
+
+def _run_loop(plan, seed, protocol_factory=make_small_optimal_silent, **config_kwargs):
+    simulation = Simulation(protocol_factory(), rng=np.random.default_rng(seed))
+    result = simulation.run(RunConfig(engine="loop", faults=plan, **config_kwargs))
+    return simulation, result
+
+
+def _run_batch(plan, seed, compiled, **config_kwargs):
+    simulation = BatchSimulation(
+        make_small_optimal_silent(), rng=np.random.default_rng(seed), compiled=compiled
+    )
+    result = simulation.run(RunConfig(engine="compiled", faults=plan, **config_kwargs))
+    return simulation, result
+
+
+class TestCrossEngineEquivalence:
+    def test_two_reseed_bursts_give_identical_checkpoint_state_counts(
+        self, optimal_silent_compiled
+    ):
+        # The acceptance scenario: >= 2 timed bursts on Optimal-Silent-SSR,
+        # same seed, both engines -> identical state counts at every
+        # checkpoint (reseed redraws the full configuration, so the
+        # checkpoint is adversary-determined and engine-independent).
+        plan = FaultPlan.reseeds([30, 120])
+        loop_sim, loop_result = _run_loop(plan, seed=7)
+        batch_sim, batch_result = _run_batch(plan, seed=7, compiled=optimal_silent_compiled)
+        assert len(loop_sim.campaign.checkpoints) == 2
+        for loop_cp, batch_cp in zip(
+            loop_sim.campaign.checkpoints, batch_sim.campaign.checkpoints
+        ):
+            assert loop_cp.signature_counts == batch_cp.signature_counts
+            assert loop_cp.victims == batch_cp.victims
+            assert loop_cp.digest == batch_cp.digest
+        assert (
+            loop_result.extra[FAULT_DIGEST_KEY] == batch_result.extra[FAULT_DIGEST_KEY]
+        )
+        assert loop_result.stopped and batch_result.stopped
+
+    def test_corrupt_all_bursts_give_identical_checkpoints(self, optimal_silent_compiled):
+        n = 6
+        plan = FaultPlan.bursts([(20, n), (90, n)])
+        loop_sim, _ = _run_loop(plan, seed=11)
+        batch_sim, _ = _run_batch(plan, seed=11, compiled=optimal_silent_compiled)
+        for loop_cp, batch_cp in zip(
+            loop_sim.campaign.checkpoints, batch_sim.campaign.checkpoints
+        ):
+            assert loop_cp.signature_counts == batch_cp.signature_counts
+
+    def test_partial_bursts_inject_identical_victims_and_states(
+        self, optimal_silent_compiled
+    ):
+        # With count < n the surviving agents differ between engines (their
+        # trajectories only agree statistically), but the injected faults
+        # themselves must be bit-identical.
+        plan = FaultPlan.bursts([(15, 3), (60, 4)])
+        loop_sim, _ = _run_loop(plan, seed=13)
+        batch_sim, _ = _run_batch(plan, seed=13, compiled=optimal_silent_compiled)
+        for loop_cp, batch_cp in zip(
+            loop_sim.campaign.checkpoints, batch_sim.campaign.checkpoints
+        ):
+            assert loop_cp.victims == batch_cp.victims
+            assert loop_cp.injected_signatures == batch_cp.injected_signatures
+
+    def test_campaign_digest_is_reproducible(self):
+        plan = FaultPlan.reseeds([10, 40])
+        _, first = _run_loop(plan, seed=3)
+        _, second = _run_loop(plan, seed=3)
+        assert first.extra[FAULT_DIGEST_KEY] == second.extra[FAULT_DIGEST_KEY]
+        _, other_seed = _run_loop(plan, seed=4)
+        assert first.extra[FAULT_DIGEST_KEY] != other_seed.extra[FAULT_DIGEST_KEY]
+
+
+class TestCampaignExecution:
+    def test_recovery_after_bursts(self):
+        protocol = SilentNStateSSR(8)
+        simulation = Simulation(protocol, rng=np.random.default_rng(0))
+        plan = FaultPlan.bursts([(50, 4), (200, 8)])
+        result = simulation.run(RunConfig(faults=plan, stop="stabilized"))
+        assert result.stopped
+        assert result.interactions > plan.last_fault_at
+        assert protocol.is_correct(simulation.configuration)
+
+    def test_result_extra_records_campaign_provenance(self):
+        plan = FaultPlan.bursts([(25, 2), (75, 3)])
+        _, result = _run_loop(plan, seed=1)
+        assert result.extra[FAULT_EVENTS_KEY] == 2.0
+        assert result.extra[LAST_FAULT_AT_KEY] == 75.0
+        assert FAULT_DIGEST_KEY in result.extra
+
+    def test_events_fire_at_their_interaction_counts(self):
+        plan = FaultPlan.bursts([(40, 2), (90, 2)])
+        simulation, _ = _run_loop(plan, seed=2)
+        assert [checkpoint.at for checkpoint in simulation.campaign.checkpoints] == [40, 90]
+
+    def test_empty_plan_behaves_like_no_faults(self):
+        protocol = SilentNStateSSR(8)
+        with_plan = Simulation(protocol, rng=np.random.default_rng(5))
+        result = with_plan.run(RunConfig(faults=FaultPlan(), stop="stabilized"))
+        baseline = Simulation(SilentNStateSSR(8), rng=np.random.default_rng(5))
+        expected = baseline.run(RunConfig(stop="stabilized"))
+        assert result.interactions == expected.interactions
+        assert with_plan.campaign is None
+
+    def test_reset_event_restores_clean_states(self):
+        protocol = SilentNStateSSR(8)
+        simulation = Simulation(protocol, rng=np.random.default_rng(6))
+        plan = FaultPlan((FaultEvent(at=0, kind="reset", agent_ids=(1, 4)),))
+        simulation.run(RunConfig(faults=plan, stop="stabilized"))
+        checkpoint = simulation.campaign.checkpoints[0]
+        probe_rng = np.random.default_rng(0)
+        expected = [
+            protocol.initial_state(victim, probe_rng).signature() for victim in (1, 4)
+        ]
+        assert checkpoint.victims == [1, 4]
+        assert checkpoint.injected_signatures == expected
+
+
+class TestEdgeCases:
+    def test_zero_count_event_is_a_recorded_no_op(self):
+        plan = FaultPlan((FaultEvent(at=10, kind="corrupt", count=0),))
+        simulation, result = _run_loop(plan, seed=0)
+        checkpoint = simulation.campaign.checkpoints[0]
+        assert checkpoint.victims == []
+        assert result.extra[FAULT_EVENTS_KEY] == 1.0
+
+    def test_full_population_burst(self, optimal_silent_compiled):
+        plan = FaultPlan.bursts([(5, 6)])
+        simulation, _ = _run_batch(plan, seed=9, compiled=optimal_silent_compiled)
+        assert sorted(simulation.campaign.checkpoints[0].victims) == list(range(6))
+
+    def test_interaction_cap_truncates_the_fault_timeline(self, optimal_silent_compiled):
+        # Regression: events scheduled beyond max_interactions must not drag
+        # the run past the cap -- the cap is absolute for the whole plan.
+        plan = FaultPlan.bursts([(50, 2), (50_000, 2)])
+        for run in (
+            lambda: _run_loop(plan, seed=0, max_interactions=100),
+            lambda: _run_batch(
+                plan, seed=0, compiled=optimal_silent_compiled, max_interactions=100
+            ),
+        ):
+            simulation, result = run()
+            assert result.interactions <= 100
+            # Only the first event fired, and recovery is measured from it.
+            assert len(simulation.campaign.checkpoints) == 1
+            assert result.extra[LAST_FAULT_AT_KEY] == 50.0
+
+    def test_count_exceeding_population_rejected(self):
+        plan = FaultPlan.bursts([(5, 7)])
+        with pytest.raises(ValueError, match="exceeds"):
+            _run_loop(plan, seed=0)
+
+    def test_out_of_range_agent_ids_rejected_on_both_engines(
+        self, optimal_silent_compiled
+    ):
+        plan = FaultPlan((FaultEvent(at=0, kind="corrupt", agent_ids=(2, 99)),))
+        with pytest.raises(ValueError, match="out of range"):
+            _run_loop(plan, seed=0)
+        with pytest.raises(ValueError, match="out of range"):
+            _run_batch(plan, seed=0, compiled=optimal_silent_compiled)
+
+    def test_batch_apply_fault_rejects_duplicates_and_bad_indices(
+        self, optimal_silent_compiled
+    ):
+        simulation = BatchSimulation(
+            make_small_optimal_silent(), rng=0, compiled=optimal_silent_compiled
+        )
+        with pytest.raises(ValueError, match="duplicates"):
+            simulation.apply_fault(np.array([1, 1]), np.array([0, 0], dtype=np.int32))
+        with pytest.raises(ValueError, match="state indices"):
+            simulation.apply_fault(np.array([1]), np.array([10**6], dtype=np.int32))
+
+    def test_batch_apply_fault_updates_counts_incrementally(
+        self, optimal_silent_compiled
+    ):
+        simulation = BatchSimulation(
+            make_small_optimal_silent(), rng=0, compiled=optimal_silent_compiled
+        )
+        before = simulation.state_counts.copy()  # materialize the cache
+        simulation.apply_fault(np.array([0, 3]), np.array([0, 1], dtype=np.int32))
+        counts = simulation.state_counts
+        recomputed = optimal_silent_compiled.state_counts(simulation.indices)
+        assert np.array_equal(counts, recomputed)
+        assert int(before.sum()) == int(counts.sum()) == 6
+
+
+class TestRunConfigIntegration:
+    def test_faults_field_type_checked(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            RunConfig(faults={"events": []})
+
+    def test_scheduler_field_type_checked(self):
+        with pytest.raises(TypeError, match="SchedulerSpec"):
+            RunConfig(scheduler="biased")
+
+    def test_scheduler_spec_installed_by_run(self):
+        spec = SchedulerSpec(kind="biased", hot_fraction=0.5, hot_weight=4.0)
+        simulation = Simulation(SilentNStateSSR(8), rng=0)
+        simulation.run(RunConfig(stop="stabilized", scheduler=spec))
+        assert isinstance(simulation.scheduler, BiasedPairScheduler)
+
+    def test_scheduler_spec_installed_on_batch_engine(self):
+        simulation = BatchSimulation(SilentNStateSSR(8), rng=0)
+        spec = SchedulerSpec(kind="epoch", blocks=2, split_time=1.0)
+        result = simulation.run(RunConfig(engine="compiled", stop="stabilized", scheduler=spec))
+        assert result.stopped
+        assert simulation.scheduler.split_interactions == 8
+
+    def test_run_config_dict_round_trip_with_adversary_fields(self):
+        config = RunConfig(
+            engine="compiled",
+            faults=FaultPlan.bursts([(10, 2)]),
+            scheduler=SchedulerSpec(kind="biased", hot_fraction=0.1, hot_weight=2.0),
+        )
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+
+class TestJobsInvariance:
+    def test_fault_stream_is_bit_identical_across_jobs(self):
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable")
+        plan = FaultPlan.bursts([(30, 3), (120, 5)])
+
+        def measure(jobs):
+            results = run_trials(
+                protocol_factory=lambda: SilentNStateSSR(8),
+                trials=4,
+                run=RunConfig(seed=42, stop="stabilized", faults=plan, jobs=jobs),
+            )
+            return [result.to_dict() for result in results]
+
+        assert measure(1) == measure(2)

@@ -44,6 +44,16 @@ class TestInjection:
         with pytest.raises(ValueError):
             inject_transient_faults(protocol, configuration, count=1, rng=0, agent_ids=[99])
 
+    def test_duplicate_explicit_victims_rejected(self):
+        # Regression: [3, 3] with count=2 used to pass validation but corrupt
+        # only one distinct agent, silently halving the burst.
+        protocol = SilentNStateSSR(8)
+        configuration = protocol.initial_configuration(make_rng(0))
+        with pytest.raises(ValueError, match="duplicates"):
+            inject_transient_faults(
+                protocol, configuration, count=2, rng=0, agent_ids=[3, 3]
+            )
+
 
 class TestRecoveryAfterFaults:
     def test_silent_n_state_recovers_after_faults(self):

@@ -1,0 +1,113 @@
+"""Tests for the declarative fault-plan records."""
+
+import pytest
+
+from repro.adversary.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(at=-1, count=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(at=0, kind="explode", count=1)
+
+    def test_corrupt_needs_count_or_agent_ids(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultEvent(at=0, kind="corrupt")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultEvent(at=0, kind="corrupt", count=2, agent_ids=(0, 1))
+
+    def test_reseed_takes_no_victim_selection(self):
+        with pytest.raises(ValueError, match="whole population"):
+            FaultEvent(at=0, kind="reseed", count=3)
+        with pytest.raises(ValueError, match="whole population"):
+            FaultEvent(at=0, kind="reseed", agent_ids=(0,))
+
+    def test_duplicate_agent_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            FaultEvent(at=0, kind="corrupt", agent_ids=(3, 3))
+
+    def test_negative_agent_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(at=0, kind="corrupt", agent_ids=(-1, 2))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(at=0, kind="corrupt", count=-2)
+
+    def test_zero_count_is_valid(self):
+        event = FaultEvent(at=5, kind="corrupt", count=0)
+        assert event.victim_count(8) == 0
+
+    def test_victim_counts(self):
+        assert FaultEvent(at=0, kind="reseed").victim_count(9) == 9
+        assert FaultEvent(at=0, kind="reset", agent_ids=(1, 4)).victim_count(9) == 2
+        assert FaultEvent(at=0, kind="corrupt", count=3).victim_count(9) == 3
+
+    def test_kind_catalogue(self):
+        assert set(FAULT_KINDS) == {"corrupt", "reset", "reseed"}
+
+
+class TestFaultPlanValidation:
+    def test_events_must_be_sorted_by_time(self):
+        with pytest.raises(ValueError, match="sorted"):
+            FaultPlan((FaultEvent(at=10, count=1), FaultEvent(at=5, count=1)))
+
+    def test_equal_times_are_allowed_in_listing_order(self):
+        plan = FaultPlan((FaultEvent(at=5, count=1), FaultEvent(at=5, count=2)))
+        assert len(plan) == 2
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError, match="FaultEvent"):
+            FaultPlan(({"at": 3},))
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.last_fault_at == 0
+        assert plan.describe() == "no faults"
+
+    def test_last_fault_at(self):
+        plan = FaultPlan.bursts([(10, 2), (70, 3)])
+        assert plan.last_fault_at == 70
+
+    def test_bursts_helper(self):
+        plan = FaultPlan.bursts([(10, 2), (70, 3)], kind="reset")
+        assert [event.kind for event in plan.events] == ["reset", "reset"]
+        assert [event.count for event in plan.events] == [2, 3]
+
+    def test_reseeds_helper(self):
+        plan = FaultPlan.reseeds([4, 9])
+        assert [event.kind for event in plan.events] == ["reseed", "reseed"]
+        assert plan.last_fault_at == 9
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(at=3, kind="corrupt", count=2),
+                FaultEvent(at=8, kind="reset", agent_ids=(0, 5)),
+                FaultEvent(at=20, kind="reseed"),
+            )
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan"):
+            FaultPlan.from_dict({"events": [], "bogus": 1})
+        with pytest.raises(ValueError, match="unknown FaultEvent"):
+            FaultEvent.from_dict({"at": 0, "count": 1, "bogus": 1})
+
+    def test_describe_mentions_every_event(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(at=3, kind="corrupt", count=2),
+                FaultEvent(at=20, kind="reseed"),
+            )
+        )
+        text = plan.describe()
+        assert "corrupt 2@3" in text and "reseed@20" in text

@@ -1,0 +1,209 @@
+"""Tests for the adversarial pair schedulers and their declarative spec."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.schedulers import (
+    BiasedPairScheduler,
+    EpochPartitionScheduler,
+    SchedulerSpec,
+)
+from repro.engine.scheduler import PairScheduler, UniformPairScheduler
+
+
+class TestBiasedValidation:
+    def test_weight_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            BiasedPairScheduler(5, [1.0, 1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BiasedPairScheduler(3, [1.0, -1.0, 1.0])
+
+    def test_needs_two_positive_weights(self):
+        with pytest.raises(ValueError, match="two agents"):
+            BiasedPairScheduler(3, [5.0, 0.0, 0.0])
+
+
+class TestBiasedDistribution:
+    def test_pairs_distinct_and_in_range(self):
+        scheduler = BiasedPairScheduler(7, np.arange(1.0, 8.0), rng=0)
+        initiators, responders = scheduler.pair_batch(5000)
+        assert np.all(initiators != responders)
+        assert initiators.min() >= 0 and initiators.max() < 7
+
+    def test_zero_weight_agents_never_scheduled(self):
+        weights = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        scheduler = BiasedPairScheduler(5, weights, rng=1)
+        initiators, responders = scheduler.pair_batch(20000)
+        scheduled = set(initiators.tolist()) | set(responders.tolist())
+        assert scheduled == {0, 2, 4}
+
+    def test_initiator_marginal_tracks_weights(self):
+        n = 10
+        weights = np.ones(n)
+        weights[:2] = 4.0
+        scheduler = BiasedPairScheduler(n, weights, rng=2)
+        initiators, _ = scheduler.pair_batch(120000)
+        counts = np.bincount(initiators, minlength=n)
+        hot = counts[:2].mean()
+        cold = counts[2:].mean()
+        assert hot / cold == pytest.approx(4.0, rel=0.1)
+
+    def test_non_contiguous_weight_classes(self):
+        # Hot agents interleaved with cold ones: exercises the member-array
+        # fallback instead of the contiguous-range arithmetic.
+        n = 8
+        weights = np.ones(n)
+        weights[::2] = 3.0
+        scheduler = BiasedPairScheduler(n, weights, rng=3)
+        assert scheduler._bases is None and scheduler._members is not None
+        initiators, _ = scheduler.pair_batch(80000)
+        counts = np.bincount(initiators, minlength=n)
+        assert counts[::2].mean() / counts[1::2].mean() == pytest.approx(3.0, rel=0.15)
+
+    def test_contiguous_fast_path_detected(self):
+        weights = np.ones(8)
+        weights[:3] = 2.0
+        scheduler = BiasedPairScheduler(8, weights, rng=0)
+        assert scheduler._bases is not None
+
+    def test_next_pair_buffer_matches_contract(self):
+        scheduler = BiasedPairScheduler(6, np.arange(1.0, 7.0), rng=4, batch_size=8)
+        for i, j in scheduler.pairs(100):
+            assert 0 <= i < 6 and 0 <= j < 6 and i != j
+
+    def test_uniform_weights_recover_uniform_marginal(self):
+        scheduler = BiasedPairScheduler(6, np.ones(6), rng=5)
+        initiators, responders = scheduler.pair_batch(60000)
+        counts = np.bincount(initiators, minlength=6) + np.bincount(
+            responders, minlength=6
+        )
+        assert np.all(np.abs(counts - counts.mean()) < 0.05 * counts.mean())
+
+
+class TestEpochPartition:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="blocks"):
+            EpochPartitionScheduler(8, blocks=1, split_interactions=10)
+        with pytest.raises(ValueError, match="at least 2 agents"):
+            EpochPartitionScheduler(5, blocks=3, split_interactions=10)
+        with pytest.raises(ValueError, match="non-negative"):
+            EpochPartitionScheduler(8, blocks=2, split_interactions=-1)
+
+    def test_split_phase_keeps_pairs_within_blocks(self):
+        scheduler = EpochPartitionScheduler(10, blocks=2, split_interactions=5000, rng=0)
+        initiators, responders = scheduler.pair_batch(5000)
+        assert np.all(initiators != responders)
+        assert np.all((initiators < 5) == (responders < 5))
+
+    def test_merged_phase_crosses_blocks(self):
+        scheduler = EpochPartitionScheduler(10, blocks=2, split_interactions=100, rng=1)
+        scheduler.pair_batch(100)
+        initiators, responders = scheduler.pair_batch(4000)
+        crossing = np.mean((initiators < 5) != (responders < 5))
+        # Uniform over ordered distinct pairs crosses with probability 5/9.
+        assert crossing == pytest.approx(5 / 9, abs=0.05)
+
+    def test_straddling_batch_respects_the_boundary(self):
+        scheduler = EpochPartitionScheduler(10, blocks=2, split_interactions=50, rng=2)
+        initiators, responders = scheduler.pair_batch(2000)
+        head_i, head_j = initiators[:50], responders[:50]
+        assert np.all((head_i < 5) == (head_j < 5))
+        tail_crossing = np.mean((initiators[50:] < 5) != (responders[50:] < 5))
+        assert tail_crossing > 0.4
+
+    def test_sync_rewinds_the_phase_clock(self):
+        scheduler = EpochPartitionScheduler(10, blocks=2, split_interactions=100, rng=3)
+        scheduler.pair_batch(1000)  # position now far past the boundary
+        scheduler.sync(0)  # ...but only 0 interactions were applied
+        initiators, responders = scheduler.pair_batch(100)
+        assert np.all((initiators < 5) == (responders < 5))
+
+    def test_within_block_marginal_is_uniform(self):
+        scheduler = EpochPartitionScheduler(12, blocks=3, split_interactions=10**6, rng=4)
+        initiators, responders = scheduler.pair_batch(120000)
+        counts = np.bincount(initiators, minlength=12) + np.bincount(
+            responders, minlength=12
+        )
+        assert np.all(np.abs(counts - counts.mean()) < 0.05 * counts.mean())
+
+
+class TestSchedulerSpec:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown scheduler kind"):
+            SchedulerSpec(kind="chaotic")
+
+    def test_uniform_takes_no_parameters(self):
+        with pytest.raises(ValueError, match="does not take"):
+            SchedulerSpec(kind="uniform", blocks=2)
+
+    def test_biased_needs_exactly_one_weight_form(self):
+        with pytest.raises(ValueError, match="either weights"):
+            SchedulerSpec(kind="biased")
+        with pytest.raises(ValueError, match="either weights"):
+            SchedulerSpec(kind="biased", weights=(1.0, 2.0), hot_fraction=0.5, hot_weight=2.0)
+        with pytest.raises(ValueError, match="together"):
+            SchedulerSpec(kind="biased", hot_fraction=0.5)
+
+    def test_biased_parameter_ranges(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            SchedulerSpec(kind="biased", hot_fraction=1.5, hot_weight=2.0)
+        with pytest.raises(ValueError, match="hot_weight"):
+            SchedulerSpec(kind="biased", hot_fraction=0.5, hot_weight=0.0)
+
+    def test_epoch_parameter_ranges(self):
+        with pytest.raises(ValueError, match="blocks and split_time"):
+            SchedulerSpec(kind="epoch", blocks=2)
+        with pytest.raises(ValueError, match="split_time"):
+            SchedulerSpec(kind="epoch", blocks=2, split_time=0.0)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            SchedulerSpec(),
+            SchedulerSpec(kind="biased", weights=(1.0, 2.0, 3.0)),
+            SchedulerSpec(kind="biased", hot_fraction=0.25, hot_weight=8.0),
+            SchedulerSpec(kind="epoch", blocks=2, split_time=1.5),
+        ],
+    )
+    def test_round_trip(self, spec):
+        assert SchedulerSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown SchedulerSpec"):
+            SchedulerSpec.from_dict({"kind": "uniform", "bogus": 1})
+
+    def test_build_kinds(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(SchedulerSpec().build(6, rng), UniformPairScheduler)
+        biased = SchedulerSpec(kind="biased", hot_fraction=0.5, hot_weight=2.0).build(6, rng)
+        assert isinstance(biased, BiasedPairScheduler)
+        assert np.array_equal(biased.weights, [2.0, 2.0, 2.0, 1.0, 1.0, 1.0])
+        epoch = SchedulerSpec(kind="epoch", blocks=2, split_time=2.0).build(6, rng)
+        assert isinstance(epoch, EpochPartitionScheduler)
+        assert epoch.split_interactions == 12
+
+    def test_build_explicit_weights_checks_length(self):
+        spec = SchedulerSpec(kind="biased", weights=(1.0, 2.0))
+        with pytest.raises(ValueError, match="shape"):
+            spec.build(5)
+
+    def test_every_build_satisfies_the_scheduler_contract(self):
+        for spec in (
+            SchedulerSpec(),
+            SchedulerSpec(kind="biased", hot_fraction=0.3, hot_weight=4.0),
+            SchedulerSpec(kind="epoch", blocks=2, split_time=1.0),
+        ):
+            scheduler = spec.build(8, rng=np.random.default_rng(1))
+            assert isinstance(scheduler, PairScheduler)
+            initiators, responders = scheduler.pair_batch(64)
+            assert len(initiators) == len(responders) == 64
+            assert np.all(initiators != responders)
+
+    def test_describe(self):
+        assert SchedulerSpec().describe() == "uniform"
+        assert "hot" in SchedulerSpec(
+            kind="biased", hot_fraction=0.1, hot_weight=4.0
+        ).describe()
+        assert "blocks" in SchedulerSpec(kind="epoch", blocks=2, split_time=1.0).describe()

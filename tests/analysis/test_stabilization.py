@@ -1,0 +1,93 @@
+"""Tests for the stabilization-time (recovery) analysis."""
+
+import pytest
+
+from repro.adversary.plan import FaultPlan
+from repro.analysis.stabilization import (
+    measure_recovery,
+    recovered_fraction,
+    recovery_curve,
+    recovery_interactions,
+    recovery_parallel_time,
+    recovery_statistics,
+)
+from repro.core.silent_n_state import SilentNStateSSR
+from repro.engine.results import SimulationResult
+from repro.engine.run_config import RunConfig
+
+
+def _result(interactions, last_fault_at=None, stopped=True, n=10):
+    extra = {} if last_fault_at is None else {"last_fault_at": float(last_fault_at)}
+    return SimulationResult(
+        n=n, interactions=interactions, stopped=stopped, reason="stabilized", extra=extra
+    )
+
+
+class TestRecoveryQuantities:
+    def test_recovery_counts_from_the_last_fault(self):
+        assert recovery_interactions(_result(500, last_fault_at=200)) == 300
+        assert recovery_parallel_time(_result(500, last_fault_at=200)) == 30.0
+
+    def test_fault_free_runs_count_from_zero(self):
+        assert recovery_interactions(_result(500)) == 500
+
+    def test_never_negative(self):
+        # A cap hit before the last scheduled fault would leave
+        # interactions < last_fault_at; recovery clamps at zero.
+        assert recovery_interactions(_result(100, last_fault_at=200)) == 0
+
+    def test_recovered_fraction(self):
+        results = [_result(100), _result(100, stopped=False), _result(100)]
+        assert recovered_fraction(results) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            recovered_fraction([])
+
+    def test_statistics_include_censored_trials(self):
+        results = [
+            _result(400, last_fault_at=200),
+            _result(1000, last_fault_at=200, stopped=False),
+        ]
+        statistics = recovery_statistics("demo", results)
+        assert statistics.trials == 2
+        assert statistics.values == [20.0, 80.0]
+
+
+class TestRecoveryCurve:
+    def test_curve_reaches_the_recovered_fraction(self):
+        results = [
+            _result(300, last_fault_at=200),
+            _result(500, last_fault_at=200),
+            _result(900, last_fault_at=200, stopped=False),
+        ]
+        curve = recovery_curve(results, points=5)
+        assert curve[0]["time"] == 0.0
+        assert curve[-1]["fraction_recovered"] == pytest.approx(2 / 3)
+        fractions = [row["fraction_recovered"] for row in curve]
+        assert fractions == sorted(fractions)
+
+    def test_all_censored_gives_flat_zero_curve(self):
+        curve = recovery_curve([_result(900, stopped=False)], points=3)
+        assert all(row["fraction_recovered"] == 0.0 for row in curve)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recovery_curve([], points=4)
+        with pytest.raises(ValueError):
+            recovery_curve([_result(10)], points=1)
+
+
+class TestMeasureRecovery:
+    def test_time_to_correct_and_time_to_silence(self):
+        plan = FaultPlan.bursts([(40, 4)])
+        measurements = measure_recovery(
+            protocol_factory=lambda: SilentNStateSSR(8),
+            plan=plan,
+            trials=3,
+            run=RunConfig(seed=5),
+        )
+        assert set(measurements) == {"correct", "silent"}
+        for statistics in measurements.values():
+            assert statistics.trials == 3
+            assert all(value >= 0.0 for value in statistics.values)
+        # Silence implies correctness for this protocol, never the reverse.
+        assert measurements["silent"].mean >= measurements["correct"].mean

@@ -1,0 +1,92 @@
+"""Tests for the ``repro stress`` CLI subcommand.
+
+The acceptance contract: stress campaigns run through the normal experiment
+machinery, so ``--output`` artifacts round-trip through ``repro report``
+byte-for-byte like any other experiment, and ``--engine`` selects either
+engine.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import STRESS_EXPERIMENTS, get_experiment
+from repro.experiments.result import ExperimentResult
+
+#: The cheap stress run used by the CLI tests (single trial, tiny bursts).
+FAST_ARGS = ["--trials", "1", "--seed", "3"]
+
+
+class TestStressCommand:
+    def test_runs_every_stress_experiment_by_default(self, capsys):
+        code = main(["stress"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        for identifier in STRESS_EXPERIMENTS:
+            assert f"== {identifier}:" in output
+        assert "mean recovery time" in output
+
+    def test_single_experiment_selection(self, capsys):
+        code = main(["stress", "recovery_scheduler"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recovery_scheduler" in output
+        assert "recovery_burst" not in output
+        assert "biased" in output and "epoch" in output
+
+    def test_population_override(self, capsys):
+        code = main(["stress", "recovery_scheduler", "--n", "8"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "\n8 " in output  # the n column reflects the override
+
+    def test_population_override_below_default_burst_sizes(self, capsys):
+        # Regression: --n below the scale's largest default burst size used
+        # to crash recovery_burst; oversized bursts now clamp to n.
+        code = main(["stress", "--n", "8"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        for identifier in STRESS_EXPERIMENTS:
+            assert f"== {identifier}:" in output
+        # burst_sizes (2, 6, 12) collapse to (2, 6, 8) at n=8.
+        assert "12" not in [row.split()[1] for row in output.splitlines() if row.startswith("8 ")]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stress", "bogus"])
+
+    def test_stress_registry_entries_are_registered(self):
+        for identifier in STRESS_EXPERIMENTS:
+            spec = get_experiment(identifier)
+            assert spec.runner.experiment_identifier == identifier
+
+
+class TestStressArtifacts:
+    def test_artifacts_round_trip_through_report(self, capsys, tmp_path):
+        code = main(
+            ["stress", "recovery_burst", "--output", str(tmp_path)] + FAST_ARGS
+        )
+        assert code == 0
+        run_output = capsys.readouterr().out
+        table_block, separator, _ = run_output.partition("-- artifact:")
+        assert separator, "stress --output should announce the artifact path"
+
+        artifact = tmp_path / "recovery_burst.json"
+        result = ExperimentResult.load(artifact)
+        assert result.identifier == "recovery_burst"
+        assert result.seed == 3
+        assert result.rows
+
+        assert main(["report", str(tmp_path)]) == 0
+        report_output = capsys.readouterr().out
+        assert report_output == table_block
+
+    def test_artifact_resave_is_byte_identical(self, capsys, tmp_path):
+        assert (
+            main(["stress", "recovery_scheduler", "--output", str(tmp_path)] + FAST_ARGS)
+            == 0
+        )
+        capsys.readouterr()
+        artifact = tmp_path / "recovery_scheduler.json"
+        original = artifact.read_bytes()
+        ExperimentResult.load(artifact).save(artifact)
+        assert artifact.read_bytes() == original

@@ -47,6 +47,18 @@ TINY_PARAMS = {
     "history_tree_safety": {"n": 8, "depth": 1, "trials": 1, "horizon_factor": 5.0},
     "state_complexity": {"ns": (8,), "interactions_factor": 5},
     "synthetic_coin": {"ns": (12,), "bits_needed": 4},
+    "recovery_burst": {
+        "n": 8,
+        "burst_sizes": (2, 8),
+        "burst_times": (0.5,),
+        "trials": 1,
+    },
+    "recovery_scheduler": {
+        "n": 8,
+        "burst_size": 4,
+        "burst_times": (0.5,),
+        "trials": 1,
+    },
     "ablation_dormancy": {"n": 10, "dmax_factors": (4.0,), "trials": 1},
     "ablation_timer": {"n": 10, "timer_multipliers": (8.0,), "trials": 1},
     "ablation_sync_range": {"n": 10, "sync_values": (2,), "trials": 1},
