@@ -18,10 +18,22 @@ benchmarks that measure the harness itself).
 
 from __future__ import annotations
 
+import datetime
+import json
+import os
+import platform
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.engine.run_config import RunConfig
 from repro.experiments.result import ExperimentResult
+
+#: Repo root -- durable benchmark artifacts (``BENCH_<area>.json``) live here,
+#: committed alongside the code so CI gates compare against a recorded
+#: baseline instead of hardcoded constants.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def run_experiment_benchmark(
@@ -56,6 +68,99 @@ def run_experiment_benchmark(
     benchmark.extra_info["claim"] = claim
     benchmark.extra_info["rows"] = _stringify(compact)
     return rows
+
+
+# -- durable benchmark artifacts ---------------------------------------------------------
+
+
+def machine_info() -> Dict:
+    """The environment fingerprint stamped into every benchmark artifact."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "processor": platform.processor() or platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def bench_artifact_path(area: str) -> Path:
+    """Repo-root path of the committed baseline for ``area``."""
+    return REPO_ROOT / f"BENCH_{area}.json"
+
+
+def emit_bench_artifact(
+    area: str,
+    rows: List[Dict],
+    claim: str = "",
+    paper_reference: str = "",
+) -> Path:
+    """Write the durable ``BENCH_<area>.json`` baseline for ``area``.
+
+    The artifact records the machine fingerprint, the measured rows, and the
+    claim the numbers back, so a later run (possibly on different hardware)
+    can gate against *recorded* throughput rather than a magic constant.
+    """
+    path = bench_artifact_path(area)
+    payload = {
+        "area": area,
+        "recorded": datetime.date.today().isoformat(),
+        "machine": machine_info(),
+        "claim": claim,
+        "paper_reference": paper_reference,
+        "rows": _stringify(rows),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def maybe_emit_bench_artifact(area: str, rows: List[Dict], **kwargs) -> Optional[Path]:
+    """Refresh the committed baseline only when ``BENCH_WRITE=1`` is set.
+
+    Benchmark tests call this unconditionally; by default they *read* the
+    committed baseline and leave the working tree clean, and a maintainer
+    re-records with ``BENCH_WRITE=1 pytest benchmarks/... --benchmark-only``.
+    """
+    if os.environ.get("BENCH_WRITE") != "1":
+        return None
+    return emit_bench_artifact(area, rows, **kwargs)
+
+
+def load_bench_baseline(area: str) -> Optional[Dict]:
+    """The committed ``BENCH_<area>.json`` payload, or ``None`` if absent."""
+    path = bench_artifact_path(area)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def baseline_threshold(
+    area: str,
+    metric: str,
+    floor: float,
+    fraction: float = 0.5,
+    where: Optional[Dict] = None,
+) -> float:
+    """Gate threshold for ``metric``: the recorded baseline with headroom.
+
+    Returns ``max(floor, fraction * best recorded value)`` over the baseline
+    rows matching ``where`` -- so the gate tightens automatically when the
+    recorded baseline is far above the floor, yet ``fraction`` leaves room
+    for slower CI hardware.  Falls back to ``floor`` when no baseline (or no
+    matching row) is committed.
+    """
+    baseline = load_bench_baseline(area)
+    if baseline is None:
+        return float(floor)
+    values = [
+        float(row[metric])
+        for row in baseline.get("rows", [])
+        if row.get(metric) is not None
+        and (where is None or all(row.get(key) == value for key, value in where.items()))
+    ]
+    if not values:
+        return float(floor)
+    return max(float(floor), fraction * max(values))
 
 
 def _stringify(rows: List[Dict]) -> List[Dict]:

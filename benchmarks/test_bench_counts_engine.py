@@ -1,0 +1,153 @@
+"""Engine benchmark: counts-only windows vs. compiled per-agent batches.
+
+The counts engine's claim is structural: a window costs O(S^2) whatever the
+population size, so on a fixed-state-space protocol its throughput in
+interactions/second *grows* with ``n`` while the compiled engine's per-agent
+batches plateau.  Both engines run the two-way epidemic (Lemma 2.7) from the
+same one-infected start *to convergence* -- the ``~ n ln n`` interaction
+workload the experiments actually pay for -- at n in {10^4, 10^5, 10^6}; a
+final demo row converges the counts engine at n = 10^8, a population two
+orders of magnitude beyond what the per-agent engines reach.
+
+The acceptance gate asserts the counts engine is >= 50x faster than the
+compiled engine at n = 10^6, compared against the committed baseline in
+``BENCH_counts_engine.json`` (see ``baseline_threshold``; re-record with
+``BENCH_WRITE=1``).  Statistical equivalence of the engines is covered by
+``tests/engine/test_engine_equivalence.py``.
+"""
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from bench_utils import (
+    baseline_threshold,
+    maybe_emit_bench_artifact,
+    run_experiment_benchmark,
+)
+
+from repro.engine.batch_simulation import BatchSimulation
+from repro.engine.compiled import ProtocolCompiler
+from repro.engine.counts_simulation import CountsSimulation
+from repro.processes.epidemic import EpidemicState, TwoWayEpidemicProtocol
+
+NS = (10_000, 100_000, 1_000_000)
+DEMO_N = 100_000_000
+
+AREA = "counts_engine"
+CLAIM = "counts windows are population-size independent; >= 50x at n=10^6, n=10^8 converges in seconds"
+PAPER_REFERENCE = "engine (Lemma 2.7 workload)"
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _one_infected_indices(n: int, compiled) -> np.ndarray:
+    indices = np.full(n, compiled.encode_state(EpidemicState(False)), dtype=np.int32)
+    indices[0] = compiled.encode_state(EpidemicState(True))
+    return indices
+
+
+def _one_infected_counts(n: int, compiled) -> np.ndarray:
+    counts = np.zeros(compiled.num_states, dtype=np.int64)
+    counts[compiled.encode_state(EpidemicState(True))] = 1
+    counts[compiled.encode_state(EpidemicState(False))] = n - 1
+    return counts
+
+
+def _bench_case(n: int) -> Dict:
+    compiled = ProtocolCompiler().compile(TwoWayEpidemicProtocol(n))
+    batch = BatchSimulation(
+        TwoWayEpidemicProtocol(n),
+        indices=_one_infected_indices(n, compiled),
+        rng=0,
+        compiled=compiled,
+    )
+    compiled_seconds = _time(batch.run_until_correct)
+
+    counts = CountsSimulation(
+        TwoWayEpidemicProtocol(n),
+        counts=_one_infected_counts(n, compiled),
+        rng=0,
+        compiled=compiled,
+    )
+    counts_seconds = _time(counts.run_until_correct)
+
+    compiled_ips = batch.interactions / compiled_seconds
+    counts_ips = counts.interactions / counts_seconds
+    return {
+        "protocol": "two-way-epidemic",
+        "n": n,
+        "engine": "counts vs compiled",
+        "interactions": int(counts.interactions),
+        "compiled interactions/s": compiled_ips,
+        "counts interactions/s": counts_ips,
+        "wall (s)": counts_seconds,
+        "speedup": counts_ips / compiled_ips,
+    }
+
+
+def _demo_case(n: int) -> Dict:
+    """Convergence at n = 10^8: the run the per-agent engines cannot do."""
+    compiled = ProtocolCompiler().compile(TwoWayEpidemicProtocol(n))
+    simulation = CountsSimulation(
+        TwoWayEpidemicProtocol(n),
+        counts=_one_infected_counts(n, compiled),
+        rng=42,
+        compiled=compiled,
+    )
+    outcomes = {}
+    wall = _time(lambda: outcomes.update(result=simulation.run_until_correct()))
+    assert outcomes["result"].stopped, "n=1e8 epidemic failed to converge"
+    return {
+        "protocol": "two-way-epidemic",
+        "n": n,
+        "engine": "counts",
+        "interactions": int(simulation.interactions),
+        "compiled interactions/s": None,
+        "counts interactions/s": simulation.interactions / wall,
+        "wall (s)": wall,
+        "speedup": None,
+    }
+
+
+def run_counts_comparison(ns=NS, demo_n=DEMO_N) -> List[Dict]:
+    """Benchmark rows: budget-matched sweep plus the n = 10^8 convergence demo."""
+    rows = [_bench_case(n) for n in ns]
+    rows.append(_demo_case(demo_n))
+    return rows
+
+
+def test_counts_engine_speedup(benchmark):
+    """Counts engine >= the recorded baseline (floor 50x) at n = 10^6."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_counts_comparison,
+        paper_reference=PAPER_REFERENCE,
+        claim=CLAIM,
+        key_columns=(
+            "protocol",
+            "n",
+            "engine",
+            "interactions",
+            "compiled interactions/s",
+            "counts interactions/s",
+            "wall (s)",
+            "speedup",
+        ),
+    )
+    maybe_emit_bench_artifact(AREA, rows, claim=CLAIM, paper_reference=PAPER_REFERENCE)
+    gate = next(row for row in rows if row["n"] == 1_000_000)
+    threshold = baseline_threshold(AREA, "speedup", floor=50.0, where={"n": 1_000_000})
+    assert gate["speedup"] >= threshold, (
+        f"counts engine only {gate['speedup']:.1f}x faster than compiled at "
+        f"n=10^6 (gate: {threshold:.1f}x from the recorded baseline)"
+    )
+    demo = next(row for row in rows if row["n"] == DEMO_N)
+    assert demo["wall (s)"] < 10.0, (
+        f"n=10^8 convergence took {demo['wall (s)']:.1f}s, expected seconds"
+    )

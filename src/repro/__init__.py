@@ -39,6 +39,7 @@ from repro.engine import (
     CompilationError,
     CompiledProtocol,
     Configuration,
+    CountsSimulation,
     PopulationProtocol,
     ProtocolCompiler,
     RunConfig,
@@ -51,13 +52,14 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchSimulation",
     "CompilationError",
     "CompiledProtocol",
     "Configuration",
+    "CountsSimulation",
     "FaultEvent",
     "FaultPlan",
     "FratricideLeaderElection",

@@ -110,7 +110,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "execution engine for harness-backed experiments: 'loop' steps one "
             "interaction at a time; 'compiled' lowers the protocol to "
-            "transition tables (requires an enumerable state space)"
+            "transition tables (requires an enumerable state space); 'counts' "
+            "runs agent-free on a state-count vector (n-independent window "
+            "cost; epoch-partition scheduling unsupported)"
         ),
     )
     run_parser.add_argument(
@@ -230,7 +232,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "execution engine: 'loop' steps one interaction at a time; "
             "'compiled' lowers the protocol to transition tables and applies "
-            "whole scheduler batches (requires an enumerable state space)"
+            "whole scheduler batches (requires an enumerable state space); "
+            "'counts' advances a state-count vector in O(S^2) per window "
+            "(fixed-state-space protocols scale to n=1e8+)"
         ),
     )
     return parser

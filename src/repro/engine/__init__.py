@@ -28,16 +28,21 @@ Public surface
 * :class:`~repro.engine.batch_simulation.BatchSimulation` -- the compiled
   batch engine applying whole scheduler windows with NumPy fancy indexing
   (million-agent populations).
+* :class:`~repro.engine.counts_simulation.CountsSimulation` -- the agent-free
+  counts engine advancing whole windows on a state-count vector in O(S^2)
+  per window, independent of ``n`` (``n = 1e8``-``1e9`` populations for
+  fixed-state-space protocols).
 * :class:`~repro.engine.results.SimulationResult` /
   :class:`~repro.engine.results.TrialStatistics` -- result records.
 
-The two engines and how to choose between them are described in
+The three engines and how to choose between them are described in
 ``docs/ARCHITECTURE.md``.
 """
 
 from repro.engine.batch_simulation import BatchSimulation
 from repro.engine.compiled import CompilationError, CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
+from repro.engine.counts_simulation import CountsSimulation
 from repro.engine.hooks import CountingHook, InteractionHook, TraceRecorder
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
@@ -54,6 +59,7 @@ __all__ = [
     "CompiledProtocol",
     "Configuration",
     "CountingHook",
+    "CountsSimulation",
     "ENGINES",
     "InteractionHook",
     "PairScheduler",

@@ -1,0 +1,787 @@
+"""The counts-only population-dynamics engine.
+
+:class:`CountsSimulation` is the third engine.  It never materializes agents:
+a configuration is exactly what the paper's guarantees quantify over -- a
+multiset of states -- so the engine holds one integer count per (weight
+class, state) cell and advances whole scheduler windows with O(S^2) work,
+independent of the population size ``n``.  That unlocks ``n = 1e8``-``1e9``
+runs for fixed-state-space protocols where the per-agent engines stall near
+``n = 1e6``.
+
+Window-sampling contract
+------------------------
+Per interaction the scheduler draws an ordered (initiator, responder) pair of
+distinct agents; under :class:`~repro.adversary.schedulers.BiasedPairScheduler`
+semantics agent ``i`` initiates with probability ``w_i / W`` and ``j ≠ i``
+responds with probability ``w_j / (W - w_i)`` (uniform is the all-ones special
+case).  Agents of equal weight and state are exchangeable, so the interaction
+law only depends on the per-cell counts ``c_x`` for cells ``x = (g, a)``
+(weight class ``g``, state ``a``)::
+
+    P[x, y] = (w_g c_x / W_tot) * w_h (c_y - [x = y]) / (W_tot - w_g)
+
+with ``W_tot = sum_g w_g n_g``.  A window of ``W`` consecutive draws is
+consumed in one shot:
+
+* ``K ~ Binomial(W, q)`` splits the window into null draws and *active*
+  draws, where ``q`` is the total probability of pairs whose table entry can
+  change a state (the compiled ``changes`` mask);
+* the ``K`` active draws are split per ordered cell pair by a multinomial
+  over ``P / q``, then per transition branch by a second (vectorized)
+  multinomial over ``transition_branches`` probabilities;
+* the resulting state flows are applied as one integer delta vector.
+
+For ``W = 1`` this *is* the single-interaction law -- exact, bit-for-bit in
+distribution.  For ``W > 1`` it is a tau-leap: the pair probabilities are
+frozen at the window start, so the window is distribution-equivalent up to
+the drift the window itself causes.  Two guards bound that drift:
+
+* **window sizing** -- ``W`` is chosen so the *expected* number of agents
+  consumed from any cell stays below ``drift_cap`` (default 5%) of its
+  count, with no floor: a count-1 cell whose whole propensity turns over in
+  one event forces ``W`` toward 1, where the sampler is exact;
+* **matching feasibility** -- a sampled window is accepted only if no cell
+  supplies more initiators+responders than it holds, i.e. the events form a
+  batch of interactions on *distinct* agents.  Any single-interaction
+  invariant (leader conservation, level monotonicity, ...) therefore holds
+  across windows by construction.  Infeasible samples retry at half the
+  window, terminating at the exact ``W = 1`` law.
+
+The three-engine equivalence matrix in
+``tests/engine/test_engine_equivalence.py`` holds the resulting
+convergence-time distributions to the per-agent engines'.
+
+Limits
+------
+* State spaces that grow with ``n`` (Optimal-Silent-SSR's rank alphabet,
+  ``SilentNStateSSR``) compile to S = Θ(n) tables, so the O(S^2) window cost
+  erases the advantage; the engine is exact for them at small ``n`` (the
+  equivalence matrix runs them), but the big-``n`` wins are for fixed-``S``
+  protocols.
+* The epoch-partition scheduler is time-inhomogeneous over agent *identities*
+  and is not representable in counts space; requesting it raises
+  ``NotImplementedError``.
+* Per-interaction hooks and per-agent inspection are meaningless without
+  agents; :attr:`CountsSimulation.configuration` decodes an arbitrary
+  agent order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.compiled import CompiledProtocol, ProtocolCompiler, _as_raw_tables
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import SimulationResult
+from repro.engine.rng import RngLike, make_rng
+from repro.engine.run_config import RunConfig
+from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
+
+#: Default bound on the expected fraction of a cell's count consumed by one
+#: window (the tau-leap accuracy knob; 1 keeps windows maximal, ->0 approaches
+#: the exact one-interaction-per-window law).
+DEFAULT_DRIFT_CAP = 0.05
+
+#: Windows are capped so ``Binomial(window, q)`` stays inside int64 even when
+#: the interaction budget is astronomically larger than the active probability
+#: would ever sample.
+_HARD_WINDOW_CAP = 1 << 62
+
+
+class CountsSimulation:
+    """Runs one execution of a compiled protocol on a state-count vector.
+
+    Mirrors the :class:`~repro.engine.batch_simulation.BatchSimulation` API
+    (``step``, ``run``, ``run_until_*``, ``apply_fault``) but holds only a
+    ``(classes, S)`` count matrix -- one row per scheduler weight class --
+    so memory and per-window cost are independent of ``n``.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to run.  Must be compilable unless ``compiled`` is given.
+    configuration:
+        Optional starting configuration (encoded on construction; O(n)).
+    indices:
+        Optional starting state-index array (length ``n``).  Mutually
+        exclusive with ``configuration`` and ``counts``.  Retained until the
+        first interaction so a biased scheduler installed at plan start can
+        split the counts across weight classes exactly.
+    counts:
+        Optional starting state-count vector (length ``S``, summing to
+        ``n``) -- the O(S) fast path that seeds an ``n = 1e8`` run without
+        ever building a per-agent array.
+    compiled:
+        Reuse an existing :class:`CompiledProtocol` (checked for
+        compatibility exactly like the batch engine).
+    compiler:
+        Compiler to use when ``compiled`` is not given.
+    drift_cap:
+        Tau-leap accuracy knob; see the module docstring.
+    max_window:
+        Optional upper bound on the window size (mainly for tests; ``None``
+        lets the drift cap govern).
+    scheduler_spec:
+        Optional :class:`~repro.adversary.schedulers.SchedulerSpec` (duck
+        typed) to install immediately; ``run(config)`` installs the config's
+        spec the same way.
+    record_windows:
+        When true, every consumed window is appended to
+        :attr:`window_log` as ``{"window", "counts_before", "counts_after",
+        "events"}`` with ``events`` an ``(M, 7)`` array of rows
+        ``(class_i, state_i, class_j, state_j, out_i, out_j, count)`` --
+        the debug surface the pair-by-pair replay test consumes.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Optional[Configuration] = None,
+        indices: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+        compiled: Optional[CompiledProtocol] = None,
+        compiler: Optional[ProtocolCompiler] = None,
+        drift_cap: float = DEFAULT_DRIFT_CAP,
+        max_window: Optional[int] = None,
+        scheduler_spec=None,
+        record_windows: bool = False,
+    ):
+        given = [name for name, value in (
+            ("configuration", configuration), ("indices", indices), ("counts", counts)
+        ) if value is not None]
+        if len(given) > 1:
+            raise ValueError(f"pass at most one of configuration/indices/counts, got {given}")
+        if not 0.0 < drift_cap <= 1.0:
+            raise ValueError(f"drift_cap must be in (0, 1], got {drift_cap}")
+        if max_window is not None and max_window < 1:
+            raise ValueError(f"max_window must be positive, got {max_window}")
+        if protocol.n < 2:
+            raise ValueError("the counts engine needs a population of at least 2")
+        self.protocol = protocol
+        self.rng = make_rng(rng)
+        if compiled is None:
+            compiled = (compiler or ProtocolCompiler()).compile(protocol)
+        else:
+            # Same compatibility contract as the batch engine.
+            from repro.engine.batch_simulation import BatchSimulation
+
+            BatchSimulation._check_compiled_compatible(compiled, protocol)
+        self.compiled = compiled
+
+        tables = _as_raw_tables(compiled)
+        self._branch_initiator = tables["initiator"]
+        self._branch_responder = tables["responder"]
+        self._branch_probability = tables["probability"]
+        self._num_branches = self._branch_probability.shape[1]
+        num_states = compiled.num_states
+        self._changes = compiled.changes.reshape(num_states, num_states)
+
+        n = protocol.n
+        self._seed_indices: Optional[np.ndarray] = None
+        if counts is not None:
+            raw = np.asarray(counts)
+            counts = raw.astype(np.int64)
+            if counts.shape != (num_states,) or not np.array_equal(counts, raw):
+                raise ValueError(
+                    f"counts must be an integer vector of shape ({num_states},), "
+                    f"got {raw.shape} dtype {raw.dtype}"
+                )
+            if counts.min(initial=0) < 0:
+                raise ValueError("counts must be non-negative")
+            if int(counts.sum()) != n:
+                raise ValueError(
+                    f"counts sum to {int(counts.sum())}, expected population size {n}"
+                )
+            self._matrix = counts.reshape(1, -1).copy()
+        else:
+            if indices is not None:
+                indices = np.asarray(indices)
+                if indices.shape != (n,):
+                    raise ValueError(f"indices must have shape ({n},), got {indices.shape}")
+                if len(indices) and (
+                    int(indices.min()) < 0 or int(indices.max()) >= num_states
+                ):
+                    raise ValueError(
+                        "state indices out of range for the compiled state space"
+                    )
+                indices = indices.astype(np.int32, copy=True)
+            else:
+                if configuration is None:
+                    configuration = protocol.initial_configuration(self.rng)
+                if len(configuration) != n:
+                    raise ValueError(
+                        f"configuration has {len(configuration)} agents but protocol "
+                        f"expects {n}"
+                    )
+                indices = compiled.encode_configuration(configuration)
+            self._seed_indices = indices
+            self._matrix = np.bincount(indices, minlength=num_states).reshape(1, -1)
+        self._matrix = self._matrix.astype(np.int64, copy=False)
+
+        self._class_weights = np.ones(1)
+        self._class_of: Callable[[np.ndarray], np.ndarray] = (
+            lambda ids: np.zeros(len(np.asarray(ids)), dtype=np.int64)
+        )
+        self.interactions = 0
+        self._law_cache = None
+        self._structure_cache = None
+        #: The fault campaign of the last ``run(config)`` with a FaultPlan.
+        self.campaign = None
+        self._drift_cap = float(drift_cap)
+        self._max_window = None if max_window is None else int(max_window)
+        self.window_log: Optional[List[Dict]] = [] if record_windows else None
+        if scheduler_spec is not None:
+            self._install_scheduler_spec(scheduler_spec)
+
+    # -- views ----------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self.protocol.n
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions executed so far divided by the population size."""
+        return self.interactions / self.protocol.n
+
+    @property
+    def state_counts(self) -> np.ndarray:
+        """Histogram of state indices (length ``S``), summed over weight classes."""
+        return self._matrix.sum(axis=0)
+
+    @property
+    def class_state_matrix(self) -> np.ndarray:
+        """The live ``(classes, S)`` count matrix (treat as read-only)."""
+        return self._matrix
+
+    @property
+    def configuration(self) -> Configuration:
+        """Decode the counts into a configuration (agent order is arbitrary:
+        counts carry no identities, so agents are grouped by state)."""
+        totals = self.state_counts
+        indices = np.repeat(np.arange(len(totals)), totals).astype(np.int32)
+        return self.compiled.decode_configuration(indices)
+
+    # -- scheduler installation -------------------------------------------------------
+
+    def _install_scheduler_spec(self, spec) -> None:
+        """Re-express the count matrix in the spec's weight classes.
+
+        The spec is interpreted structurally (``kind`` / ``weights`` /
+        ``hot_fraction`` / ``hot_weight``) so the engine layer never imports
+        the adversary package; the arithmetic matches
+        :class:`~repro.adversary.schedulers.BiasedPairScheduler` -- agents of
+        one weight form one exchangeable class, and the pair law in
+        :meth:`pair_distribution` is exact per class.
+        """
+        kind = getattr(spec, "kind", None)
+        n = self.protocol.n
+        num_states = self.compiled.num_states
+        self._law_cache = None
+        self._structure_cache = None
+        if kind == "uniform":
+            self._matrix = self._matrix.sum(axis=0).reshape(1, -1)
+            self._class_weights = np.ones(1)
+            self._class_of = lambda ids: np.zeros(len(np.asarray(ids)), dtype=np.int64)
+            return
+        if kind == "epoch":
+            raise NotImplementedError(
+                "engine='counts' does not support the epoch-partition scheduler: "
+                "its block phases are defined over agent identities, which a "
+                "count vector does not carry.  Use engine='compiled' or "
+                "engine='loop' for epoch campaigns."
+            )
+        if kind != "biased":
+            raise ValueError(f"unknown scheduler kind {kind!r} for the counts engine")
+
+        populations = None
+        if getattr(spec, "weights", None) is not None:
+            weights = np.asarray(spec.weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(
+                    f"biased scheduler weights must have length {n}, got {weights.shape}"
+                )
+            if not np.all(np.isfinite(weights)) or bool((weights < 0).any()):
+                raise ValueError("biased scheduler weights must be finite and non-negative")
+            if int((weights > 0).sum()) < 2:
+                raise ValueError(
+                    "biased scheduler needs at least two agents with positive weight"
+                )
+            unique, inverse = np.unique(weights, return_inverse=True)
+            inverse = inverse.astype(np.int64)
+
+            def class_of(ids, inverse=inverse):
+                return inverse[np.asarray(ids, dtype=np.int64)]
+
+        else:
+            # Declarative hot set: the first round(hot_fraction * n) agents
+            # get hot_weight, the rest weight 1 (SchedulerSpec.build parity).
+            hot = max(1, min(n - 1, int(round(spec.hot_fraction * n))))
+            hot_weight = float(spec.hot_weight)
+            unique = np.unique(np.array([hot_weight, 1.0]))
+            hot_class = int(np.searchsorted(unique, hot_weight))
+            cold_class = int(np.searchsorted(unique, 1.0))
+
+            def class_of(ids, hot=hot, hot_class=hot_class, cold_class=cold_class):
+                ids = np.asarray(ids, dtype=np.int64)
+                return np.where(ids < hot, hot_class, cold_class)
+
+            populations = np.zeros(len(unique), dtype=np.int64)
+            populations[hot_class] += hot
+            populations[cold_class] += n - hot
+
+        num_classes = len(unique)
+        if num_classes == 1:
+            # All (positive) weights equal: the biased law degenerates to uniform.
+            self._matrix = self._matrix.sum(axis=0).reshape(1, -1)
+            self._class_weights = np.ones(1)
+            self._class_of = lambda ids: np.zeros(len(np.asarray(ids)), dtype=np.int64)
+            return
+
+        totals = self._matrix.sum(axis=0)
+        matrix = np.zeros((num_classes, num_states), dtype=np.int64)
+        if self._seed_indices is not None and self.interactions == 0:
+            # Exact split: the per-agent seed is still authoritative.
+            classes = class_of(np.arange(n))
+            np.add.at(matrix, (classes, self._seed_indices.astype(np.int64)), 1)
+        else:
+            present = np.nonzero(totals)[0]
+            if len(present) != 1:
+                raise ValueError(
+                    "cannot split a counts-only configuration across biased "
+                    "weight classes: seed CountsSimulation with configuration= "
+                    "or indices= (or a single-state counts vector) when using "
+                    "a biased scheduler"
+                )
+            if populations is None:
+                populations = np.bincount(class_of(np.arange(n)), minlength=num_classes)
+            matrix[:, present[0]] = populations
+        self._matrix = matrix
+        self._class_weights = unique
+        self._class_of = class_of
+
+    # -- the window sampler ------------------------------------------------------------
+
+    def pair_distribution(self):
+        """Exact ordered-pair law of one interaction, at cell granularity.
+
+        Returns ``(classes, states, pair_prob, active)`` where ``classes`` /
+        ``states`` index the nonempty (weight class, state) cells, ``pair_prob``
+        is the ``(X, X)`` matrix of probabilities that one scheduler draw picks
+        an initiator from cell ``x`` and a responder from cell ``y``, and
+        ``active`` marks the cell pairs whose table entry can change a state.
+        ``pair_prob`` sums to 1 (the property suite checks it against
+        brute-force agent-level enumeration).
+        """
+        matrix = self._matrix
+        classes, states = np.nonzero(matrix)
+        cells = matrix[classes, states].astype(np.float64)
+        if self._class_weights.size == 1:
+            # Uniform fast path: P[x, y] = c_x (c_y - [x = y]) / (n (n - 1)).
+            total = cells.sum()
+            pair_prob = np.outer(cells, cells / (total * (total - 1.0)))
+            diagonal = np.arange(len(cells))
+            pair_prob[diagonal, diagonal] -= cells / (total * (total - 1.0))
+        else:
+            weights = self._class_weights[classes]
+            totals = matrix.sum(axis=1, dtype=np.float64)
+            total_weight = float(self._class_weights @ totals)
+            init_prob = weights * cells / total_weight
+            responder_mass = weights * cells
+            denominator = total_weight - weights
+            pair_prob = init_prob[:, None] * (
+                responder_mass[None, :] / denominator[:, None]
+            )
+            diagonal = np.arange(len(cells))
+            pair_prob[diagonal, diagonal] = (
+                init_prob * weights * (cells - 1.0) / denominator
+            )
+        active = self._changes[states[:, None], states]
+        return classes, states, pair_prob, active
+
+    def _build_structure(self, classes, states, key) -> Dict:
+        """Sampling tables for one set of occupied cells.
+
+        Everything here depends only on *which* (class, state) cells are
+        occupied -- the active cell-pair support, its branch-table rows and
+        outputs -- not on the counts themselves, so it survives across
+        windows until a cell empties or fills (the ``key`` check).
+        """
+        active = self._changes[states[:, None], states]
+        x, y = np.nonzero(active)
+        rows = states[x].astype(np.int64) * self.compiled.num_states + states[y]
+        structure = {
+            "key": key,
+            "x": x, "y": y,
+            "diagonal": (x == y).astype(np.float64),
+            "cell_weights": self._class_weights[classes],
+            "class_x": classes[x], "state_x": states[x],
+            "class_y": classes[y], "state_y": states[y],
+            "rows": rows,
+        }
+        if self._num_branches == 1:
+            structure["out_initiator"] = self._branch_initiator[rows, 0].astype(np.int64)
+            structure["out_responder"] = self._branch_responder[rows, 0].astype(np.int64)
+        else:
+            structure["branch_pvals"] = self._branch_probability[rows]
+        return structure
+
+    def _window_law(self) -> Dict:
+        """The frozen law, sampling tables, and window bound for this state.
+
+        Cached between windows: an empty window (no active draw) leaves the
+        counts untouched, so nothing changes until an event, fault, or
+        scheduler install dirties the cache (``_law_cache = None``).  The
+        law's support tables come from :meth:`_build_structure` (reused while
+        the same cells stay occupied); this method only refreshes the
+        count-dependent values -- pair probabilities over the support (the
+        same law :meth:`pair_distribution` exposes densely; the property
+        suite's chi-squared cross-checks the two) and the drift-capped
+        window bound.
+        """
+        if self._law_cache is not None:
+            return self._law_cache
+        matrix = self._matrix
+        classes, states = np.nonzero(matrix)
+        key = (classes.tobytes(), states.tobytes())
+        structure = self._structure_cache
+        if structure is None or structure["key"] != key:
+            structure = self._build_structure(classes, states, key)
+            self._structure_cache = structure
+
+        cells = matrix[classes, states].astype(np.float64)
+        weights = structure["cell_weights"]
+        x, y = structure["x"], structure["y"]
+        if len(x) == 0:
+            self._law_cache = {"total_active": 0.0}
+            return self._law_cache
+        total_weight = float(weights @ cells)
+        weight_x = weights[x]
+        probs = (weight_x * cells[x] / total_weight) * (
+            weights[y] * (cells[y] - structure["diagonal"])
+            / (total_weight - weight_x)
+        )
+        total_active = float(probs.sum())
+        if total_active <= 0.0:
+            self._law_cache = {"total_active": 0.0}
+            return self._law_cache
+        # Window sizing: the expected number of removals from any cell must
+        # stay below drift_cap * count.  No floor on the allowance -- a cell
+        # of count 1 or 2 whose whole propensity turns over in one event
+        # (e.g. rank-collision chains) forces the window toward 1, where the
+        # sampler is exact; large-count cells keep windows wide.
+        removal = np.bincount(x, weights=probs, minlength=len(cells)) + np.bincount(
+            y, weights=probs, minlength=len(cells)
+        )
+        consuming = removal > 0.0
+        cap = (self._drift_cap * cells[consuming] / removal[consuming]).min()
+
+        law = dict(structure)
+        law["total_active"] = total_active
+        law["cap"] = cap
+        law["pvals"] = probs / total_active
+        self._law_cache = law
+        return law
+
+    def _advance(self, remaining: int) -> int:
+        """Consume one window (at most ``remaining`` interactions)."""
+        law = self._window_law()
+        if law["total_active"] <= 0.0:
+            # No scheduled pair can change a state: the rest of the budget is
+            # null draws and commutes into one jump.
+            self._log_window(remaining, None)
+            return remaining
+
+        cap = law["cap"]
+        window = remaining if cap >= float(remaining) else max(int(cap), 1)
+        window = min(window, _HARD_WINDOW_CAP)
+        if self._max_window is not None:
+            window = min(window, self._max_window)
+        while not self._try_window(window, law):
+            # The sampled events consumed more agents from some cell than it
+            # holds; retry at half the window.  At window = 1 the sampler is
+            # the exact single-interaction law and can never overdraw (the
+            # pair probabilities already vanish for underfilled cells), so
+            # the halving terminates.
+            window = max(window // 2, 1)
+        return window
+
+    def _try_window(self, window: int, law: Dict) -> bool:
+        """Sample and apply one window; False if events overdraw a cell."""
+        rng = self.rng
+        hits = int(rng.binomial(window, min(law["total_active"], 1.0)))
+        if hits == 0:
+            self._log_window(window, None)
+            return True
+        pair_counts = rng.multinomial(hits, law["pvals"])
+        drawn = np.nonzero(pair_counts)[0]
+        event_counts = pair_counts[drawn].astype(np.int64, copy=False)
+        class_x, state_x = law["class_x"][drawn], law["state_x"][drawn]
+        class_y, state_y = law["class_y"][drawn], law["state_y"][drawn]
+        if self._num_branches == 1:
+            event_rows = np.arange(len(drawn))
+            produced = event_counts
+            out_initiator = law["out_initiator"][drawn]
+            out_responder = law["out_responder"][drawn]
+        else:
+            branch_counts = rng.multinomial(event_counts, law["branch_pvals"][drawn])
+            event_rows, branch = np.nonzero(branch_counts)
+            produced = branch_counts[event_rows, branch]
+            rows = law["rows"][drawn][event_rows]
+            out_initiator = self._branch_initiator[rows, branch].astype(np.int64)
+            out_responder = self._branch_responder[rows, branch].astype(np.int64)
+
+        # Matching semantics: the drawn events must be realizable on *distinct*
+        # agents -- no cell may supply more initiators+responders than it holds.
+        # Checking consumption (not just final non-negativity) is what keeps
+        # every single-interaction invariant intact: a window is then a batch
+        # of disjoint interactions, each of which preserves the invariant.
+        # Final non-negativity follows, since additions only help.
+        consumed = np.zeros_like(self._matrix)
+        np.add.at(consumed, (class_x, state_x), event_counts)
+        np.add.at(consumed, (class_y, state_y), event_counts)
+        if (consumed > self._matrix).any():
+            return False
+        delta = -consumed
+        np.add.at(delta, (class_x[event_rows], out_initiator), produced)
+        np.add.at(delta, (class_y[event_rows], out_responder), produced)
+        before = self._matrix
+        self._matrix = before + delta
+        self._law_cache = None
+        if self.window_log is not None:
+            events = np.column_stack([
+                class_x[event_rows], state_x[event_rows],
+                class_y[event_rows], state_y[event_rows],
+                out_initiator, out_responder, produced,
+            ]).astype(np.int64)
+            self._log_window(window, events, before=before)
+        return True
+
+    def _log_window(
+        self, window: int, events: Optional[np.ndarray], before: Optional[np.ndarray] = None
+    ) -> None:
+        if self.window_log is None:
+            return
+        if events is None:
+            events = np.zeros((0, 7), dtype=np.int64)
+        self.window_log.append({
+            "window": int(window),
+            "counts_before": (self._matrix if before is None else before).copy(),
+            "counts_after": self._matrix.copy(),
+            "events": events,
+        })
+
+    # -- stepping --------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute a single interaction (the exact window = 1 law)."""
+        self.run(1)
+
+    def run(self, num_interactions) -> Optional[SimulationResult]:
+        """Execute a :class:`RunConfig` plan, or exactly ``n`` interactions.
+
+        The polymorphic entry point shared with the other engines: passing a
+        :class:`~repro.engine.run_config.RunConfig` runs until the configured
+        stop condition (or cap) and returns the :class:`SimulationResult`;
+        passing an integer executes exactly that many interactions (null
+        draws included) and returns ``None``.
+        """
+        if isinstance(num_interactions, RunConfig):
+            return self._run_plan(num_interactions)
+        if num_interactions < 0:
+            raise ValueError(
+                f"num_interactions must be non-negative, got {num_interactions}"
+            )
+        remaining = int(num_interactions)
+        while remaining > 0:
+            consumed = self._advance(remaining)
+            self.interactions += consumed
+            remaining -= consumed
+        return None
+
+    def _run_plan(self, config: RunConfig) -> SimulationResult:
+        """Run until ``config.stop`` holds, honouring the config's caps.
+
+        Mirrors :meth:`BatchSimulation._run_plan`: scheduler specs install
+        before the first interaction, fault events fire at their pinned
+        interaction counts via :meth:`apply_fault`, the stop condition is
+        evaluated only after the final event, and ``max_interactions`` is one
+        absolute cap -- events scheduled beyond it never fire.
+        """
+        if config.scheduler is not None:
+            self._install_scheduler_spec(config.scheduler)
+        stopper = getattr(self, f"run_until_{config.stop}")
+        if config.faults is None or not config.faults.events:
+            return stopper(
+                max_interactions=config.max_interactions,
+                check_interval=config.check_interval,
+            )
+        from repro.adversary.campaign import FaultCampaign
+
+        n = self.protocol.n
+        cap = config.max_interactions
+        if cap is None:
+            cap = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
+        campaign = FaultCampaign(config.faults, self.rng)
+        self.campaign = campaign
+        for index, event in enumerate(config.faults.events):
+            if event.at > cap:
+                break  # the cap truncates the fault timeline
+            if self.interactions < event.at:
+                self.run(event.at - self.interactions)
+            campaign.apply_to_batch(index, self)
+        result = stopper(
+            max_interactions=config.max_interactions,
+            check_interval=config.check_interval,
+        )
+        return campaign.annotate(result)
+
+    # -- faults ----------------------------------------------------------------------
+
+    def apply_fault(self, agent_ids: np.ndarray, state_indices: np.ndarray) -> None:
+        """Overwrite the states of ``agent_ids`` with ``state_indices``.
+
+        The fault path of :class:`~repro.adversary.campaign.FaultCampaign`,
+        translated to counts: the victims' *current* states are unknown
+        without identities, but within a weight class agents are exchangeable,
+        so removing ``k`` victims is exactly a multivariate hypergeometric
+        draw from the class's count row; the injected states then land by
+        histogram.  When a burst covers a whole class (reseeds, full-population
+        corruption) the removal is total and hence deterministic, which is why
+        fault-checkpoint digests match the compiled engine bit for bit on
+        reseed campaigns (see ``tests/adversary/test_campaign.py``); partial
+        bursts are distribution-equivalent.  The removal consumes ``self.rng``,
+        never the campaign's per-event generator, so injected fault payloads
+        stay bit-identical across engines.
+        """
+        agent_ids = np.asarray(agent_ids, dtype=np.int64)
+        state_indices = np.asarray(state_indices, dtype=np.int64)
+        if agent_ids.shape != state_indices.shape or agent_ids.ndim != 1:
+            raise ValueError("agent_ids and state_indices must be 1-D and equal length")
+        if len(agent_ids) == 0:
+            return
+        n = self.protocol.n
+        if int(agent_ids.min()) < 0 or int(agent_ids.max()) >= n:
+            raise ValueError(f"agent_ids out of range for population size {n}")
+        if len(np.unique(agent_ids)) != len(agent_ids):
+            raise ValueError("agent_ids contains duplicates")
+        num_states = self.compiled.num_states
+        if int(state_indices.min()) < 0 or int(state_indices.max()) >= num_states:
+            raise ValueError("state indices out of range for the compiled state space")
+        self._seed_indices = None
+        self._law_cache = None
+        classes = self._class_of(agent_ids)
+        injected = np.zeros_like(self._matrix)
+        np.add.at(injected, (classes, state_indices), 1)
+        for group in np.unique(classes):
+            victims = int((classes == group).sum())
+            removed = self.rng.multivariate_hypergeometric(self._matrix[group], victims)
+            self._matrix[group] -= removed
+        self._matrix += injected
+
+    # -- running until a condition ---------------------------------------------------
+
+    def run_until(
+        self,
+        predicate: Optional[Callable[[Configuration], bool]] = None,
+        max_interactions: Optional[int] = None,
+        check_interval: Optional[int] = None,
+        reason: str = "predicate",
+        counts_predicate: Optional[Callable[[np.ndarray], bool]] = None,
+    ) -> SimulationResult:
+        """Run until a stopping condition holds or the cap is reached.
+
+        Same contract as the batch engine: exactly one of ``predicate``
+        (evaluated on a *decoded* configuration -- slow, and agent order is
+        arbitrary) or ``counts_predicate`` (evaluated on the state-count
+        vector -- the native path) must be given; checked before the first
+        interaction and every ``check_interval`` interactions (default ``n``).
+        """
+        if (predicate is None) == (counts_predicate is None):
+            raise ValueError("pass exactly one of predicate or counts_predicate")
+        n = self.protocol.n
+        if max_interactions is None:
+            max_interactions = int(DEFAULT_CAP_CUBIC_FACTOR * n * n * n)
+        if check_interval is None:
+            check_interval = n
+        if check_interval < 1:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+
+        def stopped() -> bool:
+            if counts_predicate is not None:
+                return bool(counts_predicate(self.state_counts))
+            return bool(predicate(self.configuration))
+
+        while True:
+            if stopped():
+                return SimulationResult(
+                    n=n,
+                    interactions=self.interactions,
+                    stopped=True,
+                    reason=reason,
+                    engine="counts",
+                )
+            if self.interactions >= max_interactions:
+                return SimulationResult(
+                    n=n,
+                    interactions=self.interactions,
+                    stopped=False,
+                    reason="cap",
+                    engine="counts",
+                )
+            remaining = max_interactions - self.interactions
+            self.run(min(check_interval, remaining))
+
+    def _resolve_stop(self, kind: str):
+        """Resolve a stop kind to (predicate, counts_predicate).
+
+        Preference order mirrors the batch engine: the protocol's
+        ``compiled_predicates()`` fast path; for silence, the table-exact
+        :meth:`CompiledProtocol.counts_silent`; otherwise decode and call the
+        protocol's configuration predicate (only sound for predicates that do
+        not depend on agent identities, which configuration-level predicates
+        of population protocols by definition do not).
+        """
+        fast = self.protocol.compiled_predicates().get(kind)
+        if fast is not None:
+            compiled = self.compiled
+            return None, (lambda counts: fast(counts, compiled))
+        if kind == "silent":
+            return None, self.compiled.counts_silent
+        slow = {
+            "correct": self.protocol.is_correct,
+            "stabilized": self.protocol.has_stabilized,
+        }[kind]
+        return slow, None
+
+    def run_until_correct(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's correctness predicate holds (convergence)."""
+        predicate, counts_predicate = self._resolve_stop("correct")
+        kwargs.setdefault("reason", "correct")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+    def run_until_stabilized(self, **kwargs) -> SimulationResult:
+        """Run until the protocol's stabilization predicate holds."""
+        predicate, counts_predicate = self._resolve_stop("stabilized")
+        kwargs.setdefault("reason", "stabilized")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+    def run_until_silent(self, **kwargs) -> SimulationResult:
+        """Run until no applicable table entry can change the configuration."""
+        predicate, counts_predicate = self._resolve_stop("silent")
+        kwargs.setdefault("reason", "silent")
+        return self.run_until(
+            predicate=predicate, counts_predicate=counts_predicate, **kwargs
+        )
+
+
+__all__ = ["CountsSimulation", "DEFAULT_DRIFT_CAP"]

@@ -28,7 +28,7 @@ from repro.engine.rng import RngLike
 
 #: Execution engines selectable by experiments and the CLI
 #: (see ``docs/ARCHITECTURE.md`` for the tradeoffs).
-ENGINES = ("loop", "compiled")
+ENGINES = ("loop", "compiled", "counts")
 
 #: Stop conditions understood by the trial runners and ``run(config)``.
 STOPS = ("stabilized", "correct", "silent")
@@ -41,9 +41,12 @@ class RunConfig:
     Attributes
     ----------
     engine:
-        ``"loop"`` (per-interaction :class:`~repro.engine.simulation.Simulation`)
-        or ``"compiled"`` (table-driven
-        :class:`~repro.engine.batch_simulation.BatchSimulation`).
+        ``"loop"`` (per-interaction :class:`~repro.engine.simulation.Simulation`),
+        ``"compiled"`` (table-driven
+        :class:`~repro.engine.batch_simulation.BatchSimulation`), or
+        ``"counts"`` (agent-free
+        :class:`~repro.engine.counts_simulation.CountsSimulation`, whose
+        window cost is independent of ``n``).
     stop:
         Stop condition: ``"stabilized"``, ``"correct"``, or ``"silent"``.
     seed:
@@ -163,21 +166,43 @@ def make_simulation(
     rng: RngLike = None,
     compiled=None,
     hooks=None,
+    counts=None,
 ):
     """Build the engine instance selected by ``config.engine``.
 
     ``rng`` overrides ``config.seed`` when given (the harness passes the
     per-trial generator); ``compiled`` lets callers share one compiled table
     across trials.  Hooks are a loop-engine feature -- requesting them with
-    ``engine="compiled"`` is an error rather than a silent no-op.
+    a batched engine is an error rather than a silent no-op.  ``counts`` is
+    a counts-engine feature (the O(S) seed path for huge populations);
+    requesting it with a per-agent engine is likewise an error.
     """
     from repro.engine.batch_simulation import BatchSimulation
+    from repro.engine.counts_simulation import CountsSimulation
     from repro.engine.simulation import Simulation
 
     if config is None:
         config = RunConfig()
     if rng is None:
         rng = config.seed
+    if counts is not None and config.engine != "counts":
+        raise ValueError(
+            "counts= seeds the counts engine only; "
+            f"engine={config.engine!r} holds per-agent state"
+        )
+    if config.engine == "counts":
+        if hooks:
+            raise ValueError(
+                "interaction hooks require the loop engine; "
+                "CountsSimulation samples whole windows and cannot call them"
+            )
+        return CountsSimulation(
+            protocol,
+            configuration=configuration,
+            counts=counts,
+            rng=rng,
+            compiled=compiled,
+        )
     if config.engine == "compiled":
         if hooks:
             raise ValueError(

@@ -1,0 +1,75 @@
+"""Counts-engine scaling experiment: window cost independent of ``n``.
+
+The counts engine's claim is structural -- one window costs O(S^2) however
+large the population -- so the experiment that locks it in is a scaling
+sweep: run the two-way epidemic (S = 2, convergence ~ ``n ln n``
+interactions) across population sizes spanning orders of magnitude and
+report interactions per second.  On the per-agent engines throughput is
+bounded by per-interaction (loop) or per-agent (compiled) work; on the
+counts engine it *grows* with ``n`` because each O(S^2) window covers
+Θ(n) interactions.
+
+The runner honours ``run.engine`` like every other experiment (so the same
+sweep doubles as a cross-engine comparison); with ``engine="counts"`` the
+trials are seeded through the harness's ``counts_factory`` fast path --
+an O(S) count vector, never an O(n) per-agent array -- which is what lets
+``--scale full`` reach n = 1e7 in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner, read_params
+from repro.experiments.harness import run_trials
+from repro.engine.rng import spawn_seed_sequences
+from repro.processes.epidemic import TwoWayEpidemicProtocol
+
+
+def _one_infected_counts(protocol, compiled, rng) -> np.ndarray:
+    """The epidemic's clean start as a count vector: one infected agent."""
+    infected = compiled.encode_state(protocol.initial_state(0, rng))
+    susceptible = compiled.encode_state(protocol.initial_state(protocol.n - 1, rng))
+    counts = np.zeros(compiled.num_states, dtype=np.int64)
+    counts[infected] += protocol.initially_infected
+    counts[susceptible] += protocol.n - protocol.initially_infected
+    return counts
+
+
+@experiment_runner("counts_scaling")
+def run_counts_scaling(params: Mapping, run: RunConfig) -> List[Dict]:
+    """Throughput of the selected engine on the epidemic across population sizes."""
+    opts = read_params(params, ns=(1_000, 10_000), trials=3)
+    ns, trials = opts["ns"], opts["trials"]
+    rows: List[Dict] = []
+    seeds = spawn_seed_sequences(run.seed, len(ns))
+    for n, n_seed in zip(ns, seeds):
+        config = run.replace(seed=np.random.default_rng(n_seed), stop="correct")
+        counts_factory = _one_infected_counts if run.engine == "counts" else None
+        started = time.perf_counter()
+        results = run_trials(
+            lambda n=n: TwoWayEpidemicProtocol(n),
+            trials=trials,
+            run=config,
+            counts_factory=counts_factory,
+        )
+        wall = time.perf_counter() - started
+        interactions = int(sum(result.interactions for result in results))
+        rows.append(
+            {
+                "n": n,
+                "engine": run.engine,
+                "trials": trials,
+                "mean parallel time": float(
+                    np.mean([result.parallel_time for result in results])
+                ),
+                "total interactions": interactions,
+                "interactions/s": interactions / wall if wall > 0 else float("inf"),
+                "wall (s)": wall,
+            }
+        )
+    return rows

@@ -49,6 +49,13 @@ from repro.experiments.result import ExperimentResult
 ProtocolFactory = Callable[[int], PopulationProtocol]
 ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Configuration]
 
+#: Counts-engine seed factory: ``(protocol, compiled, rng) -> state-count
+#: vector`` -- the O(S) way to seed huge populations without building ``n``
+#: state objects (forwarded to ``make_simulation(counts=...)``).
+CountsFactory = Callable[
+    [PopulationProtocol, CompiledProtocol, np.random.Generator], np.ndarray
+]
+
 #: Per-trial observer: ``on_trial_done(index, result)``, called in trial
 #: order on the coordinating process (also when ``jobs > 1``).
 TrialObserver = Callable[[int, SimulationResult], None]
@@ -197,6 +204,7 @@ def _execute_trial(
     config: RunConfig,
     compiled: Optional[CompiledProtocol],
     seed_seq: np.random.SeedSequence,
+    counts_factory: Optional[CountsFactory] = None,
 ) -> SimulationResult:
     """Run one trial from its own seed sequence (process-agnostic)."""
     rng = np.random.default_rng(seed_seq)
@@ -204,8 +212,16 @@ def _execute_trial(
     configuration = (
         configuration_factory(protocol, rng) if configuration_factory is not None else None
     )
+    counts = (
+        counts_factory(protocol, compiled, rng) if counts_factory is not None else None
+    )
     simulation = make_simulation(
-        protocol, config, configuration=configuration, rng=rng, compiled=compiled
+        protocol,
+        config,
+        configuration=configuration,
+        rng=rng,
+        compiled=compiled,
+        counts=counts,
     )
     return simulation.run(config)
 
@@ -224,6 +240,7 @@ def _pool_trial(index: int) -> SimulationResult:
         config=state["config"],
         compiled=state["compiled"],
         seed_seq=state["seeds"][index],
+        counts_factory=state["counts_factory"],
     )
 
 
@@ -233,6 +250,7 @@ def run_trials(
     run: Optional[RunConfig] = None,
     *,
     configuration_factory: Optional[ConfigurationFactory] = None,
+    counts_factory: Optional[CountsFactory] = None,
     on_trial_done: Optional[TrialObserver] = None,
     **legacy,
 ) -> List[SimulationResult]:
@@ -251,19 +269,33 @@ def run_trials(
 
     ``run.jobs > 1`` executes trials on a ``ProcessPoolExecutor`` with forked
     workers; factories may be arbitrary closures (they are inherited through
-    the fork, not pickled).  With ``engine="compiled"`` the protocol is
-    compiled once up front and the table shared -- by reference across
-    sequential trials, via fork copy-on-write across workers.  On platforms
-    without the ``fork`` start method the harness degrades to sequential
-    execution (same results, no speedup).
+    the fork, not pickled).  With the table-driven engines
+    (``engine="compiled"`` / ``engine="counts"``) the protocol is compiled
+    once up front and the table shared -- by reference across sequential
+    trials, via fork copy-on-write across workers.  On platforms without the
+    ``fork`` start method the harness degrades to sequential execution (same
+    results, no speedup).
+
+    ``counts_factory`` seeds counts-engine trials with a state-count vector
+    (O(S) instead of O(n)); it requires ``engine="counts"`` and is mutually
+    exclusive with ``configuration_factory``.
     """
     config = _coerce_run_config(run, legacy, caller="run_trials")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    if counts_factory is not None:
+        if config.engine != "counts":
+            raise ValueError(
+                f"counts_factory requires engine='counts', got {config.engine!r}"
+            )
+        if configuration_factory is not None:
+            raise ValueError(
+                "pass either configuration_factory or counts_factory, not both"
+            )
     seeds = spawn_seed_sequences(config.seed, trials)
     compiled = (
         ProtocolCompiler().compile(protocol_factory())
-        if config.engine == "compiled"
+        if config.engine in ("compiled", "counts")
         else None
     )
 
@@ -283,6 +315,7 @@ def run_trials(
                 config=config,
                 compiled=compiled,
                 seed_seq=seed_seq,
+                counts_factory=counts_factory,
             )
             results.append(result)
             if on_trial_done is not None:
@@ -296,6 +329,7 @@ def run_trials(
         "config": config,
         "compiled": compiled,
         "seeds": seeds,
+        "counts_factory": counts_factory,
     }
     try:
         workers = min(config.jobs, trials)

@@ -30,6 +30,7 @@ from repro.experiments.epidemic_experiments import (
     run_epidemic,
     run_roll_call,
 )
+from repro.experiments.counts_experiments import run_counts_scaling
 from repro.experiments.harness import ExperimentSpec
 from repro.experiments.lower_bounds import (
     run_fratricide_failure,
@@ -127,6 +128,21 @@ _register(
         runner=run_epidemic,
         quick_params={"ns": (64, 128, 256), "trials": 100},
         full_params={"ns": (64, 128, 256, 512, 1024), "trials": 500},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="counts_scaling",
+        title="Counts-engine throughput is independent of population size",
+        paper_reference="Lemma 2.7 (epidemic workload)",
+        runner=run_counts_scaling,
+        description=(
+            "Engine throughput sweep over population sizes on the two-way "
+            "epidemic; with --engine counts the O(S) count-vector seeding "
+            "reaches n = 1e7+ (see docs/ARCHITECTURE.md, counts engine)."
+        ),
+        quick_params={"ns": (1_000, 10_000), "trials": 3},
+        full_params={"ns": (1_000_000, 10_000_000), "trials": 3},
     )
 )
 _register(

@@ -24,6 +24,7 @@ from repro.core.optimal_silent import OptimalSilentSSR
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.engine.batch_simulation import BatchSimulation
 from repro.engine.compiled import ProtocolCompiler
+from repro.engine.counts_simulation import CountsSimulation
 from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
 from repro.experiments.harness import run_trials
@@ -51,6 +52,14 @@ def _run_batch(plan, seed, compiled, **config_kwargs):
         make_small_optimal_silent(), rng=np.random.default_rng(seed), compiled=compiled
     )
     result = simulation.run(RunConfig(engine="compiled", faults=plan, **config_kwargs))
+    return simulation, result
+
+
+def _run_counts(plan, seed, compiled, **config_kwargs):
+    simulation = CountsSimulation(
+        make_small_optimal_silent(), rng=np.random.default_rng(seed), compiled=compiled
+    )
+    result = simulation.run(RunConfig(engine="counts", faults=plan, **config_kwargs))
     return simulation, result
 
 
@@ -101,6 +110,32 @@ class TestCrossEngineEquivalence:
         ):
             assert loop_cp.victims == batch_cp.victims
             assert loop_cp.injected_signatures == batch_cp.injected_signatures
+
+    def test_reseed_bursts_give_identical_checkpoints_on_the_counts_engine(
+        self, optimal_silent_compiled
+    ):
+        # The PR 5 acceptance scenario replayed on the counts engine: reseed
+        # payloads are adversary-determined (per-event rngs derive from the
+        # original seed, not the engine's consumed stream), so checkpoint
+        # signatures, victims, and digests must be bit-identical to the
+        # compiled engine's even though the engines sample interactions
+        # completely differently.
+        plan = FaultPlan.reseeds([30, 120])
+        batch_sim, batch_result = _run_batch(plan, seed=7, compiled=optimal_silent_compiled)
+        counts_sim, counts_result = _run_counts(
+            plan, seed=7, compiled=optimal_silent_compiled
+        )
+        assert len(counts_sim.campaign.checkpoints) == 2
+        for batch_cp, counts_cp in zip(
+            batch_sim.campaign.checkpoints, counts_sim.campaign.checkpoints
+        ):
+            assert batch_cp.signature_counts == counts_cp.signature_counts
+            assert batch_cp.victims == counts_cp.victims
+            assert batch_cp.digest == counts_cp.digest
+        assert (
+            batch_result.extra[FAULT_DIGEST_KEY] == counts_result.extra[FAULT_DIGEST_KEY]
+        )
+        assert batch_result.stopped and counts_result.stopped
 
     def test_campaign_digest_is_reproducible(self):
         plan = FaultPlan.reseeds([10, 40])

@@ -1,18 +1,22 @@
-"""Loop-vs-compiled equivalence across the whole compilable catalogue.
+"""Three-engine equivalence across the whole compilable catalogue.
 
-Three layers of agreement, from statistical to exact:
+Four layers of agreement, from statistical to exact:
 
-1. **Convergence-time law** -- the two engines consume the shared random
-   generator differently, so runs are not bitwise identical; instead, for
-   every protocol the compiler supports, the distribution of convergence
-   (parallel) times over independent seeded trials must be statistically
-   indistinguishable (two-sample Kolmogorov-Smirnov plus a loose mean-ratio
-   sanity check).
-2. **Table-vs-delta** -- for every ordered pair of enumerated states, the
+1. **Convergence-time law** -- the engines (loop, compiled, counts) consume
+   their generators differently, so runs are not bitwise identical; instead,
+   for every protocol the compiler supports, the distributions of convergence
+   (parallel) times over independent seeded trials must be pairwise
+   statistically indistinguishable (two-sample Kolmogorov-Smirnov plus a
+   loose mean-ratio sanity check) across all three engines.
+2. **Window replay** -- at small ``n`` every window the counts engine samples
+   is replayed pair-by-pair through the compiled table; the replayed count
+   histogram must equal the vector-applied one *exactly*, and every sampled
+   event must name an active table row and one of its declared branches.
+3. **Table-vs-delta** -- for every ordered pair of enumerated states, the
    compiled table's branch list must agree *exactly* with the protocol's
    ``transition()`` / ``transition_branches()``.  This is exhaustive, not
    sampled: every entry of every table is checked.
-3. **State-space containment** -- every state a loop-engine execution visits
+4. **State-space containment** -- every state a loop-engine execution visits
    must be encodable by the compiled table (the compiled space covers the
    reachable space).
 
@@ -20,6 +24,8 @@ All seeds are fixed, so these tests are deterministic; the KS threshold of
 0.001 makes a false alarm essentially impossible while still catching real
 engine bugs (which shift the distribution wholesale).
 """
+
+import itertools
 
 import numpy as np
 import pytest
@@ -32,12 +38,17 @@ from repro.core.propagate_reset import ResetWaveProtocol
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.derandomize.synthetic_coin import SyntheticCoinProtocol
 from repro.engine.batch_simulation import BatchSimulation
-from repro.engine.compiled import ProtocolCompiler
+from repro.engine.compiled import ProtocolCompiler, _as_raw_tables
+from repro.engine.counts_simulation import CountsSimulation
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import make_rng, spawn_rngs
 from repro.engine.simulation import Simulation
 from repro.engine.state import AgentState
-from repro.processes.bounded_epidemic import BoundedEpidemicProtocol
+from repro.processes.bounded_epidemic import (
+    UNREACHED,
+    BoundedEpidemicProtocol,
+    LevelState,
+)
 from repro.processes.epidemic import TwoWayEpidemicProtocol
 from repro.processes.roll_call import RollCallProtocol
 
@@ -105,6 +116,28 @@ def small_optimal_silent(n: int = 6) -> OptimalSilentSSR:
     return OptimalSilentSSR(n, rmax_multiplier=1.0, dmax_factor=2.0, emax_factor=3.0)
 
 
+class AnonymousBoundedEpidemic(BoundedEpidemicProtocol):
+    """Bounded epidemic with an identity-free stop: every agent reached.
+
+    The parent's correctness predicate names a specific *agent* (the target),
+    which the counts engine cannot express -- count vectors carry no
+    identities, so its decoded configurations order agents arbitrarily (see
+    the engine-support table in the README).  The three-engine matrix
+    therefore measures the identity-free completion time, which exercises the
+    same transition tables on all engines.
+    """
+
+    def is_correct(self, configuration):
+        return all(state.level != UNREACHED for state in configuration)
+
+    def compiled_predicates(self):
+        def all_reached(counts, compiled):
+            unreached = compiled.encode_state(LevelState(UNREACHED))
+            return int(counts[unreached]) == 0
+
+        return {"correct": all_reached}
+
+
 def fratricide_over_ranking(n: int = 16) -> ComposedProtocol:
     return ComposedProtocol(FratricideLeaderElection(n), SilentNStateSSR(n))
 
@@ -143,7 +176,7 @@ CASES = {
         stop="correct",
     ),
     "bounded-epidemic": dict(
-        protocol=lambda: BoundedEpidemicProtocol(48, k=2),
+        protocol=lambda: AnonymousBoundedEpidemic(48, k=2),
         configuration=lambda protocol, rng: protocol.initial_configuration(rng),
         stop="correct",
     ),
@@ -180,6 +213,11 @@ TABLE_CASES = {
 }
 
 
+#: Per-engine seeds for the convergence matrix (distinct on purpose: the law
+#: must agree across *independent* sample sets, not shared randomness).
+ENGINE_SEEDS = {"loop": 1234, "compiled": 5678, "counts": 9012}
+
+
 def convergence_times(case, engine: str, seed: int) -> np.ndarray:
     times = []
     compiled = None
@@ -191,7 +229,10 @@ def convergence_times(case, engine: str, seed: int) -> np.ndarray:
         else:
             if compiled is None:
                 compiled = ProtocolCompiler().compile(protocol)
-            simulation = BatchSimulation(
+            engine_class = {"compiled": BatchSimulation, "counts": CountsSimulation}[
+                engine
+            ]
+            simulation = engine_class(
                 protocol, configuration=configuration, rng=rng, compiled=compiled
             )
         runner = {
@@ -206,20 +247,80 @@ def convergence_times(case, engine: str, seed: int) -> np.ndarray:
 
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_engines_agree_on_convergence_distribution(name):
+    """Pairwise KS across the three engines: one law, three samplers."""
     case = CASES[name]
-    loop_times = convergence_times(case, "loop", seed=1234)
-    compiled_times = convergence_times(case, "compiled", seed=5678)
+    times = {
+        engine: convergence_times(case, engine, seed)
+        for engine, seed in ENGINE_SEEDS.items()
+    }
+    for first, second in itertools.combinations(ENGINE_SEEDS, 2):
+        ks = stats.ks_2samp(times[first], times[second])
+        assert ks.pvalue > KS_ALPHA, (
+            f"{name}: convergence-time distributions differ between engines "
+            f"(KS p={ks.pvalue:.2e}, {first} mean {times[first].mean():.3f}, "
+            f"{second} mean {times[second].mean():.3f})"
+        )
+        ratio = times[second].mean() / times[first].mean()
+        assert 0.6 < ratio < 1.6, (
+            f"{name}: mean convergence times diverge between "
+            f"{first} and {second} (ratio {ratio:.2f})"
+        )
 
-    ks = stats.ks_2samp(loop_times, compiled_times)
-    assert ks.pvalue > KS_ALPHA, (
-        f"{name}: convergence-time distributions differ between engines "
-        f"(KS p={ks.pvalue:.2e}, loop mean {loop_times.mean():.3f}, "
-        f"compiled mean {compiled_times.mean():.3f})"
+
+# -- counts-engine window replay (exact, pair by pair) -------------------------------
+
+
+@pytest.mark.parametrize(
+    "name", ["epidemic", "lazy-epidemic", "silent-n-state", "optimal-silent", "composed"]
+)
+def test_counts_windows_replay_exactly(name):
+    """Every sampled window, replayed one pair at a time, reproduces the counts.
+
+    The counts engine applies a window as a single delta vector.  Here the
+    recorded per-window events are replayed through the compiled table pair
+    by pair: each event must name an active table row and one of its declared
+    positive-probability branches, the number of active draws must fit in the
+    window, and the replayed histogram must equal the vector-applied one
+    *exactly* -- count conservation is checked per window, not just at the
+    end.
+    """
+    protocol = TABLE_CASES[name]()
+    compiled = ProtocolCompiler().compile(protocol)
+    tables = _as_raw_tables(compiled)
+    simulation = CountsSimulation(
+        protocol, rng=make_rng(2024), compiled=compiled, record_windows=True
     )
-    ratio = compiled_times.mean() / loop_times.mean()
-    assert 0.6 < ratio < 1.6, (
-        f"{name}: mean convergence times diverge (ratio {ratio:.2f})"
-    )
+    simulation.run(600)
+    log = simulation.window_log
+    assert log, f"{name}: no windows recorded"
+    assert sum(entry["window"] for entry in log) == 600
+    size = compiled.num_states
+    for entry in log:
+        replayed = entry["counts_before"].copy()
+        active_draws = 0
+        for class_i, state_i, class_j, state_j, out_i, out_j, count in entry["events"]:
+            row = state_i * size + state_j
+            assert compiled.changes[row], f"{name}: sampled an inactive table row"
+            branches = [
+                branch
+                for branch in range(tables["initiator"].shape[1])
+                if tables["probability"][row, branch] > 0.0
+                and tables["initiator"][row, branch] == out_i
+                and tables["responder"][row, branch] == out_j
+            ]
+            assert branches, f"{name}: sampled an undeclared branch for row {row}"
+            for _ in range(count):  # pair-by-pair replay
+                replayed[class_i, state_i] -= 1
+                replayed[class_j, state_j] -= 1
+                replayed[class_i, out_i] += 1
+                replayed[class_j, out_j] += 1
+            active_draws += count
+        assert active_draws <= entry["window"]
+        assert np.array_equal(replayed, entry["counts_after"]), (
+            f"{name}: pair-by-pair replay disagrees with the vector delta"
+        )
+        assert entry["counts_after"].min() >= 0
+        assert int(entry["counts_after"].sum()) == protocol.n
 
 
 # -- exhaustive table-vs-delta agreement ---------------------------------------------

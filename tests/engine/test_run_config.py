@@ -65,7 +65,7 @@ class TestRunConfig:
             RunConfig.from_dict({"engine": "loop", "warp": 9})
 
     def test_catalogued_constants(self):
-        assert ENGINES == ("loop", "compiled")
+        assert ENGINES == ("loop", "compiled", "counts")
         assert STOPS == ("stabilized", "correct", "silent")
 
 

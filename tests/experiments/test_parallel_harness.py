@@ -2,16 +2,18 @@
 
 The contract under test: ``RunConfig.jobs`` redistributes work, never
 randomness.  The same seed must yield **bit-identical**
-:class:`SimulationResult` records for ``jobs=1`` and ``jobs=4``, on both
-engines -- per-trial streams are derived from ``SeedSequence`` children
-indexed by trial number, independent of the process layout.
+:class:`SimulationResult` records for ``jobs=1`` and ``jobs=4``, on all
+three engines -- per-trial streams are derived from ``SeedSequence``
+children indexed by trial number, independent of the process layout.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.propagate_reset import ResetWaveProtocol
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.engine.run_config import RunConfig
+from repro.processes.epidemic import TwoWayEpidemicProtocol
 from repro.experiments.harness import (
     ExperimentSpec,
     measure_parallel_times,
@@ -39,6 +41,22 @@ def compiled_workload(jobs):
     )
 
 
+def _one_infected_counts(protocol, compiled, rng):
+    counts = np.zeros(compiled.num_states, dtype=np.int64)
+    counts[compiled.encode_state(protocol.initial_state(0, rng))] += 1
+    counts[compiled.encode_state(protocol.initial_state(1, rng))] += protocol.n - 1
+    return counts
+
+
+def counts_workload(jobs):
+    return run_trials(
+        lambda: TwoWayEpidemicProtocol(50_000),
+        trials=5,
+        run=RunConfig(seed=55, stop="correct", engine="counts", jobs=jobs),
+        counts_factory=_one_infected_counts,
+    )
+
+
 class TestJobsDeterminism:
     """Same seed => bit-identical results regardless of the worker count."""
 
@@ -53,6 +71,13 @@ class TestJobsDeterminism:
         parallel = compiled_workload(jobs=4)
         assert sequential == parallel
         assert all(result.engine == "compiled" for result in parallel)
+
+    def test_counts_engine_results_identical_across_jobs(self):
+        sequential = counts_workload(jobs=1)
+        parallel = counts_workload(jobs=4)
+        assert sequential == parallel
+        assert all(result.engine == "counts" for result in parallel)
+        assert all(result.stopped for result in parallel)
 
     def test_statistics_identical_across_jobs(self):
         def measure(jobs):
