@@ -22,6 +22,7 @@ import datetime
 import json
 import os
 import platform
+import subprocess
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -89,6 +90,23 @@ def bench_artifact_path(area: str) -> Path:
     return REPO_ROOT / f"BENCH_{area}.json"
 
 
+def _git_head() -> Optional[str]:
+    """The repository's current HEAD commit, or ``None`` outside a checkout."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if probe.returncode != 0:
+        return None
+    return probe.stdout.strip() or None
+
+
 def emit_bench_artifact(
     area: str,
     rows: List[Dict],
@@ -100,8 +118,21 @@ def emit_bench_artifact(
     The artifact records the machine fingerprint, the measured rows, and the
     claim the numbers back, so a later run (possibly on different hardware)
     can gate against *recorded* throughput rather than a magic constant.
+
+    Every re-record also *appends* a ``history`` entry -- the git HEAD the
+    numbers were measured at plus the rows, nothing time-dependent -- so the
+    committed JSON carries the perf trajectory across PRs instead of only the
+    latest point.  Gates always read the top-level ``rows`` (the current
+    baseline); ``history`` is the human-facing record.
     """
     path = bench_artifact_path(area)
+    history: List[Dict] = []
+    if path.exists():
+        try:
+            history = list(json.loads(path.read_text()).get("history", []))
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append({"head": _git_head(), "rows": _stringify(rows)})
     payload = {
         "area": area,
         "recorded": datetime.date.today().isoformat(),
@@ -109,6 +140,7 @@ def emit_bench_artifact(
         "claim": claim,
         "paper_reference": paper_reference,
         "rows": _stringify(rows),
+        "history": history,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
@@ -161,6 +193,35 @@ def baseline_threshold(
     if not values:
         return float(floor)
     return max(float(floor), fraction * max(values))
+
+
+def baseline_ceiling(
+    area: str,
+    metric: str,
+    cap: float,
+    factor: float = 4.0,
+    where: Optional[Dict] = None,
+) -> float:
+    """Gate ceiling for a lower-is-better ``metric`` (wall time, overhead).
+
+    The mirror of :func:`baseline_threshold`: returns ``min(cap, factor *
+    worst recorded value)`` over the baseline rows matching ``where`` -- the
+    gate tightens automatically when the recorded numbers are far below the
+    documented cap, while ``factor`` leaves room for slower CI hardware.
+    Falls back to ``cap`` when no baseline (or no matching row) is committed.
+    """
+    baseline = load_bench_baseline(area)
+    if baseline is None:
+        return float(cap)
+    values = [
+        float(row[metric])
+        for row in baseline.get("rows", [])
+        if row.get(metric) is not None
+        and (where is None or all(row.get(key) == value for key, value in where.items()))
+    ]
+    if not values:
+        return float(cap)
+    return min(float(cap), factor * max(values))
 
 
 def _stringify(rows: List[Dict]) -> List[Dict]:

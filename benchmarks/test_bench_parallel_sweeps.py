@@ -3,10 +3,13 @@
 Workload: a multi-trial ``Silent-n-state-SSR`` worst-case measurement -- the
 Theta(n^3)-interaction regime the registry's sweep experiments actually run --
 executed once with ``jobs=1`` and once with ``jobs=4``.  The acceptance gate
-asserts the 4-worker run is >= 2x faster wall-clock (skipped on machines with
-fewer than 4 cores, where the workers would just time-slice one CPU); a
-separate, always-on check asserts the two runs return bit-identical
-per-trial results, i.e. the speedup costs nothing in reproducibility.
+asserts the 4-worker run beats the recorded ``BENCH_parallel_sweeps.json``
+baseline (floor: 2x wall-clock; skipped on machines with fewer than 4 cores,
+where the workers would just time-slice one CPU -- the committed baseline
+from such a machine then records the honest ~1x parity rows and the gate
+stays at its floor); a separate, always-on check asserts the two runs return
+bit-identical per-trial results, i.e. the speedup costs nothing in
+reproducibility.
 """
 
 import os
@@ -15,7 +18,11 @@ from typing import Dict, List
 
 import pytest
 
-from bench_utils import run_experiment_benchmark
+from bench_utils import (
+    baseline_threshold,
+    maybe_emit_bench_artifact,
+    run_experiment_benchmark,
+)
 
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.engine.run_config import RunConfig
@@ -78,19 +85,28 @@ def _usable_cores() -> int:
     reason=f"needs >= {JOBS} usable cores to measure a parallel speedup",
 )
 def test_parallel_sweep_speedup(benchmark):
-    """--jobs 4 is >= 2x faster than --jobs 1 on the multi-trial workload."""
+    """--jobs 4 beats the recorded baseline (floor: 2x) on the multi-trial workload."""
+    claim = "multi-trial sweeps saturate cores: >= 2x wall-clock at --jobs 4"
+    reference = "experiment harness (sweep parallelization)"
     rows = run_experiment_benchmark(
         benchmark,
         run_parallel_sweep_comparison,
-        paper_reference="experiment harness (sweep parallelization)",
-        claim="multi-trial sweeps saturate cores: >= 2x wall-clock at --jobs 4",
+        paper_reference=reference,
+        claim=claim,
         key_columns=("jobs", "trials", "n", "seconds", "speedup", "bit-identical"),
+    )
+    maybe_emit_bench_artifact(
+        "parallel_sweeps", rows, claim=claim, paper_reference=reference
     )
     gate = rows[1]
     assert gate["bit-identical"], "parallel run returned different results"
-    assert gate["speedup"] >= 2.0, (
+    threshold = baseline_threshold(
+        "parallel_sweeps", "speedup", floor=2.0, where={"jobs": JOBS}
+    )
+    assert gate["speedup"] >= threshold, (
         f"--jobs {JOBS} only {gate['speedup']:.2f}x faster than --jobs 1 "
-        f"({rows[0]['seconds']:.2f}s -> {gate['seconds']:.2f}s)"
+        f"({rows[0]['seconds']:.2f}s -> {gate['seconds']:.2f}s; "
+        f"gate: {threshold:.2f}x from the recorded baseline)"
     )
 
 

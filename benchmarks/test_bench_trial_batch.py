@@ -1,0 +1,120 @@
+"""Benchmark: trial-axis batched execution vs the per-trial compiled path.
+
+Workload: the Table-1-style sweep shape -- 100 independent trials of the
+two-way epidemic at n = 10^4 run to completion (``stop="correct"``) on one
+core.  The per-trial compiled path pays ~100 Python dispatch loops plus 100
+O(n)-object seeding/encoding passes; the trial-batched path
+(:class:`~repro.engine.trial_batch.TrialBatchSimulation` behind
+``RunConfig(trial_batch=100)``) advances all live trials per NumPy dispatch
+and seeds through the O(S) count-vector fast path.  The acceptance gate
+asserts the batched sweep is >= 5x faster wall-clock than the per-trial
+sequential sweep, compared against the committed ``BENCH_trial_batch.json``
+baseline (see ``baseline_threshold``; re-record with ``BENCH_WRITE=1``).
+
+A middle row runs the per-trial path with the same count-vector seeding, so
+the artifact separates how much of the win is seeding vs engine batching.
+Correctness is covered elsewhere: bit-identity across batch compositions in
+``tests/engine/test_trial_batch.py``, statistical equivalence in
+``tests/engine/test_engine_equivalence.py``.
+"""
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from bench_utils import (
+    baseline_threshold,
+    maybe_emit_bench_artifact,
+    run_experiment_benchmark,
+)
+
+from repro.engine.run_config import RunConfig
+from repro.experiments.harness import run_trials
+from repro.processes.epidemic import EpidemicState, TwoWayEpidemicProtocol
+
+N = 10_000
+TRIALS = 100
+SEED = 2026
+
+AREA = "trial_batch"
+CLAIM = "trial-axis batching runs a 100-trial n=1e4 sweep >= 5x faster than per-trial"
+PAPER_REFERENCE = "experiment harness (Table-1-style sweeps)"
+
+
+def _one_infected_counts(protocol, compiled, rng) -> np.ndarray:
+    counts = np.zeros(compiled.num_states, dtype=np.int64)
+    counts[compiled.encode_state(EpidemicState(True))] = 1
+    counts[compiled.encode_state(EpidemicState(False))] = protocol.n - 1
+    return counts
+
+
+def _sweep(trial_batch: int, counts_seeded: bool):
+    config = RunConfig(
+        seed=SEED, engine="compiled", stop="correct", trial_batch=trial_batch
+    )
+    return run_trials(
+        lambda: TwoWayEpidemicProtocol(N),
+        trials=TRIALS,
+        run=config,
+        counts_factory=_one_infected_counts if counts_seeded else None,
+    )
+
+
+def run_trial_batch_comparison() -> List[Dict]:
+    """Benchmark rows: per-trial baseline, seeding-only, and fully batched."""
+    rows: List[Dict] = []
+    variants = (
+        ("per-trial (baseline)", 1, False),
+        ("per-trial + counts seeding", 1, True),
+        ("trial-batched (gated)", TRIALS, True),
+    )
+    baseline_seconds = None
+    for label, trial_batch, counts_seeded in variants:
+        started = time.perf_counter()
+        results = _sweep(trial_batch, counts_seeded)
+        seconds = time.perf_counter() - started
+        assert all(result.stopped for result in results)
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+        rows.append(
+            {
+                "path": label,
+                "n": N,
+                "trials": TRIALS,
+                "trial_batch": trial_batch,
+                "seconds": seconds,
+                "interactions": int(sum(result.interactions for result in results)),
+                "speedup": baseline_seconds / seconds,
+            }
+        )
+    return rows
+
+
+def test_trial_batch_sweep_speedup(benchmark):
+    """The batched sweep beats the recorded baseline (floor: 5x vs per-trial)."""
+    rows = run_experiment_benchmark(
+        benchmark,
+        run_trial_batch_comparison,
+        paper_reference=PAPER_REFERENCE,
+        claim=CLAIM,
+        key_columns=(
+            "path",
+            "n",
+            "trials",
+            "trial_batch",
+            "seconds",
+            "interactions",
+            "speedup",
+        ),
+    )
+    maybe_emit_bench_artifact(AREA, rows, claim=CLAIM, paper_reference=PAPER_REFERENCE)
+    gate = next(row for row in rows if "gated" in row["path"])
+    threshold = baseline_threshold(
+        AREA, "speedup", floor=5.0, where={"path": gate["path"]}
+    )
+    assert gate["speedup"] >= threshold, (
+        f"trial-batched sweep only {gate['speedup']:.2f}x faster than the "
+        f"per-trial compiled path at n={N}, trials={TRIALS} "
+        f"(gate: {threshold:.2f}x from the recorded baseline)"
+    )

@@ -52,7 +52,7 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchSimulation",

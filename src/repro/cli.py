@@ -126,6 +126,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--trial-batch",
+        type=int,
+        default=1,
+        dest="trial_batch",
+        help=(
+            "trials advanced together by one trial-batched engine instance "
+            "(default: 1 = per-trial); requires --engine compiled or counts, "
+            "composes with --jobs (each worker runs whole batches), and "
+            "compiled-engine results stay bit-identical for any value"
+        ),
+    )
+    run_parser.add_argument(
         "--output",
         metavar="DIR",
         default=None,
@@ -181,6 +193,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the trial sweeps (default: 1)",
+    )
+    stress_parser.add_argument(
+        "--trial-batch",
+        type=int,
+        default=1,
+        dest="trial_batch",
+        help=(
+            "trials per batched engine instance (default: 1); campaigns with "
+            "fault events fall back to per-trial execution"
+        ),
     )
     stress_parser.add_argument(
         "--output",
@@ -321,6 +343,7 @@ def _run_one(identifier: str, args, **overrides) -> None:
         seed=args.seed if args.seed is not None else 0,
         engine=args.engine,
         jobs=args.jobs,
+        trial_batch=getattr(args, "trial_batch", 1),
     )
     result = spec.run(scale=args.scale, run=config, **overrides)
     _print_result(result, args.markdown)

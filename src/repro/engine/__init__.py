@@ -51,6 +51,7 @@ from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
 from repro.engine.scheduler import PairScheduler, UniformPairScheduler, ordered_pair_index
 from repro.engine.simulation import Simulation, run_trials
 from repro.engine.state import AgentState
+from repro.engine.trial_batch import CountsTrialBatchSimulation, TrialBatchSimulation
 
 __all__ = [
     "AgentState",
@@ -60,6 +61,7 @@ __all__ = [
     "Configuration",
     "CountingHook",
     "CountsSimulation",
+    "CountsTrialBatchSimulation",
     "ENGINES",
     "InteractionHook",
     "PairScheduler",
@@ -70,6 +72,7 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "TraceRecorder",
+    "TrialBatchSimulation",
     "TrialStatistics",
     "UniformPairScheduler",
     "make_rng",

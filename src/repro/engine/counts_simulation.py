@@ -91,6 +91,41 @@ DEFAULT_DRIFT_CAP = 0.05
 _HARD_WINDOW_CAP = 1 << 62
 
 
+def active_pair_tables(compiled: CompiledProtocol) -> Dict[str, np.ndarray]:
+    """Static sampling tables over the full active state-pair support.
+
+    Unlike :meth:`CountsSimulation._build_structure`, which caches the
+    support of the *currently occupied* cells of one run, these tables
+    enumerate every ordered state pair the compiled ``changes`` mask marks
+    active, independent of the counts: empty cells carry zero probability
+    under the window law, so one table set serves every trial of a batched
+    sweep (:class:`repro.engine.trial_batch.CountsTrialBatchSimulation`).
+    Uniform-scheduler support only -- there are no weight classes here.
+    """
+    tables = _as_raw_tables(compiled)
+    num_states = compiled.num_states
+    changes = tables["changes"].reshape(num_states, num_states)
+    x, y = np.nonzero(changes)
+    x = x.astype(np.int64)
+    y = y.astype(np.int64)
+    rows = x * num_states + y
+    support: Dict[str, np.ndarray] = {
+        "x": x,
+        "y": y,
+        "diagonal": (x == y).astype(np.float64),
+        "rows": rows,
+        "num_branches": tables["probability"].shape[1],
+    }
+    if support["num_branches"] == 1:
+        support["out_initiator"] = tables["initiator"][rows, 0].astype(np.int64)
+        support["out_responder"] = tables["responder"][rows, 0].astype(np.int64)
+    else:
+        support["branch_pvals"] = tables["probability"][rows]
+        support["branch_initiator"] = tables["initiator"][rows].astype(np.int64)
+        support["branch_responder"] = tables["responder"][rows].astype(np.int64)
+    return support
+
+
 class CountsSimulation:
     """Runs one execution of a compiled protocol on a state-count vector.
 
@@ -784,4 +819,4 @@ class CountsSimulation:
         )
 
 
-__all__ = ["CountsSimulation", "DEFAULT_DRIFT_CAP"]
+__all__ = ["CountsSimulation", "DEFAULT_DRIFT_CAP", "active_pair_tables"]

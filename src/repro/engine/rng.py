@@ -51,6 +51,34 @@ def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
+#: Spawn-key namespace for :func:`batch_seed_sequence` side streams, chosen
+#: far above any plausible ``SeedSequence.spawn`` child index so batch-level
+#: streams can never collide with per-trial children of the same parent.
+_BATCH_STREAM_BASE = 1 << 31
+
+
+def batch_seed_sequence(
+    seed_seq: np.random.SeedSequence, stream: int = 0
+) -> np.random.SeedSequence:
+    """Derive a deterministic side-stream ``SeedSequence`` without spawning.
+
+    ``SeedSequence.spawn`` mutates the parent's spawn counter, so calling it
+    from two code paths would entangle their streams.  This instead builds a
+    sibling with an explicit spawn key -- the parent's key extended by
+    ``_BATCH_STREAM_BASE + stream`` -- which is (a) a pure function of the
+    input, (b) independent of every ``spawn()`` child (their key extensions
+    are small counters), and (c) never the parent itself.  The trial-batched
+    counts engine keys its batch-level generator off the batch's first trial
+    seed this way, so the stream is reproducible for any ``jobs`` layout.
+    """
+    if stream < 0 or stream >= _BATCH_STREAM_BASE:
+        raise ValueError(f"stream must be in [0, {_BATCH_STREAM_BASE}), got {stream}")
+    return np.random.SeedSequence(
+        entropy=seed_seq.entropy,
+        spawn_key=tuple(seed_seq.spawn_key) + (_BATCH_STREAM_BASE + stream,),
+    )
+
+
 def random_bits(rng: np.random.Generator, count: int) -> str:
     """Return ``count`` uniform random bits as a string of ``'0'``/``'1'``."""
     if count < 0:
@@ -76,6 +104,7 @@ def geometric_interactions(rng: np.random.Generator, success_probability: float)
 
 __all__ = [
     "RngLike",
+    "batch_seed_sequence",
     "geometric_interactions",
     "make_rng",
     "random_bits",

@@ -61,6 +61,17 @@ class RunConfig:
     jobs:
         Worker processes for multi-trial runs.  Results are bit-identical
         for every value -- parallelism redistributes work, never randomness.
+    trial_batch:
+        Trials advanced together by one trial-batched engine instance
+        (:mod:`repro.engine.trial_batch`).  ``1`` (the default) is the
+        per-trial path; larger values make :func:`~repro.experiments.harness.
+        run_trials` slice the trial list into batches of this size (each
+        worker process runs whole batches, so ``trial_batch`` composes with
+        ``jobs``).  Compiled-engine results stay bit-identical for every
+        value; counts-engine results are deterministic per
+        ``(seed, trial_batch)`` but follow the same law (see the module
+        docstring of :mod:`repro.engine.trial_batch`).  Ignored by the loop
+        engine path only in the sense that requesting it there is an error.
     faults:
         Optional :class:`~repro.adversary.plan.FaultPlan` both engines
         execute mid-run (timed corrupt / reset / reseed bursts).  The stop
@@ -80,6 +91,7 @@ class RunConfig:
     max_interactions: Optional[int] = None
     check_interval: Optional[int] = None
     jobs: int = 1
+    trial_batch: int = 1
     faults: Optional[object] = None
     scheduler: Optional[object] = None
 
@@ -108,6 +120,13 @@ class RunConfig:
             raise ValueError(f"unknown stop condition {self.stop!r}, expected one of {STOPS}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.trial_batch < 1:
+            raise ValueError(f"trial_batch must be positive, got {self.trial_batch}")
+        if self.trial_batch > 1 and self.engine == "loop":
+            raise ValueError(
+                "trial_batch > 1 requires a table engine ('compiled' or "
+                "'counts'); the loop engine advances one trial at a time"
+            )
         if self.max_interactions is not None and self.max_interactions < 0:
             raise ValueError(
                 f"max_interactions must be non-negative, got {self.max_interactions}"
@@ -135,6 +154,7 @@ class RunConfig:
             "max_interactions": self.max_interactions,
             "check_interval": self.check_interval,
             "jobs": self.jobs,
+            "trial_batch": self.trial_batch,
             "faults": self.faults.to_dict() if self.faults is not None else None,
             "scheduler": self.scheduler.to_dict() if self.scheduler is not None else None,
         }
@@ -174,9 +194,16 @@ def make_simulation(
     per-trial generator); ``compiled`` lets callers share one compiled table
     across trials.  Hooks are a loop-engine feature -- requesting them with
     a batched engine is an error rather than a silent no-op.  ``counts`` is
-    a counts-engine feature (the O(S) seed path for huge populations);
-    requesting it with a per-agent engine is likewise an error.
+    a table-engine feature (the O(S) seed path for huge populations): the
+    counts engine takes the vector directly; the compiled engine expands it
+    to the sorted per-agent index array ``repeat(arange(S), counts)``, which
+    is exchangeable with any other agent layout under the uniform scheduler
+    (agent identity never enters the pair law) -- so the expansion is
+    rejected when ``config.scheduler`` is identity-sensitive.  The loop
+    engine holds rich per-agent state objects and cannot be counts-seeded.
     """
+    import numpy as np
+
     from repro.engine.batch_simulation import BatchSimulation
     from repro.engine.counts_simulation import CountsSimulation
     from repro.engine.simulation import Simulation
@@ -185,10 +212,10 @@ def make_simulation(
         config = RunConfig()
     if rng is None:
         rng = config.seed
-    if counts is not None and config.engine != "counts":
+    if counts is not None and config.engine == "loop":
         raise ValueError(
-            "counts= seeds the counts engine only; "
-            f"engine={config.engine!r} holds per-agent state"
+            "counts= seeds the table engines only; "
+            f"engine={config.engine!r} holds per-agent state objects"
         )
     if config.engine == "counts":
         if hooks:
@@ -209,6 +236,20 @@ def make_simulation(
                 "interaction hooks require the loop engine; "
                 "BatchSimulation applies whole batches and cannot call them"
             )
+        if counts is not None:
+            if configuration is not None:
+                raise ValueError("pass at most one of configuration/counts")
+            if config.scheduler is not None and getattr(config.scheduler, "kind", None) != "uniform":
+                raise ValueError(
+                    "counts-seeding the compiled engine assumes exchangeable "
+                    "agents; an identity-sensitive scheduler needs an explicit "
+                    "configuration"
+                )
+            counts = np.asarray(counts, dtype=np.int64)
+            indices = np.repeat(
+                np.arange(len(counts), dtype=np.int32), counts
+            )
+            return BatchSimulation(protocol, indices=indices, rng=rng, compiled=compiled)
         return BatchSimulation(
             protocol, configuration=configuration, rng=rng, compiled=compiled
         )

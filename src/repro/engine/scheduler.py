@@ -61,6 +61,24 @@ def draw_uniform_pairs(
     return initiators, responders
 
 
+def draw_uniform_pair_matrix(
+    rngs, n: int, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw a ``(T, count)`` matrix of uniform ordered pairs, one row per trial.
+
+    The trial-batched engines' draw API: row ``t`` comes from ``rngs[t]`` via
+    one :func:`draw_uniform_pairs` call, so it is **bit-identical** to the
+    stream that trial would consume running alone -- batching redistributes
+    work, never randomness.  (The per-row Python loop is amortized: one call
+    refills thousands of pairs per trial.)
+    """
+    initiators = np.empty((len(rngs), count), dtype=np.int64)
+    responders = np.empty((len(rngs), count), dtype=np.int64)
+    for trial, rng in enumerate(rngs):
+        initiators[trial], responders[trial] = draw_uniform_pairs(rng, n, count)
+    return initiators, responders
+
+
 class PairScheduler(abc.ABC):
     """Abstract batched generator of ordered agent pairs.
 
@@ -163,6 +181,7 @@ def ordered_pair_index(
 __all__ = [
     "PairScheduler",
     "UniformPairScheduler",
+    "draw_uniform_pair_matrix",
     "draw_uniform_pairs",
     "ordered_pair_index",
 ]

@@ -141,6 +141,7 @@ def experiment_runner(
                 engine=config.engine,
                 stop=config.stop,
                 jobs=config.jobs,
+                trial_batch=config.trial_batch,
                 faults=config.faults.to_dict() if config.faults is not None else None,
                 scheduler=(
                     config.scheduler.to_dict() if config.scheduler is not None else None

@@ -40,6 +40,53 @@ def _one_infected_counts(protocol, compiled, rng) -> np.ndarray:
     return counts
 
 
+@experiment_runner("counts_table1")
+def run_counts_table1(params: Mapping, run: RunConfig) -> List[Dict]:
+    """Table-1-style convergence sweep at populations up to ``n = 1e8``.
+
+    The paper's Table 1 reports convergence times over repeated trials; this
+    is the counts-engine rendition at population sizes no per-agent engine
+    reaches: the two-way epidemic's completion law (~``ln n`` parallel time,
+    Lemma 2.7) measured over ``trials`` independent trials per ``n``.  The
+    engine is pinned to ``counts`` (the point of the experiment), and the
+    whole per-``n`` trial set runs through the trial-batched counts path --
+    ``trial_batch`` defaults to the full trial count unless the caller set
+    one explicitly on the :class:`RunConfig`.
+    """
+    opts = read_params(params, ns=(1_000_000, 100_000_000), trials=5)
+    ns, trials = opts["ns"], opts["trials"]
+    rows: List[Dict] = []
+    seeds = spawn_seed_sequences(run.seed, len(ns))
+    for n, n_seed in zip(ns, seeds):
+        config = run.replace(
+            seed=np.random.default_rng(n_seed),
+            engine="counts",
+            stop="correct",
+            trial_batch=run.trial_batch if run.trial_batch > 1 else trials,
+        )
+        started = time.perf_counter()
+        results = run_trials(
+            lambda n=n: TwoWayEpidemicProtocol(n),
+            trials=trials,
+            run=config,
+            counts_factory=_one_infected_counts,
+        )
+        wall = time.perf_counter() - started
+        times = np.array([result.parallel_time for result in results])
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "trial_batch": config.trial_batch,
+                "mean parallel time": float(times.mean()),
+                "std parallel time": float(times.std()),
+                "time / ln n": float(times.mean() / np.log(n)),
+                "wall (s)": wall,
+            }
+        )
+    return rows
+
+
 @experiment_runner("counts_scaling")
 def run_counts_scaling(params: Mapping, run: RunConfig) -> List[Dict]:
     """Throughput of the selected engine on the epidemic across population sizes."""

@@ -37,8 +37,12 @@ from repro.engine.compiled import CompiledProtocol, ProtocolCompiler
 from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult, TrialStatistics
-from repro.engine.rng import RngLike, spawn_seed_sequences
+from repro.engine.rng import RngLike, batch_seed_sequence, spawn_seed_sequences
 from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
+from repro.engine.trial_batch import (
+    CountsTrialBatchSimulation,
+    TrialBatchSimulation,
+)
 from repro.experiments.api import (
     DEFAULT_EXPERIMENT_SEED,
     RUN_OPTION_KEYS,
@@ -148,23 +152,24 @@ class ExperimentSpec:
         seed: Optional[int] = None,
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
+        trial_batch: Optional[int] = None,
         **overrides,
     ) -> ExperimentResult:
         """Run the experiment at the requested scale and return the result.
 
         Either pass a complete ``run=RunConfig(...)`` or let this method
-        build one from ``seed``/``engine``/``jobs`` (defaults: seed 0,
-        loop engine, one worker).  ``overrides`` update the scale's
-        experiment parameters.
+        build one from ``seed``/``engine``/``jobs``/``trial_batch``
+        (defaults: seed 0, loop engine, one worker, per-trial execution).
+        ``overrides`` update the scale's experiment parameters.
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
         params = dict(self.quick_params if scale == "quick" else self.full_params)
         params.update(overrides)
         if run is not None:
-            if seed is not None or engine is not None or jobs is not None:
+            if seed is not None or engine is not None or jobs is not None or trial_batch is not None:
                 raise TypeError(
-                    "pass seed/engine/jobs on the RunConfig, not alongside it"
+                    "pass seed/engine/jobs/trial_batch on the RunConfig, not alongside it"
                 )
             config = run
         else:
@@ -172,6 +177,7 @@ class ExperimentSpec:
                 seed=DEFAULT_EXPERIMENT_SEED if seed is None else seed,
                 engine=engine if engine is not None else "loop",
                 jobs=jobs if jobs is not None else 1,
+                trial_batch=trial_batch if trial_batch is not None else 1,
             )
         started = time.perf_counter()
         outcome = self.runner(params, config)
@@ -185,6 +191,7 @@ class ExperimentSpec:
                 engine=config.engine,
                 stop=config.stop,
                 jobs=config.jobs,
+                trial_batch=config.trial_batch,
                 faults=config.faults.to_dict() if config.faults is not None else None,
                 scheduler=(
                     config.scheduler.to_dict() if config.scheduler is not None else None
@@ -244,6 +251,111 @@ def _pool_trial(index: int) -> SimulationResult:
     )
 
 
+def _batchable(config: RunConfig) -> bool:
+    """Whether the trial-batched engines can honour this config.
+
+    Fault plans with events and non-uniform schedulers are per-trial
+    constructs; the harness silently falls back to per-trial execution for
+    them (the batched path is an optimization, not a semantic switch).
+    """
+    if config.faults is not None and config.faults.events:
+        return False
+    if config.scheduler is not None and getattr(config.scheduler, "kind", None) != "uniform":
+        return False
+    return config.engine in ("compiled", "counts")
+
+
+def _execute_trial_batch(
+    protocol_factory: Callable[[], PopulationProtocol],
+    configuration_factory: Optional[ConfigurationFactory],
+    config: RunConfig,
+    compiled: CompiledProtocol,
+    seeds: Sequence[np.random.SeedSequence],
+    counts_factory: Optional[CountsFactory] = None,
+) -> List[SimulationResult]:
+    """Run one batch of trials through a trial-batched engine.
+
+    Seeding consumes each trial's generator exactly as the per-trial path
+    does (fresh protocol, then configuration/counts factory), so for the
+    compiled engine the whole per-trial stream -- seeding plus execution --
+    is bit-identical for every batch composition.
+    """
+    rngs = [np.random.default_rng(seed_seq) for seed_seq in seeds]
+    shared = protocol_factory()
+    if config.engine == "compiled":
+        if counts_factory is not None:
+            rows = [counts_factory(protocol_factory(), compiled, rng) for rng in rngs]
+            indices = np.stack(
+                [
+                    np.repeat(
+                        np.arange(compiled.num_states, dtype=np.int32),
+                        np.asarray(row, dtype=np.int64),
+                    )
+                    for row in rows
+                ]
+            )
+            simulation = TrialBatchSimulation(
+                shared, rngs, indices=indices, compiled=compiled
+            )
+        else:
+            configurations = []
+            for rng in rngs:
+                protocol = protocol_factory()
+                configurations.append(
+                    configuration_factory(protocol, rng)
+                    if configuration_factory is not None
+                    else protocol.initial_configuration(rng)
+                )
+            simulation = TrialBatchSimulation(
+                shared, rngs, configurations=configurations, compiled=compiled
+            )
+        return simulation.run(config)
+    # counts engine: per-trial generators seed the start rows, one derived
+    # batch-level generator (independent of all of them) drives the sampling.
+    rows = []
+    for rng in rngs:
+        protocol = protocol_factory()
+        if counts_factory is not None:
+            rows.append(np.asarray(counts_factory(protocol, compiled, rng), dtype=np.int64))
+        else:
+            configuration = (
+                configuration_factory(protocol, rng)
+                if configuration_factory is not None
+                else protocol.initial_configuration(rng)
+            )
+            rows.append(
+                np.bincount(
+                    compiled.encode_configuration(configuration),
+                    minlength=compiled.num_states,
+                )
+            )
+    batch_rng = np.random.default_rng(batch_seed_sequence(seeds[0]))
+    simulation = CountsTrialBatchSimulation(
+        shared, np.stack(rows), rng=batch_rng, compiled=compiled
+    )
+    return simulation.run(config)
+
+
+def _pool_trial_batch(start: int) -> List[SimulationResult]:
+    """Pool worker entry point: run the batch starting at trial ``start``."""
+    state = _POOL_STATE
+    if state is None:
+        raise RuntimeError(
+            "worker has no inherited trial context; the parallel harness "
+            "requires fork-started workers"
+        )
+    config: RunConfig = state["config"]
+    seeds = state["seeds"][start : start + config.trial_batch]
+    return _execute_trial_batch(
+        protocol_factory=state["protocol_factory"],
+        configuration_factory=state["configuration_factory"],
+        config=config,
+        compiled=state["compiled"],
+        seeds=seeds,
+        counts_factory=state["counts_factory"],
+    )
+
+
 def run_trials(
     protocol_factory: Callable[[], PopulationProtocol],
     trials: int,
@@ -276,17 +388,26 @@ def run_trials(
     ``fork`` start method the harness degrades to sequential execution (same
     results, no speedup).
 
-    ``counts_factory`` seeds counts-engine trials with a state-count vector
-    (O(S) instead of O(n)); it requires ``engine="counts"`` and is mutually
-    exclusive with ``configuration_factory``.
+    ``counts_factory`` seeds table-engine trials with a state-count vector
+    (O(S) instead of O(n)); it requires a table engine (``"counts"`` or
+    ``"compiled"``, where the vector expands to a sorted index array --
+    exchangeable under the uniform scheduler) and is mutually exclusive with
+    ``configuration_factory``.
+
+    ``run.trial_batch > 1`` slices the trial list into batches of that size
+    and advances each batch as one trial-batched engine instance
+    (:mod:`repro.engine.trial_batch`); with ``jobs > 1`` each worker process
+    runs whole batches.  Compiled-engine per-trial results are bit-identical
+    for every ``trial_batch`` x ``jobs`` composition; fault plans with
+    events and non-uniform schedulers fall back to per-trial execution.
     """
     config = _coerce_run_config(run, legacy, caller="run_trials")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     if counts_factory is not None:
-        if config.engine != "counts":
+        if config.engine not in ("counts", "compiled"):
             raise ValueError(
-                f"counts_factory requires engine='counts', got {config.engine!r}"
+                f"counts_factory requires a table engine, got {config.engine!r}"
             )
         if configuration_factory is not None:
             raise ValueError(
@@ -298,9 +419,13 @@ def run_trials(
         if config.engine in ("compiled", "counts")
         else None
     )
+    batched = config.trial_batch > 1 and _batchable(config)
+    units = (
+        list(range(0, trials, config.trial_batch)) if batched else list(range(trials))
+    )
 
     context = None
-    if config.jobs > 1 and trials > 1:
+    if config.jobs > 1 and len(units) > 1:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
@@ -308,6 +433,21 @@ def run_trials(
 
     if context is None:
         results: List[SimulationResult] = []
+        if batched:
+            for start in units:
+                batch = _execute_trial_batch(
+                    protocol_factory=protocol_factory,
+                    configuration_factory=configuration_factory,
+                    config=config,
+                    compiled=compiled,
+                    seeds=seeds[start : start + config.trial_batch],
+                    counts_factory=counts_factory,
+                )
+                for offset, result in enumerate(batch):
+                    results.append(result)
+                    if on_trial_done is not None:
+                        on_trial_done(start + offset, result)
+            return results
         for index, seed_seq in enumerate(seeds):
             result = _execute_trial(
                 protocol_factory=protocol_factory,
@@ -332,10 +472,21 @@ def run_trials(
         "counts_factory": counts_factory,
     }
     try:
-        workers = min(config.jobs, trials)
+        workers = min(config.jobs, len(units))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
-            chunksize = max(1, trials // (4 * workers))
             results = []
+            if batched:
+                # One batch per map item: batches are the work unit, so the
+                # pool schedules them whole (batch-per-worker composition).
+                for start, batch in zip(
+                    units, executor.map(_pool_trial_batch, units, chunksize=1)
+                ):
+                    for offset, result in enumerate(batch):
+                        results.append(result)
+                        if on_trial_done is not None:
+                            on_trial_done(start + offset, result)
+                return results
+            chunksize = max(1, trials // (4 * workers))
             for index, result in enumerate(
                 executor.map(_pool_trial, range(trials), chunksize=chunksize)
             ):

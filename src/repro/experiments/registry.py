@@ -30,7 +30,7 @@ from repro.experiments.epidemic_experiments import (
     run_epidemic,
     run_roll_call,
 )
-from repro.experiments.counts_experiments import run_counts_scaling
+from repro.experiments.counts_experiments import run_counts_scaling, run_counts_table1
 from repro.experiments.harness import ExperimentSpec
 from repro.experiments.lower_bounds import (
     run_fratricide_failure,
@@ -143,6 +143,22 @@ _register(
         ),
         quick_params={"ns": (1_000, 10_000), "trials": 3},
         full_params={"ns": (1_000_000, 10_000_000), "trials": 3},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="counts_table1",
+        title="Table-1-style convergence sweep at n up to 1e8 (counts engine)",
+        paper_reference="Table 1 / Lemma 2.7",
+        runner=run_counts_table1,
+        description=(
+            "Epidemic completion-time statistics at populations only the "
+            "agent-free counts engine reaches, executed through the "
+            "trial-batched counts path (all trials of one n advance as a "
+            "single (T, S) matrix; see docs/ARCHITECTURE.md)."
+        ),
+        quick_params={"ns": (10_000, 100_000), "trials": 4},
+        full_params={"ns": (1_000_000, 100_000_000), "trials": 5},
     )
 )
 _register(
@@ -344,16 +360,23 @@ def run_experiment(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     jobs: Optional[int] = None,
+    trial_batch: Optional[int] = None,
     **overrides,
 ) -> ExperimentResult:
     """Resolve ``identifier`` and run it with a uniformly built ``RunConfig``.
 
     Pass either a complete ``run=RunConfig(...)`` or the individual
-    ``seed``/``engine``/``jobs`` options (the CLI flags); ``overrides``
-    update the scale's experiment parameters.
+    ``seed``/``engine``/``jobs``/``trial_batch`` options (the CLI flags);
+    ``overrides`` update the scale's experiment parameters.
     """
     return get_experiment(identifier).run(
-        scale=scale, run=run, seed=seed, engine=engine, jobs=jobs, **overrides
+        scale=scale,
+        run=run,
+        seed=seed,
+        engine=engine,
+        jobs=jobs,
+        trial_batch=trial_batch,
+        **overrides,
     )
 
 

@@ -78,6 +78,7 @@ class ExperimentResult:
     engine: str = "loop"
     stop: str = "stabilized"
     jobs: int = 1
+    trial_batch: int = 1
     faults: Optional[Dict[str, Any]] = None
     scheduler: Optional[Dict[str, Any]] = None
     wall_time: float = 0.0
@@ -121,6 +122,7 @@ class ExperimentResult:
             "engine": self.engine,
             "stop": self.stop,
             "jobs": self.jobs,
+            "trial_batch": self.trial_batch,
             "faults": self.faults,
             "scheduler": self.scheduler,
             "wall_time": self.wall_time,
@@ -154,6 +156,7 @@ class ExperimentResult:
             engine=provenance.get("engine", "loop"),
             stop=provenance.get("stop", "stabilized"),
             jobs=provenance.get("jobs", 1),
+            trial_batch=provenance.get("trial_batch", 1),
             faults=provenance.get("faults"),
             scheduler=provenance.get("scheduler"),
             wall_time=provenance.get("wall_time", 0.0),

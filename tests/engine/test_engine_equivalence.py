@@ -2,12 +2,13 @@
 
 Four layers of agreement, from statistical to exact:
 
-1. **Convergence-time law** -- the engines (loop, compiled, counts) consume
-   their generators differently, so runs are not bitwise identical; instead,
-   for every protocol the compiler supports, the distributions of convergence
+1. **Convergence-time law** -- the engines (loop, compiled, counts, and the
+   trial-batched variants of the latter two) consume their generators
+   differently, so runs are not bitwise identical; instead, for every
+   protocol the compiler supports, the distributions of convergence
    (parallel) times over independent seeded trials must be pairwise
    statistically indistinguishable (two-sample Kolmogorov-Smirnov plus a
-   loose mean-ratio sanity check) across all three engines.
+   loose mean-ratio sanity check) across all five samplers.
 2. **Window replay** -- at small ``n`` every window the counts engine samples
    is replayed pair-by-pair through the compiled table; the replayed count
    histogram must equal the vector-applied one *exactly*, and every sampled
@@ -42,7 +43,9 @@ from repro.engine.compiled import ProtocolCompiler, _as_raw_tables
 from repro.engine.counts_simulation import CountsSimulation
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import make_rng, spawn_rngs
+from repro.engine.run_config import RunConfig
 from repro.engine.simulation import Simulation
+from repro.engine.trial_batch import CountsTrialBatchSimulation, TrialBatchSimulation
 from repro.engine.state import AgentState
 from repro.processes.bounded_epidemic import (
     UNREACHED,
@@ -215,10 +218,49 @@ TABLE_CASES = {
 
 #: Per-engine seeds for the convergence matrix (distinct on purpose: the law
 #: must agree across *independent* sample sets, not shared randomness).
-ENGINE_SEEDS = {"loop": 1234, "compiled": 5678, "counts": 9012}
+ENGINE_SEEDS = {
+    "loop": 1234,
+    "compiled": 5678,
+    "counts": 9012,
+    "batched-compiled": 3456,
+    "batched-counts": 7890,
+}
+
+
+def batched_convergence_times(case, engine: str, seed: int) -> np.ndarray:
+    """All trials in one trial-batched engine call (the ``trial_batch`` path)."""
+    rngs = spawn_rngs(seed, TRIALS)
+    protocol = case["protocol"]()
+    compiled = ProtocolCompiler().compile(protocol)
+    configurations = [
+        case["configuration"](case["protocol"](), rng) for rng in rngs
+    ]
+    if engine == "batched-compiled":
+        simulation = TrialBatchSimulation(
+            protocol, rngs, configurations=configurations, compiled=compiled
+        )
+    else:
+        rows = np.stack(
+            [
+                np.bincount(
+                    compiled.encode_configuration(configuration),
+                    minlength=compiled.num_states,
+                )
+                for configuration in configurations
+            ]
+        )
+        simulation = CountsTrialBatchSimulation(
+            protocol, rows, rng=make_rng(seed), compiled=compiled
+        )
+    results = simulation.run(RunConfig(engine="compiled", stop=case["stop"]))
+    for result in results:
+        assert result.stopped, f"{protocol.name} did not converge on {engine}"
+    return np.asarray([result.parallel_time for result in results])
 
 
 def convergence_times(case, engine: str, seed: int) -> np.ndarray:
+    if engine.startswith("batched-"):
+        return batched_convergence_times(case, engine, seed)
     times = []
     compiled = None
     for rng in spawn_rngs(seed, TRIALS):
@@ -247,7 +289,7 @@ def convergence_times(case, engine: str, seed: int) -> np.ndarray:
 
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_engines_agree_on_convergence_distribution(name):
-    """Pairwise KS across the three engines: one law, three samplers."""
+    """Pairwise KS across the engines: one law, five samplers."""
     case = CASES[name]
     times = {
         engine: convergence_times(case, engine, seed)

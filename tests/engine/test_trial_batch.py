@@ -1,0 +1,239 @@
+"""Trial-axis batched execution: the bit-identity and routing contract.
+
+The compiled batched engine promises that trial ``i``'s random stream is a
+function of ``(seed, i)`` alone -- never of how trials are grouped into
+batches or distributed over workers.  These tests pin that down exactly
+(``==`` on result lists, not statistics), plus the contract plumbing around
+it: ``RunConfig.trial_batch`` validation and serialization, the harness's
+fallback to the per-trial path for unbatchable configurations, the compiled
+engine's count-vector seeding, and the batched engines' own constructor and
+one-shot-run validation.  Statistical equivalence against the sequential
+engines lives in ``test_engine_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary.plan import FaultPlan
+from repro.adversary.schedulers import SchedulerSpec
+from repro.engine.rng import spawn_seed_sequences
+from repro.engine.run_config import RunConfig, make_simulation
+from repro.engine.trial_batch import (
+    CountsTrialBatchSimulation,
+    TrialBatchSimulation,
+)
+from repro.experiments.harness import run_trials
+from repro.processes.epidemic import EpidemicState, TwoWayEpidemicProtocol
+
+N = 256
+TRIALS = 12
+SEED = 99
+
+
+def _infected_counts(protocol, compiled, rng):
+    counts = np.zeros(compiled.num_states, dtype=np.int64)
+    counts[compiled.encode_state(EpidemicState(True))] = 1
+    counts[compiled.encode_state(EpidemicState(False))] = protocol.n - 1
+    return counts
+
+
+def _epidemic_sweep(engine, trial_batch, jobs=1, **overrides):
+    config = RunConfig(
+        seed=SEED,
+        engine=engine,
+        stop="correct",
+        trial_batch=trial_batch,
+        jobs=jobs,
+        **overrides,
+    )
+    return run_trials(
+        lambda: TwoWayEpidemicProtocol(N),
+        trials=TRIALS,
+        run=config,
+        counts_factory=_infected_counts,
+    )
+
+
+class TestCompiledBitIdentity:
+    def test_results_independent_of_batch_size(self):
+        whole = _epidemic_sweep("compiled", TRIALS)
+        for trial_batch in (2, 5):
+            assert _epidemic_sweep("compiled", trial_batch) == whole
+
+    def test_results_independent_of_worker_count(self):
+        assert _epidemic_sweep("compiled", 4, jobs=2) == _epidemic_sweep(
+            "compiled", 4, jobs=1
+        )
+
+    def test_each_trial_matches_running_it_alone(self):
+        """Trial i in a batch == trial i as a batch of one (same seed child)."""
+        batched = _epidemic_sweep("compiled", TRIALS)
+        protocol = TwoWayEpidemicProtocol(N)
+        seeds = spawn_seed_sequences(SEED, TRIALS)
+        config = RunConfig(seed=SEED, engine="compiled", stop="correct")
+        for trial in (0, TRIALS // 2, TRIALS - 1):
+            rng = np.random.default_rng(seeds[trial])
+            row = np.repeat(
+                np.arange(2, dtype=np.int32),
+                _infected_counts(protocol, _compiled(protocol), rng),
+            )
+            alone = TrialBatchSimulation(protocol, [rng], indices=row[None, :])
+            assert alone.run(config) == [batched[trial]]
+
+
+def _compiled(protocol):
+    from repro.engine.compiled import ProtocolCompiler
+
+    return ProtocolCompiler().compile(protocol)
+
+
+class TestCountsBatchedDeterminism:
+    def test_deterministic_per_seed_and_batch_size(self):
+        assert _epidemic_sweep("counts", TRIALS) == _epidemic_sweep("counts", TRIALS)
+
+    def test_worker_layout_does_not_change_results(self):
+        assert _epidemic_sweep("counts", 4, jobs=2) == _epidemic_sweep(
+            "counts", 4, jobs=1
+        )
+
+
+class TestRunConfigContract:
+    def test_trial_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="trial_batch must be positive"):
+            RunConfig(trial_batch=0)
+
+    def test_loop_engine_rejects_batching(self):
+        with pytest.raises(ValueError, match="requires a table engine"):
+            RunConfig(engine="loop", trial_batch=8)
+
+    def test_round_trips_through_dict(self):
+        config = RunConfig(seed=7, engine="compiled", stop="correct", trial_batch=16)
+        restored = RunConfig.from_dict(config.to_dict())
+        assert restored.trial_batch == 16
+        assert restored == config
+
+
+class TestHarnessRouting:
+    def test_non_uniform_scheduler_falls_back_to_per_trial(self):
+        """Batched request + biased scheduler == the per-trial path, exactly.
+
+        Configuration seeding here: an identity-sensitive scheduler rejects
+        the count-vector fast path (agents are no longer exchangeable).
+        """
+        spec = SchedulerSpec(kind="biased", hot_fraction=0.05, hot_weight=4.0)
+
+        def sweep(trial_batch):
+            config = RunConfig(
+                seed=SEED,
+                engine="compiled",
+                stop="correct",
+                trial_batch=trial_batch,
+                scheduler=spec,
+            )
+            return run_trials(
+                lambda: TwoWayEpidemicProtocol(N), trials=TRIALS, run=config
+            )
+
+        assert sweep(TRIALS) == sweep(1)
+
+    def test_uniform_scheduler_spec_stays_batched(self):
+        spec = SchedulerSpec(kind="uniform")
+        assert _epidemic_sweep("compiled", TRIALS, scheduler=spec) == _epidemic_sweep(
+            "compiled", TRIALS
+        )
+
+
+class TestCompiledCountsSeeding:
+    def test_counts_seed_expands_to_sorted_indices(self):
+        protocol = TwoWayEpidemicProtocol(8)
+        config = RunConfig(seed=1, engine="compiled")
+        simulation = make_simulation(protocol, config, counts=np.array([5, 3]))
+        assert np.bincount(simulation.indices, minlength=2).tolist() == [5, 3]
+
+    def test_counts_seed_rejects_identity_sensitive_scheduler(self):
+        protocol = TwoWayEpidemicProtocol(8)
+        config = RunConfig(
+            seed=1,
+            engine="compiled",
+            scheduler=SchedulerSpec(kind="biased", hot_fraction=0.25, hot_weight=2.0),
+        )
+        with pytest.raises(ValueError, match="exchangeable"):
+            make_simulation(protocol, config, counts=np.array([5, 3]))
+
+    def test_counts_and_configuration_are_exclusive(self):
+        protocol = TwoWayEpidemicProtocol(4)
+        configuration = protocol.initial_configuration(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="at most one"):
+            make_simulation(
+                protocol,
+                RunConfig(engine="compiled"),
+                configuration=configuration,
+                counts=np.array([3, 1]),
+            )
+
+
+class TestEngineValidation:
+    def setup_method(self):
+        self.protocol = TwoWayEpidemicProtocol(8)
+        self.rngs = [np.random.default_rng(i) for i in range(3)]
+        self.rows = np.tile(
+            np.repeat(np.arange(2, dtype=np.int32), [1, 7]), (3, 1)
+        )
+
+    def test_requires_exactly_one_seeding_argument(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            TrialBatchSimulation(self.protocol, self.rngs)
+        configurations = [
+            self.protocol.initial_configuration(np.random.default_rng(i))
+            for i in range(3)
+        ]
+        with pytest.raises(ValueError, match="exactly one"):
+            TrialBatchSimulation(
+                self.protocol,
+                self.rngs,
+                indices=self.rows,
+                configurations=configurations,
+            )
+
+    def test_rejects_wrong_indices_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            TrialBatchSimulation(self.protocol, self.rngs, indices=self.rows[:, :4])
+
+    def test_rejects_out_of_range_states(self):
+        bad = self.rows.copy()
+        bad[0, 0] = 99
+        with pytest.raises(ValueError, match="out of range"):
+            TrialBatchSimulation(self.protocol, self.rngs, indices=bad)
+
+    def test_run_is_one_shot(self):
+        simulation = TrialBatchSimulation(self.protocol, self.rngs, indices=self.rows)
+        config = RunConfig(engine="compiled", stop="correct")
+        simulation.run(config)
+        with pytest.raises(RuntimeError, match="one-shot"):
+            simulation.run(config)
+
+    def test_rejects_fault_events_and_non_uniform_schedulers(self):
+        config = RunConfig(
+            engine="compiled", stop="correct", faults=FaultPlan.bursts([(0, 2)])
+        )
+        simulation = TrialBatchSimulation(self.protocol, self.rngs, indices=self.rows)
+        with pytest.raises(NotImplementedError, match="fault"):
+            simulation.run(config)
+        biased = RunConfig(
+            engine="compiled",
+            stop="correct",
+            scheduler=SchedulerSpec(kind="biased", hot_fraction=0.25, hot_weight=2.0),
+        )
+        simulation = TrialBatchSimulation(self.protocol, self.rngs, indices=self.rows)
+        with pytest.raises(NotImplementedError, match="scheduler"):
+            simulation.run(biased)
+
+    def test_counts_matrix_rows_must_sum_to_n(self):
+        bad = np.array([[1, 6], [1, 7], [1, 7]])
+        with pytest.raises(ValueError, match="sum to the population size"):
+            CountsTrialBatchSimulation(self.protocol, bad)
+
+    def test_counts_matrix_must_be_non_negative(self):
+        bad = np.array([[-1, 9], [1, 7], [1, 7]])
+        with pytest.raises(ValueError, match="non-negative"):
+            CountsTrialBatchSimulation(self.protocol, bad)

@@ -1,0 +1,80 @@
+"""``--trial-batch`` through the registry and CLI, and the counts_table1 sweep.
+
+The contract: ``trial_batch`` rides the same provenance rails as every other
+execution option -- stamped into the saved artifact, restored by
+``ExperimentResult.load``, and invisible to the rendered table (``repro
+report`` reproduces the ``repro run`` rendering byte-for-byte from the
+artifact alone).  The ``counts_table1`` experiment is the registry's consumer
+of the batched counts path, so its quick scale doubles as the end-to-end
+smoke test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENT = "counts_table1"
+CLI_ARGS = [
+    "run",
+    EXPERIMENT,
+    "--scale",
+    "quick",
+    "--seed",
+    "3",
+    "--engine",
+    "counts",
+    "--trial-batch",
+    "4",
+]
+
+
+class TestCountsTable1:
+    def test_registered_with_paper_reference(self):
+        spec = get_experiment(EXPERIMENT)
+        assert "Table 1" in spec.paper_reference
+        assert spec.quick_params["trials"] >= 2
+
+    def test_quick_sweep_rows_and_provenance(self):
+        result = run_experiment(
+            EXPERIMENT, scale="quick", seed=11, engine="counts", trial_batch=4
+        )
+        assert result.provenance()["trial_batch"] == 4
+        assert [row["trial_batch"] for row in result.rows] == [4, 4]
+        for row in result.rows:
+            # Theta(log n) convergence: parallel time a small multiple of ln n.
+            assert 0.5 < row["mean parallel time"] / np.log(row["n"]) < 3.0
+
+    def test_default_trial_batch_is_the_trial_count(self):
+        """Without an explicit override the sweep batches all trials at once."""
+        result = run_experiment(EXPERIMENT, scale="quick", seed=11)
+        trials = get_experiment(EXPERIMENT).quick_params["trials"]
+        assert all(row["trial_batch"] == trials for row in result.rows)
+
+
+class TestTrialBatchCli:
+    def _run(self, capsys, tmp_path):
+        assert main(CLI_ARGS + ["--output", str(tmp_path)]) == 0
+        return capsys.readouterr().out
+
+    def test_artifact_round_trips_with_trial_batch(self, capsys, tmp_path):
+        self._run(capsys, tmp_path)
+        artifact = tmp_path / f"{EXPERIMENT}.json"
+        original = artifact.read_bytes()
+        restored = ExperimentResult.load(artifact)
+        assert restored.trial_batch == 4
+        restored.save(artifact)
+        assert artifact.read_bytes() == original
+
+    def test_report_reproduces_the_run_rendering(self, capsys, tmp_path):
+        run_output = self._run(capsys, tmp_path)
+        table, separator, _ = run_output.partition("-- artifact:")
+        assert separator
+        assert main(["report", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == table
+
+    def test_trial_batch_rejected_on_the_loop_engine(self):
+        with pytest.raises(ValueError, match="requires a table engine"):
+            main(["run", EXPERIMENT, "--scale", "quick", "--trial-batch", "4"])

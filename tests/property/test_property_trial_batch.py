@@ -1,0 +1,57 @@
+"""Property-based tests (hypothesis) on trial-batched freezing.
+
+The trial-batched compiled engine keeps every trial's state row in one
+``(T, n)`` matrix and advances only the live trials; a trial that has
+converged (or hit the interaction cap) is *frozen* -- excluded from the
+round's apply masks.  The property pinned down here: once a trial freezes,
+its state row never changes again, no matter how long the surviving trials
+keep running and scattering into the shared flat state vector.  The engine's
+``record_freezes`` debug surface snapshots each row at the moment it
+freezes, so the property is a direct array comparison against the final
+matrix.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.run_config import RunConfig
+from repro.engine.trial_batch import TrialBatchSimulation
+from repro.engine.rng import spawn_rngs
+from repro.processes.epidemic import TwoWayEpidemicProtocol
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=48),
+    trials=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    cap=st.integers(min_value=0, max_value=2_000),
+)
+def test_frozen_trials_never_mutate(n, trials, seed, cap):
+    """Each trial's freeze-time snapshot equals its final state row.
+
+    The interaction cap is drawn too, so trials freeze through both exits
+    (converged and capped) at staggered times while batchmates keep running.
+    """
+    protocol = TwoWayEpidemicProtocol(n)
+    rngs = spawn_rngs(seed, trials)
+    configurations = [protocol.initial_configuration(rng) for rng in rngs]
+    simulation = TrialBatchSimulation(
+        protocol, rngs, configurations=configurations, record_freezes=True
+    )
+    results = simulation.run(
+        RunConfig(engine="compiled", stop="correct", max_interactions=cap)
+    )
+
+    assert sorted(simulation.freeze_snapshots) == list(range(trials))
+    for trial, result in enumerate(results):
+        snapshot = simulation.freeze_snapshots[trial]
+        final = simulation.state_rows[trial]
+        assert np.array_equal(snapshot, final), (
+            f"trial {trial} mutated after freezing "
+            f"(stopped={result.stopped}, reason={result.reason})"
+        )
+        assert result.interactions <= cap
+        if not result.stopped:
+            assert result.interactions == cap
