@@ -24,9 +24,11 @@ Quickstart
 True
 """
 
+from repro.adversary.byzantine import ByzantineSpec
 from repro.adversary.plan import FaultEvent, FaultPlan
 from repro.adversary.schedulers import SchedulerSpec
 from repro.core import (
+    EpsilonConsensusProtocol,
     FratricideLeaderElection,
     OptimalSilentSSR,
     ResetWaveProtocol,
@@ -52,14 +54,16 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchSimulation",
+    "ByzantineSpec",
     "CompilationError",
     "CompiledProtocol",
     "Configuration",
     "CountsSimulation",
+    "EpsilonConsensusProtocol",
     "FaultEvent",
     "FaultPlan",
     "FratricideLeaderElection",

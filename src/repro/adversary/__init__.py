@@ -17,15 +17,27 @@ an adversary has crafted.  This subpackage centralizes the attacks:
   (weight-proportional) and epoch-partition (split-then-merge)
   implementations of the engine's scheduler contract, declaratively
   described by :class:`SchedulerSpec`.
+* **Persistent Byzantine agents** (:mod:`repro.adversary.byzantine`): a
+  fraction of the population permanently runs a hostile transition table
+  (worst-case responder / random-reply / cheat-then-punish), implemented as
+  a state-tag overlay on the compiled encoding so all three engines honour
+  it; declaratively described by :class:`ByzantineSpec`.
 
-Plans and scheduler specs ride on
-:class:`~repro.engine.run_config.RunConfig` (fields ``faults`` and
-``scheduler``), so a stress scenario flows unchanged from the CLI through
-the harness into either engine and into persisted artifact provenance; see
-``docs/ARCHITECTURE.md`` (adversary subsystem) and the ``repro stress``
-CLI subcommand.
+Plans, scheduler specs, and byzantine specs ride on
+:class:`~repro.engine.run_config.RunConfig` (fields ``faults``,
+``scheduler``, and ``byzantine``), so a stress scenario flows unchanged from
+the CLI through the harness into any engine and into persisted artifact
+provenance; see ``docs/ARCHITECTURE.md`` (adversary subsystem) and the
+``repro stress`` CLI subcommand.
 """
 
+from repro.adversary.byzantine import (
+    BYZANTINE_STRATEGIES,
+    ByzantineOverlay,
+    ByzantineOverlayError,
+    ByzantineSpec,
+    build_byzantine_overlay,
+)
 from repro.adversary.campaign import FaultCampaign, FaultCheckpoint, signature_digest
 from repro.adversary.faults import inject_transient_faults
 from repro.adversary.initial_configs import (
@@ -44,7 +56,12 @@ from repro.adversary.schedulers import (
 )
 
 __all__ = [
+    "BYZANTINE_STRATEGIES",
     "BiasedPairScheduler",
+    "ByzantineOverlay",
+    "ByzantineOverlayError",
+    "ByzantineSpec",
+    "build_byzantine_overlay",
     "EpochPartitionScheduler",
     "FAULT_KINDS",
     "FaultCampaign",

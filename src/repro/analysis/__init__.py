@@ -24,6 +24,13 @@ from repro.analysis.stabilization import (
     recovery_statistics,
 )
 from repro.analysis.state_space import ObservedStateCounter, count_observed_states
+from repro.analysis.tolerance import (
+    max_tolerated_fraction,
+    measure_tolerance,
+    stabilized_fraction,
+    tolerance_curve,
+    tolerance_point,
+)
 from repro.analysis.statistics import summarize
 from repro.analysis.traces import (
     MetricSeries,
@@ -75,12 +82,17 @@ __all__ = [
     "harmonic_number",
     "janson_lower_tail",
     "janson_upper_tail",
+    "max_tolerated_fraction",
     "measure_recovery",
+    "measure_tolerance",
     "predicted_parallel_time",
     "recovered_fraction",
     "recovery_curve",
     "recovery_interactions",
     "recovery_parallel_time",
     "recovery_statistics",
+    "stabilized_fraction",
     "summarize",
+    "tolerance_curve",
+    "tolerance_point",
 ]

@@ -40,6 +40,11 @@ either engine, persisting artifacts like any other experiment::
 
     python -m repro stress --scale quick --seed 1
     python -m repro stress recovery_burst --engine compiled --output artifacts/
+
+Run only the persistent-Byzantine families (tolerance curves and
+approximate consensus vs the theory phase count)::
+
+    python -m repro stress --byzantine --scale quick --seed 1
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from typing import List, Optional
 
 from repro.engine.run_config import ENGINES, RunConfig
 from repro.experiments.registry import (
+    BYZANTINE_EXPERIMENTS,
     STRESS_EXPERIMENTS,
     get_experiment,
     list_experiments,
@@ -163,6 +169,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=STRESS_EXPERIMENTS + ("all",),
         default="all",
         help="which stress experiment to run (default: all)",
+    )
+    stress_parser.add_argument(
+        "--byzantine",
+        action="store_true",
+        help=(
+            "run only the persistent-Byzantine experiments "
+            f"({', '.join(BYZANTINE_EXPERIMENTS)}): tolerance curves per "
+            "protocol and approximate consensus vs the theory phase count"
+        ),
     )
     stress_parser.add_argument(
         "--scale",
@@ -284,12 +299,17 @@ def _build_simulation(args):
         protocol = FratricideLeaderElection(args.n)
     if args.clean:
         configuration = protocol.initial_configuration(rng)
+        start_mode = "clean"
     else:
         try:
             configuration = protocol.random_configuration(rng)
+            start_mode = "adversarial"
         except NotImplementedError:
+            # The protocol defines no adversarial sampler; report the clean
+            # fallback honestly instead of labelling it adversarial.
             configuration = protocol.initial_configuration(rng)
-    return protocol, configuration, rng
+            start_mode = "clean (protocol defines no adversarial states)"
+    return protocol, configuration, rng, start_mode
 
 
 def _simulate(args) -> int:
@@ -297,12 +317,12 @@ def _simulate(args) -> int:
     from repro.engine.compiled import CompilationError
     from repro.engine.run_config import make_simulation
 
-    protocol, configuration, rng = _build_simulation(args)
+    protocol, configuration, rng, start_mode = _build_simulation(args)
     config = RunConfig(engine=args.engine, stop="stabilized")
     print(f"protocol:      {protocol.name}")
     print(f"population:    {protocol.n}")
     print(f"engine:        {config.engine}")
-    print(f"start:         {'clean' if args.clean else 'adversarial'}")
+    print(f"start:         {start_mode}")
     print(f"correct at t=0: {protocol.is_correct(configuration)}")
     try:
         simulation = make_simulation(
@@ -352,18 +372,39 @@ def _run_one(identifier: str, args, **overrides) -> None:
         print(f"-- artifact: {path}\n")
 
 
+def _run_all(identifiers, args, **overrides) -> int:
+    """Run each experiment, turning RunConfig rejections into clean errors.
+
+    Unsupported combinations (e.g. ``--engine counts`` with an experiment
+    that builds an epoch-partition scheduler) fail RunConfig validation
+    before any seeding work; surface the message, not the traceback.
+    """
+    for identifier in identifiers:
+        try:
+            _run_one(identifier, args, **overrides)
+        except ValueError as error:
+            print(f"error: {identifier}: {error}")
+            return 2
+    return 0
+
+
 def _stress(args) -> int:
-    identifiers = (
-        list(STRESS_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    )
+    if args.experiment == "all":
+        identifiers = list(BYZANTINE_EXPERIMENTS if args.byzantine else STRESS_EXPERIMENTS)
+    else:
+        if args.byzantine and args.experiment not in BYZANTINE_EXPERIMENTS:
+            print(
+                f"error: {args.experiment!r} is not a Byzantine experiment; "
+                f"--byzantine selects {', '.join(BYZANTINE_EXPERIMENTS)}"
+            )
+            return 2
+        identifiers = [args.experiment]
     overrides = {}
     if args.n is not None:
         overrides["n"] = args.n
     if args.trials is not None:
         overrides["trials"] = args.trials
-    for identifier in identifiers:
-        _run_one(identifier, args, **overrides)
-    return 0
+    return _run_all(identifiers, args, **overrides)
 
 
 def _report(args) -> int:
@@ -388,9 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         identifiers = list_experiments() if args.experiment == "all" else [args.experiment]
-        for identifier in identifiers:
-            _run_one(identifier, args)
-        return 0
+        return _run_all(identifiers, args)
 
     if args.command == "stress":
         return _stress(args)

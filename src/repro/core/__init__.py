@@ -14,6 +14,9 @@ Protocols
   initialized (non-self-stabilizing) leader election ``L, L -> L, F``.
 * :class:`~repro.core.observation25.ThreeAgentSSLEWithoutRanking` -- the
   Observation 2.5 protocol showing SSLE does not imply ranking.
+* :class:`~repro.core.epsilon_consensus.EpsilonConsensusProtocol` -- the
+  sum-conserving averaging workload the Byzantine tolerance experiments
+  measure against the approximate-consensus phase-count prediction.
 
 Support
 -------
@@ -24,6 +27,11 @@ Support
 """
 
 from repro.core.composition import ComposedProtocol, ComposedState
+from repro.core.epsilon_consensus import (
+    EpsilonConsensusProtocol,
+    EpsilonConsensusState,
+    theoretical_phase_count,
+)
 from repro.core.fratricide import FratricideLeaderElection, FratricideState
 from repro.core.initialized_ranking import (
     InitializedLeaderDrivenRanking,
@@ -50,6 +58,8 @@ from repro.core.sublinear import SublinearTimeSSR, SublinearState
 __all__ = [
     "ComposedProtocol",
     "ComposedState",
+    "EpsilonConsensusProtocol",
+    "EpsilonConsensusState",
     "FratricideLeaderElection",
     "FratricideState",
     "InitializedLeaderDrivenRanking",
@@ -70,4 +80,5 @@ __all__ = [
     "is_valid_ranking",
     "leaders_from_ranks",
     "ranking_defects",
+    "theoretical_phase_count",
 ]

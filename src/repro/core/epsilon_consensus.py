@@ -1,0 +1,154 @@
+"""Approximate (epsilon-) consensus: the Byzantine-tolerance workload.
+
+A deliberately simple averaging protocol over a value grid ``{0, ..., K}``:
+when two agents with values ``a`` and ``b`` meet and ``|a - b| >= 2``, they
+average -- the initiator takes ``ceil((a + b) / 2)``, the responder
+``floor((a + b) / 2)`` -- so the value sum is conserved and the value spread
+contracts monotonically until no pair differs by more than one level.  Agents
+within one level of each other do not move (the protocol is silent at spread
+<= 1).  Correctness is *epsilon-agreement*: the spread of the (honest)
+population is at most ``tolerance_levels`` grid levels.
+
+This is the population-protocol shape of the classic approximate-consensus
+iterations analysed against ``f`` Byzantine servers, where the achievable
+contraction per asynchronous phase is ``f / (n - f)`` and the phase count to
+epsilon-agreement is ``p_end = log(eps / K) / log(f / (n - f))`` for
+``n > 2f`` (see :func:`theoretical_phase_count`).  The ``epsilon_consensus``
+experiment registers measured stabilization times against that prediction
+under the persistent Byzantine overlay
+(:mod:`repro.adversary.byzantine`); ``random_reply`` is the natural
+adversary here -- a worst-case responder that always presents the extreme
+value merely drags the average, while random claims keep re-inflating the
+spread the honest averaging is trying to contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import AgentState
+
+
+class EpsilonConsensusState(AgentState):
+    """State of an averaging agent: a single ``value`` on the grid ``{0..K}``."""
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def signature(self):
+        return self.value
+
+    def clone(self) -> "EpsilonConsensusState":
+        return EpsilonConsensusState(self.value)
+
+
+class EpsilonConsensusProtocol(PopulationProtocol):
+    """Sum-conserving averaging toward epsilon-agreement on ``{0, ..., K}``."""
+
+    name = "Epsilon-Consensus"
+
+    def __init__(self, n: int, levels: int = 16, tolerance_levels: int = 1):
+        super().__init__(n)
+        if levels < 1:
+            raise ValueError(f"levels must be positive, got {levels}")
+        if not 1 <= tolerance_levels <= levels:
+            raise ValueError(
+                f"tolerance_levels must be in [1, {levels}], got {tolerance_levels}"
+            )
+        self.levels = int(levels)
+        self.tolerance_levels = int(tolerance_levels)
+
+    def initial_state(self, agent_id: int, rng: np.random.Generator) -> EpsilonConsensusState:
+        """Polarized start: agents alternate between the two extreme values."""
+        return EpsilonConsensusState(self.levels if agent_id % 2 else 0)
+
+    def random_state(self, rng: np.random.Generator) -> EpsilonConsensusState:
+        return EpsilonConsensusState(int(rng.integers(0, self.levels + 1)))
+
+    def transition(
+        self,
+        initiator: EpsilonConsensusState,
+        responder: EpsilonConsensusState,
+        rng: np.random.Generator,
+    ) -> None:
+        a, b = initiator.value, responder.value
+        if abs(a - b) >= 2:
+            initiator.value = (a + b + 1) // 2
+            responder.value = (a + b) // 2
+
+    def _spread_ok(self, values) -> bool:
+        values = list(values)
+        if not values:
+            return True
+        return max(values) - min(values) <= self.tolerance_levels
+
+    def is_correct(self, configuration: Configuration) -> bool:
+        return self._spread_ok(state.value for state in configuration)
+
+    def has_stabilized(self, configuration: Configuration) -> bool:
+        # Averaging only ever contracts the spread, so epsilon-agreement,
+        # once reached, is permanent.
+        return self.is_correct(configuration)
+
+    def is_silent(self, configuration: Configuration) -> bool:
+        values = [state.value for state in configuration]
+        return not values or max(values) - min(values) <= 1
+
+    def theoretical_state_count(self) -> int:
+        return self.levels + 1
+
+    # -- compiled-engine support ---------------------------------------------------
+
+    def enumerate_states(self):
+        """All ``levels + 1`` grid values (the protocol's exact state space)."""
+        return [EpsilonConsensusState(value) for value in range(self.levels + 1)]
+
+    def compiled_predicates(self):
+        tolerance = self.tolerance_levels
+
+        def spread_within(counts, compiled, bound):
+            occupied = np.nonzero(np.asarray(counts) > 0)[0]
+            if len(occupied) == 0:
+                return True
+            values = np.array([compiled.states[i].value for i in occupied])
+            return int(values.max() - values.min()) <= bound
+
+        return {
+            "correct": lambda counts, compiled: spread_within(counts, compiled, tolerance),
+            "stabilized": lambda counts, compiled: spread_within(
+                counts, compiled, tolerance
+            ),
+            "silent": lambda counts, compiled: spread_within(counts, compiled, 1),
+        }
+
+
+def theoretical_phase_count(n: int, f: int, eps: float) -> float:
+    """AlgorithmOne's phase count to epsilon-agreement with ``f`` faults.
+
+    ``p_end = log(eps) / log(f / (n - f))`` phases, each contracting the
+    normalized spread (initially 1, i.e. the full grid range ``K``) by the
+    factor ``f / (n - f)``; valid only for ``n > 2f`` (otherwise the
+    contraction factor reaches 1 and approximate consensus is impossible --
+    the function raises).  ``eps`` is the target spread as a fraction of the
+    initial range.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if f < 1:
+        raise ValueError(f"f must be positive, got {f}")
+    if n <= 2 * f:
+        raise ValueError(
+            f"approximate consensus needs n > 2f, got n={n}, f={f}"
+        )
+    return math.log(eps) / math.log(f / (n - f))
+
+
+__all__ = [
+    "EpsilonConsensusProtocol",
+    "EpsilonConsensusState",
+    "theoretical_phase_count",
+]

@@ -186,6 +186,9 @@ class BatchSimulation:
         self._pair_positions = np.arange(self._max_window, dtype=np.int64)
         self._slot_positions = np.arange(2 * self._max_window, dtype=np.int64) >> 1
         self._counts: Optional[np.ndarray] = None
+        #: The installed ByzantineOverlay of a ``run(config)`` with a
+        #: ByzantineSpec (see :mod:`repro.adversary.byzantine`).
+        self._byzantine = None
 
     @staticmethod
     def _check_compiled_compatible(
@@ -316,12 +319,18 @@ class BatchSimulation:
         """
         if config.scheduler is not None:
             self.scheduler = config.scheduler.build(self.protocol.n, rng=self.rng)
+        overlay = None
+        if config.byzantine is not None:
+            overlay = self._install_byzantine(config.byzantine)
         stopper = getattr(self, f"run_until_{config.stop}")
         if config.faults is None or not config.faults.events:
-            return stopper(
+            result = stopper(
                 max_interactions=config.max_interactions,
                 check_interval=config.check_interval,
             )
+            if overlay is not None:
+                overlay.annotate(result)
+            return result
         from repro.adversary.campaign import FaultCampaign
 
         n = self.protocol.n
@@ -341,6 +350,37 @@ class BatchSimulation:
             check_interval=config.check_interval,
         )
         return campaign.annotate(result)
+
+    def _install_byzantine(self, spec):
+        """Swap in the extended table and re-tag the selected agents.
+
+        Must happen before any interaction: the per-state marking is drawn
+        from the *initial* histogram (and its side-stream generator never
+        touches the trial stream), then the selected agents' indices shift
+        into the adversarial tag block while honest agents keep their base
+        indices (tag 0 is the identity).  The execution machinery is
+        table-agnostic, so nothing else changes.
+        """
+        from repro.adversary.byzantine import (
+            build_byzantine_overlay,
+            byzantine_selection_rng,
+        )
+
+        if self._byzantine is not None:
+            raise RuntimeError("a byzantine overlay is already installed")
+        if self.interactions:
+            raise RuntimeError(
+                "the byzantine overlay must be installed before any interaction"
+            )
+        overlay = build_byzantine_overlay(self.protocol, self.compiled, spec)
+        marked = overlay.draw_marking(
+            byzantine_selection_rng(self.rng), self.compiled.state_counts(self._indices)
+        )
+        self._indices = overlay.mark_indices(self._indices, marked)
+        self.compiled = overlay.compiled
+        self._counts = None
+        self._byzantine = overlay
+        return overlay
 
     def _consume_dense(
         self, initiators: np.ndarray, responders: np.ndarray, window: int
@@ -610,7 +650,11 @@ class BatchSimulation:
         Preference order: the protocol's ``compiled_predicates()`` fast path;
         for silence, the table-exact :meth:`CompiledProtocol.counts_silent`;
         otherwise decode and call the protocol's configuration predicate.
+        With a byzantine overlay installed the overlay resolves instead
+        (honest-scope semantics over the extended histogram).
         """
+        if self._byzantine is not None:
+            return None, self._byzantine.resolve_stop(kind)
         fast = self.protocol.compiled_predicates().get(kind)
         if fast is not None:
             compiled = self.compiled

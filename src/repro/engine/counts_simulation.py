@@ -77,7 +77,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RngLike, make_rng
-from repro.engine.run_config import RunConfig
+from repro.engine.run_config import COUNTS_EPOCH_MESSAGE, RunConfig
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
 
 #: Default bound on the expected fraction of a cell's count consumed by one
@@ -266,6 +266,8 @@ class CountsSimulation:
         self._structure_cache = None
         #: The fault campaign of the last ``run(config)`` with a FaultPlan.
         self.campaign = None
+        #: The installed ByzantineOverlay, if any (see ``_install_byzantine``).
+        self._byzantine = None
         self._drift_cap = float(drift_cap)
         self._max_window = None if max_window is None else int(max_window)
         self.window_log: Optional[List[Dict]] = [] if record_windows else None
@@ -325,12 +327,9 @@ class CountsSimulation:
             self._class_of = lambda ids: np.zeros(len(np.asarray(ids)), dtype=np.int64)
             return
         if kind == "epoch":
-            raise NotImplementedError(
-                "engine='counts' does not support the epoch-partition scheduler: "
-                "its block phases are defined over agent identities, which a "
-                "count vector does not carry.  Use engine='compiled' or "
-                "engine='loop' for epoch campaigns."
-            )
+            # RunConfig.__post_init__ rejects this combination up front; the
+            # engine-level raise (same message) covers direct construction.
+            raise NotImplementedError(COUNTS_EPOCH_MESSAGE)
         if kind != "biased":
             raise ValueError(f"unknown scheduler kind {kind!r} for the counts engine")
 
@@ -399,6 +398,60 @@ class CountsSimulation:
         self._matrix = matrix
         self._class_weights = unique
         self._class_of = class_of
+
+    # -- byzantine overlay -------------------------------------------------------------
+
+    def _install_byzantine(self, spec):
+        """Install a persistent Byzantine overlay (before any interaction).
+
+        Counts-space form of the compiled engine's install: the per-state
+        adversary histogram comes from the same side-stream
+        ``multivariate_hypergeometric`` draw (so the selection is bit-identical
+        to the identity engines'), and the count matrix widens to the extended
+        ``T * S`` state space with a dedicated Byzantine weight-class row --
+        honest counts stay in row 0 under their base columns, adversarial
+        counts move to row 1 under their tag-1 columns.  The row split reuses
+        the biased-scheduler class machinery unchanged (all weights 1, so the
+        pair law is still uniform), and the extended table keeps the rows
+        invariant: Byzantine outcomes are always tagged, honest outcomes never
+        are.
+        """
+        from repro.adversary.byzantine import (
+            build_byzantine_overlay,
+            byzantine_selection_rng,
+        )
+
+        if self._byzantine is not None:
+            raise RuntimeError("a byzantine overlay is already installed")
+        if self.interactions:
+            raise RuntimeError(
+                "the byzantine overlay must be installed before any interaction"
+            )
+        overlay = build_byzantine_overlay(self.protocol, self.compiled, spec)
+        totals = self._matrix.sum(axis=0)
+        marked = overlay.draw_marking(byzantine_selection_rng(self.rng), totals)
+        num_base = self.compiled.num_states
+        matrix = np.zeros((2, overlay.compiled.num_states), dtype=np.int64)
+        matrix[0, :num_base] = totals - marked
+        start = overlay.initial_tag * num_base
+        matrix[1, start:start + num_base] = marked
+        self._matrix = matrix
+        self._class_weights = np.ones(2)
+        self.compiled = overlay.compiled
+
+        tables = _as_raw_tables(overlay.compiled)
+        self._branch_initiator = tables["initiator"]
+        self._branch_responder = tables["responder"]
+        self._branch_probability = tables["probability"]
+        self._num_branches = self._branch_probability.shape[1]
+        num_states = overlay.compiled.num_states
+        self._changes = overlay.compiled.changes.reshape(num_states, num_states)
+
+        self._seed_indices = None
+        self._law_cache = None
+        self._structure_cache = None
+        self._byzantine = overlay
+        return overlay
 
     # -- the window sampler ------------------------------------------------------------
 
@@ -650,12 +703,18 @@ class CountsSimulation:
         """
         if config.scheduler is not None:
             self._install_scheduler_spec(config.scheduler)
+        overlay = None
+        if config.byzantine is not None:
+            overlay = self._install_byzantine(config.byzantine)
         stopper = getattr(self, f"run_until_{config.stop}")
         if config.faults is None or not config.faults.events:
-            return stopper(
+            result = stopper(
                 max_interactions=config.max_interactions,
                 check_interval=config.check_interval,
             )
+            if overlay is not None:
+                overlay.annotate(result)
+            return result
         from repro.adversary.campaign import FaultCampaign
 
         n = self.protocol.n
@@ -782,6 +841,8 @@ class CountsSimulation:
         not depend on agent identities, which configuration-level predicates
         of population protocols by definition do not).
         """
+        if self._byzantine is not None:
+            return None, self._byzantine.resolve_stop(kind)
         fast = self.protocol.compiled_predicates().get(kind)
         if fast is not None:
             compiled = self.compiled

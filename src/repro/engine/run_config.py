@@ -33,6 +33,16 @@ ENGINES = ("loop", "compiled", "counts")
 #: Stop conditions understood by the trial runners and ``run(config)``.
 STOPS = ("stabilized", "correct", "silent")
 
+#: The one message for the counts/epoch mismatch, raised both at
+#: ``RunConfig`` validation time (fail fast, before any seeding work) and by
+#: ``CountsSimulation`` itself when the spec is attached directly.
+COUNTS_EPOCH_MESSAGE = (
+    "engine='counts' does not support the epoch-partition scheduler: its "
+    "block phases are defined over agent identities, which a count vector "
+    "does not carry.  Use engine='compiled' or engine='loop' for epoch "
+    "campaigns."
+)
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -83,6 +93,13 @@ class RunConfig:
         selecting the pair scheduler (``None`` = the paper's uniform one).
         ``run(config)`` builds it with the engine's generator, replacing the
         engine's default scheduler for the plan execution.
+    byzantine:
+        Optional :class:`~repro.adversary.byzantine.ByzantineSpec` marking a
+        fraction of agents as *permanently* adversarial via the compiled-table
+        overlay (all three engines honour it; see
+        :mod:`repro.adversary.byzantine`).  Mutually exclusive with ``faults``
+        (persistent vs. transient adversaries) and requires the uniform
+        scheduler.
     """
 
     engine: str = "loop"
@@ -94,6 +111,7 @@ class RunConfig:
     trial_batch: int = 1
     faults: Optional[object] = None
     scheduler: Optional[object] = None
+    byzantine: Optional[object] = None
 
     def __post_init__(self) -> None:
         # Imported lazily: the adversary package sits above the engine in the
@@ -112,10 +130,34 @@ class RunConfig:
                 raise TypeError(
                     f"scheduler must be a SchedulerSpec, got {type(self.scheduler).__name__}"
                 )
+        if self.byzantine is not None:
+            from repro.adversary.byzantine import ByzantineSpec
+
+            if not isinstance(self.byzantine, ByzantineSpec):
+                raise TypeError(
+                    f"byzantine must be a ByzantineSpec, got {type(self.byzantine).__name__}"
+                )
+            if self.faults is not None:
+                raise ValueError(
+                    "byzantine adversaries are persistent and replace fault "
+                    "campaigns; pass either byzantine= or faults=, not both"
+                )
+            if self.scheduler is not None and getattr(self.scheduler, "kind", None) != "uniform":
+                raise ValueError(
+                    "the byzantine overlay assumes the uniform scheduler "
+                    "(its agent selection is exchangeable); drop scheduler= "
+                    "or use kind='uniform'"
+                )
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}, expected one of {ENGINES}"
             )
+        if (
+            self.engine == "counts"
+            and self.scheduler is not None
+            and getattr(self.scheduler, "kind", None) == "epoch"
+        ):
+            raise ValueError(COUNTS_EPOCH_MESSAGE)
         if self.stop not in STOPS:
             raise ValueError(f"unknown stop condition {self.stop!r}, expected one of {STOPS}")
         if self.jobs < 1:
@@ -157,6 +199,7 @@ class RunConfig:
             "trial_batch": self.trial_batch,
             "faults": self.faults.to_dict() if self.faults is not None else None,
             "scheduler": self.scheduler.to_dict() if self.scheduler is not None else None,
+            "byzantine": self.byzantine.to_dict() if self.byzantine is not None else None,
         }
 
     @classmethod
@@ -175,6 +218,10 @@ class RunConfig:
             from repro.adversary.schedulers import SchedulerSpec
 
             payload["scheduler"] = SchedulerSpec.from_dict(payload["scheduler"])
+        if isinstance(payload.get("byzantine"), dict):
+            from repro.adversary.byzantine import ByzantineSpec
+
+            payload["byzantine"] = ByzantineSpec.from_dict(payload["byzantine"])
         return cls(**payload)
 
 
@@ -217,6 +264,12 @@ def make_simulation(
             "counts= seeds the table engines only; "
             f"engine={config.engine!r} holds per-agent state objects"
         )
+    if hooks and config.byzantine is not None:
+        raise ValueError(
+            "interaction hooks observe raw protocol states; the byzantine "
+            "overlay rewrites them into tagged states, so the two cannot "
+            "be combined"
+        )
     if config.engine == "counts":
         if hooks:
             raise ValueError(
@@ -256,4 +309,4 @@ def make_simulation(
     return Simulation(protocol, configuration=configuration, rng=rng, hooks=hooks)
 
 
-__all__ = ["ENGINES", "RunConfig", "STOPS", "make_simulation"]
+__all__ = ["COUNTS_EPOCH_MESSAGE", "ENGINES", "RunConfig", "STOPS", "make_simulation"]

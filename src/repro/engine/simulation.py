@@ -72,6 +72,9 @@ class Simulation:
         #: The fault campaign of the last ``run(config)`` with a FaultPlan
         #: (checkpoints and digests; see :mod:`repro.adversary.campaign`).
         self.campaign = None
+        #: The installed ByzantineOverlay of a ``run(config)`` with a
+        #: ByzantineSpec (see :mod:`repro.adversary.byzantine`).
+        self._byzantine = None
 
     # -- basic stepping -----------------------------------------------------------
 
@@ -143,12 +146,18 @@ class Simulation:
         """
         if config.scheduler is not None:
             self.scheduler = config.scheduler.build(self.protocol.n, rng=self.rng)
+        overlay = None
+        if config.byzantine is not None:
+            overlay = self._install_byzantine(config.byzantine)
         stopper = getattr(self, f"run_until_{config.stop}")
         if config.faults is None or not config.faults.events:
-            return stopper(
+            result = stopper(
                 max_interactions=config.max_interactions,
                 check_interval=config.check_interval,
             )
+            if overlay is not None:
+                overlay.annotate(result)
+            return result
         from repro.adversary.campaign import FaultCampaign
 
         n = self.protocol.n
@@ -168,6 +177,43 @@ class Simulation:
             check_interval=config.check_interval,
         )
         return campaign.annotate(result)
+
+    def _install_byzantine(self, spec):
+        """Re-seat the run on the byzantine overlay (see its module docs).
+
+        The loop engine is the general one, but a persistent adversary is
+        defined *by* the compiled table (the hostile strategies are table
+        transforms), so installing compiles the protocol -- non-compilable
+        protocols raise the compiler's usual error.  Agent states become
+        tagged states, the protocol becomes the overlay's view (honest pairs
+        still run the base ``transition``; pairs involving adversaries go
+        through the extended table), and the stop predicates switch to
+        honest-scope semantics via the view.
+        """
+        from repro.adversary.byzantine import (
+            build_byzantine_overlay,
+            byzantine_selection_rng,
+        )
+        from repro.engine.compiled import ProtocolCompiler
+
+        if self._byzantine is not None:
+            raise RuntimeError("a byzantine overlay is already installed")
+        if self.interactions:
+            raise RuntimeError(
+                "the byzantine overlay must be installed before any interaction"
+            )
+        compiled = ProtocolCompiler().compile(self.protocol)
+        overlay = build_byzantine_overlay(self.protocol, compiled, spec)
+        indices = compiled.encode_configuration(self.configuration)
+        marked = overlay.draw_marking(
+            byzantine_selection_rng(self.rng), compiled.state_counts(indices)
+        )
+        extended = overlay.mark_indices(indices, marked)
+        for agent, state_index in enumerate(extended):
+            self.configuration[agent] = overlay.compiled.states[int(state_index)].clone()
+        self.protocol = overlay.view
+        self._byzantine = overlay
+        return overlay
 
     def run_until(
         self,

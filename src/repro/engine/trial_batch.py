@@ -169,6 +169,11 @@ def _reject_unbatchable(config: RunConfig) -> None:
             "trial-batched execution supports the uniform scheduler only; "
             "the harness runs adversarial schedulers per trial"
         )
+    if getattr(config, "byzantine", None) is not None:
+        raise NotImplementedError(
+            "trial-batched execution does not support byzantine overlays; "
+            "the harness runs byzantine trials one at a time"
+        )
 
 
 class TrialBatchSimulation:

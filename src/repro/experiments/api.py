@@ -146,6 +146,9 @@ def experiment_runner(
                 scheduler=(
                     config.scheduler.to_dict() if config.scheduler is not None else None
                 ),
+                byzantine=(
+                    config.byzantine.to_dict() if config.byzantine is not None else None
+                ),
                 wall_time=wall_time,
             )
 

@@ -1,0 +1,195 @@
+"""Byzantine experiments: tolerance curves and approximate consensus.
+
+Both families exercise the persistent-adversary machinery end to end: a
+:class:`~repro.adversary.byzantine.ByzantineSpec` rides on the
+:class:`~repro.engine.run_config.RunConfig` into any of the three engines,
+the adversarial agent selection is bit-identical across engines and
+``--jobs`` layouts (see ``tests/adversary/test_byzantine.py``), and
+:mod:`repro.analysis.tolerance` turns the per-trial results into tolerance
+curves with the censoring conventions of the stabilization analysis.
+
+* ``byzantine_tolerance``: for each catalogue protocol, the fraction of
+  trials that stabilize (honest scope, within the cap) as a function of the
+  Byzantine fraction ``f``, from adversarial starting configurations --
+  self-stabilization *and* persistent hostility at once.  The summary per
+  protocol is the largest tolerated ``f`` before the curve first fails.
+* ``epsilon_consensus``: the approximate-consensus averaging workload
+  against ``random_reply`` adversaries, with the measured time to
+  epsilon-agreement next to the AlgorithmOne phase-count prediction
+  ``p_end = log(eps) / log(f / (n - f))`` (valid for ``n > 2f``).
+
+Strategy choice is deliberate: ``worst_case`` maximizes per-interaction
+damage against ranking/leader protocols, while for averaging workloads its
+smallest-index tie-break degenerates into always claiming value 0 -- which
+*helps* agreement -- so the consensus family defaults to ``random_reply``,
+whose uniform claims keep re-inflating the spread the honest averaging
+contracts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Mapping
+
+from repro.adversary.byzantine import ByzantineSpec
+from repro.analysis.tolerance import max_tolerated_fraction, measure_tolerance
+from repro.core.epsilon_consensus import (
+    EpsilonConsensusProtocol,
+    theoretical_phase_count,
+)
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.results import TrialStatistics
+from repro.engine.run_config import RunConfig
+from repro.experiments.api import experiment_runner, read_params
+from repro.experiments.harness import run_trials
+from repro.experiments.stress_experiments import make_stress_protocol
+
+#: Default Byzantine fractions for the tolerance sweep.  ``ByzantineSpec``
+#: rounds to whole agents, so at quick-scale ``n`` adjacent fractions may
+#: realize the same count; rows echo the realized count.
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.35)
+
+
+def make_tolerance_protocol(name: str, n: int, **kwargs) -> PopulationProtocol:
+    """The tolerance catalogue: the stress protocols plus the consensus workload."""
+    if name == "epsilon-consensus":
+        return EpsilonConsensusProtocol(n, **kwargs)
+    return make_stress_protocol(name, n)
+
+
+def _base_seed(run: RunConfig) -> int:
+    return run.seed if isinstance(run.seed, int) else 0
+
+
+@experiment_runner("byzantine_tolerance")
+def run_byzantine_tolerance(params: Mapping, run: RunConfig) -> List[Dict]:
+    """Tolerance curve per catalogue protocol: stabilized fraction vs ``f``.
+
+    Each (protocol, fraction) setting runs ``trials`` independent trials
+    from adversarial starting configurations (``random_configuration``) with
+    a persistent :class:`ByzantineSpec` of the given strategy, and measures
+    the fraction that stabilized (honest scope) within the cap.  Rows carry
+    the per-protocol tolerance threshold -- the largest fraction before the
+    curve first drops below ``threshold`` -- so the curve and its summary
+    live in one table.
+    """
+    opts = read_params(
+        params,
+        protocols=("silent-n-state", "reset-wave", "epsilon-consensus"),
+        n=12,
+        fractions=DEFAULT_FRACTIONS,
+        trials=4,
+        strategy="worst_case",
+        threshold=0.5,
+    )
+    n, trials = opts["n"], opts["trials"]
+    seed = _base_seed(run)
+    rows: List[Dict] = []
+    for name in opts["protocols"]:
+        curve = measure_tolerance(
+            protocol_factory=lambda name=name: make_tolerance_protocol(name, n),
+            fractions=opts["fractions"],
+            trials=trials,
+            run=run.replace(
+                # crc32, not hash(): str hashing is salted per process, which
+                # would break same-seed reproducibility across runs.
+                seed=(seed, n, zlib.crc32(name.encode()) % (2**16))
+            ),
+            strategy=opts["strategy"],
+            configuration_factory=lambda protocol, rng: protocol.random_configuration(rng),
+            label=name,
+        )
+        tolerated = max_tolerated_fraction(curve, threshold=opts["threshold"])
+        for point in curve:
+            spec = ByzantineSpec(fraction=point["fraction"], strategy=opts["strategy"])
+            rows.append(
+                {
+                    "protocol": name,
+                    "n": n,
+                    "strategy": opts["strategy"],
+                    "fraction": point["fraction"],
+                    "byzantine count": spec.count(n),
+                    "trials": point["trials"],
+                    "stabilized fraction": point["stabilized fraction"],
+                    "mean time": point["mean time"],
+                    "p90 time": point["p90 time"],
+                    "max tolerated f": tolerated,
+                }
+            )
+    return rows
+
+
+@experiment_runner("epsilon_consensus")
+def run_epsilon_consensus(params: Mapping, run: RunConfig) -> List[Dict]:
+    """Approximate consensus vs ``random_reply`` adversaries: theory and measurement.
+
+    Runs the polarized-start averaging workload to epsilon-agreement at each
+    Byzantine fraction and reports the measured parallel time next to the
+    AlgorithmOne phase count ``p_end = log(eps) / log(f / (n - f))``
+    (``eps = tolerance_levels / levels``; one phase is parallel time 1, i.e.
+    ``n`` interactions).  Fractions with ``n <= 2f`` are beyond the
+    approximate-consensus impossibility bound: their ``theory phases`` is
+    ``None`` and the measured row documents the breakdown.
+    """
+    opts = read_params(
+        params,
+        n=16,
+        levels=16,
+        tolerance_levels=1,
+        fractions=(0.1, 0.2, 0.4),
+        trials=4,
+        strategy="random_reply",
+    )
+    n, trials = opts["n"], opts["trials"]
+    eps = opts["tolerance_levels"] / opts["levels"]
+    seed = _base_seed(run)
+    rows: List[Dict] = []
+    for fraction in opts["fractions"]:
+        spec = ByzantineSpec(fraction=float(fraction), strategy=opts["strategy"])
+        count = spec.count(n)
+        results = run_trials(
+            protocol_factory=lambda: EpsilonConsensusProtocol(
+                n,
+                levels=opts["levels"],
+                tolerance_levels=opts["tolerance_levels"],
+            ),
+            trials=trials,
+            run=run.replace(seed=(seed, n, int(round(fraction * 10_000))), byzantine=spec),
+        )
+        statistics = TrialStatistics.from_values(
+            f"epsilon-consensus f={fraction}",
+            n,
+            [result.parallel_time for result in results],
+        )
+        theory = (
+            theoretical_phase_count(n, count, eps) if n > 2 * count else None
+        )
+        rows.append(
+            {
+                "n": n,
+                "levels": opts["levels"],
+                "eps": eps,
+                "fraction": float(fraction),
+                "byzantine count": count,
+                "theory valid (n > 2f)": n > 2 * count,
+                "theory phases": theory,
+                "trials": trials,
+                "stabilized fraction": sum(
+                    1 for result in results if result.stopped
+                ) / len(results),
+                "mean time": statistics.mean,
+                "p90 time": statistics.quantile(0.9),
+                "time per theory phase": (
+                    statistics.mean / theory if theory else None
+                ),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "make_tolerance_protocol",
+    "run_byzantine_tolerance",
+    "run_epsilon_consensus",
+]

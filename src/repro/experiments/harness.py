@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
@@ -196,6 +197,9 @@ class ExperimentSpec:
                 scheduler=(
                     config.scheduler.to_dict() if config.scheduler is not None else None
                 ),
+                byzantine=(
+                    config.byzantine.to_dict() if config.byzantine is not None else None
+                ),
                 wall_time=time.perf_counter() - started,
             )
         outcome.identifier = outcome.identifier or self.identifier
@@ -251,18 +255,24 @@ def _pool_trial(index: int) -> SimulationResult:
     )
 
 
-def _batchable(config: RunConfig) -> bool:
-    """Whether the trial-batched engines can honour this config.
+def _unbatchable_reason(config: RunConfig) -> Optional[str]:
+    """Why the trial-batched engines cannot honour this config (None if they can).
 
-    Fault plans with events and non-uniform schedulers are per-trial
-    constructs; the harness silently falls back to per-trial execution for
-    them (the batched path is an optimization, not a semantic switch).
+    Fault plans with events, non-uniform schedulers, and byzantine overlays
+    are per-trial constructs; the harness falls back to per-trial execution
+    for them (the batched path is an optimization, not a semantic switch) and
+    :func:`run_trials` warns once per run so an ignored ``--trial-batch`` is
+    never silent.
     """
     if config.faults is not None and config.faults.events:
-        return False
+        return "fault campaigns run per trial"
     if config.scheduler is not None and getattr(config.scheduler, "kind", None) != "uniform":
-        return False
-    return config.engine in ("compiled", "counts")
+        return "adversarial schedulers run per trial"
+    if config.byzantine is not None:
+        return "byzantine overlays run per trial"
+    if config.engine not in ("compiled", "counts"):
+        return f"engine {config.engine!r} has no trial-batched form"
+    return None
 
 
 def _execute_trial_batch(
@@ -419,7 +429,15 @@ def run_trials(
         if config.engine in ("compiled", "counts")
         else None
     )
-    batched = config.trial_batch > 1 and _batchable(config)
+    fallback_reason = _unbatchable_reason(config)
+    batched = config.trial_batch > 1 and fallback_reason is None
+    if config.trial_batch > 1 and fallback_reason is not None:
+        warnings.warn(
+            f"--trial-batch ignored: {fallback_reason}; "
+            "running trials one at a time",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     units = (
         list(range(0, trials, config.trial_batch)) if batched else list(range(trials))
     )

@@ -30,6 +30,10 @@ from repro.experiments.epidemic_experiments import (
     run_epidemic,
     run_roll_call,
 )
+from repro.experiments.byzantine_experiments import (
+    run_byzantine_tolerance,
+    run_epsilon_consensus,
+)
 from repro.experiments.counts_experiments import run_counts_scaling, run_counts_table1
 from repro.experiments.harness import ExperimentSpec
 from repro.experiments.lower_bounds import (
@@ -334,8 +338,47 @@ _register(
     )
 )
 
+_register(
+    ExperimentSpec(
+        identifier="byzantine_tolerance",
+        title="Stress: tolerance curves under persistent Byzantine agents",
+        paper_reference="Section 1 (self-stabilization)",
+        runner=run_byzantine_tolerance,
+        description=(
+            "Stabilized fraction (honest scope) vs the Byzantine fraction f "
+            "per catalogue protocol, from adversarial starts; the summary is "
+            "the largest tolerated f (see 'repro stress --byzantine')."
+        ),
+        quick_params={"n": 12, "trials": 4},
+        full_params={"n": 24, "fractions": (0.05, 0.1, 0.2, 0.35), "trials": 10},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="epsilon_consensus",
+        title="Stress: approximate consensus vs random-reply adversaries",
+        paper_reference="approximate-consensus phase bound (related work)",
+        runner=run_epsilon_consensus,
+        description=(
+            "Measured time to epsilon-agreement next to the AlgorithmOne "
+            "phase count log(eps)/log(f/(n-f)), per Byzantine fraction "
+            "(see 'repro stress --byzantine')."
+        ),
+        quick_params={"n": 16, "trials": 4},
+        full_params={"n": 32, "fractions": (0.05, 0.1, 0.2, 0.4), "trials": 10},
+    )
+)
+
 #: Registry identifiers the ``repro stress`` subcommand fronts.
-STRESS_EXPERIMENTS = ("recovery_burst", "recovery_scheduler")
+STRESS_EXPERIMENTS = (
+    "recovery_burst",
+    "recovery_scheduler",
+    "byzantine_tolerance",
+    "epsilon_consensus",
+)
+
+#: The persistent-adversary subset (``repro stress --byzantine``).
+BYZANTINE_EXPERIMENTS = ("byzantine_tolerance", "epsilon_consensus")
 
 
 def list_experiments() -> List[str]:
@@ -381,6 +424,7 @@ def run_experiment(
 
 
 __all__ = [
+    "BYZANTINE_EXPERIMENTS",
     "EXPERIMENTS",
     "STRESS_EXPERIMENTS",
     "get_experiment",

@@ -81,6 +81,7 @@ class ExperimentResult:
     trial_batch: int = 1
     faults: Optional[Dict[str, Any]] = None
     scheduler: Optional[Dict[str, Any]] = None
+    byzantine: Optional[Dict[str, Any]] = None
     wall_time: float = 0.0
     version: str = __version__
 
@@ -112,6 +113,9 @@ class ExperimentResult:
         :class:`~repro.adversary.schedulers.SchedulerSpec` of the run's
         config (``None`` when the run was not adversarial); stress runners
         that build per-row plans additionally echo them in their rows.
+        ``byzantine`` likewise holds the serialized
+        :class:`~repro.adversary.byzantine.ByzantineSpec` of a persistent
+        adversary run.
         """
         return {
             "identifier": self.identifier,
@@ -125,6 +129,7 @@ class ExperimentResult:
             "trial_batch": self.trial_batch,
             "faults": self.faults,
             "scheduler": self.scheduler,
+            "byzantine": self.byzantine,
             "wall_time": self.wall_time,
             "version": self.version,
         }
@@ -159,6 +164,7 @@ class ExperimentResult:
             trial_batch=provenance.get("trial_batch", 1),
             faults=provenance.get("faults"),
             scheduler=provenance.get("scheduler"),
+            byzantine=provenance.get("byzantine"),
             wall_time=provenance.get("wall_time", 0.0),
             version=provenance.get("version", __version__),
         )

@@ -5,7 +5,13 @@ import pytest
 from repro.core.propagate_reset import ResetWaveProtocol
 from repro.core.silent_n_state import SilentNStateSSR
 from repro.engine.batch_simulation import BatchSimulation
-from repro.engine.run_config import ENGINES, STOPS, RunConfig, make_simulation
+from repro.engine.run_config import (
+    COUNTS_EPOCH_MESSAGE,
+    ENGINES,
+    STOPS,
+    RunConfig,
+    make_simulation,
+)
 from repro.engine.simulation import Simulation
 
 
@@ -67,6 +73,113 @@ class TestRunConfig:
     def test_catalogued_constants(self):
         assert ENGINES == ("loop", "compiled", "counts")
         assert STOPS == ("stabilized", "correct", "silent")
+
+
+class TestFailFastValidation:
+    """Unsupported combinations are rejected at construction time, before any
+    seeding or simulation work -- never silently mid-run."""
+
+    def test_counts_engine_rejects_epoch_scheduler_at_validation(self):
+        from repro.adversary.schedulers import SchedulerSpec
+
+        with pytest.raises(ValueError) as excinfo:
+            RunConfig(
+                engine="counts",
+                scheduler=SchedulerSpec(kind="epoch", blocks=4, split_time=1.0),
+            )
+        assert str(excinfo.value) == COUNTS_EPOCH_MESSAGE
+
+    def test_counts_simulation_raises_the_same_message_directly(self):
+        """Bypassing RunConfig (direct engine construction) hits the identical
+        message, so the two rejection paths can never drift apart."""
+        from repro.adversary.schedulers import SchedulerSpec
+        from repro.engine.counts_simulation import CountsSimulation
+
+        protocol = SilentNStateSSR(8)
+        simulation = CountsSimulation(protocol, rng=0)
+        config = RunConfig(
+            engine="compiled",
+            scheduler=SchedulerSpec(kind="epoch", blocks=4, split_time=1.0),
+        )
+        with pytest.raises(NotImplementedError) as excinfo:
+            simulation.run(config)
+        assert str(excinfo.value) == COUNTS_EPOCH_MESSAGE
+
+    def test_byzantine_requires_a_spec_instance(self):
+        with pytest.raises(TypeError, match="ByzantineSpec"):
+            RunConfig(byzantine={"fraction": 0.2})
+
+    def test_byzantine_excludes_fault_campaigns(self):
+        from repro.adversary.byzantine import ByzantineSpec
+        from repro.adversary.plan import FaultEvent, FaultPlan
+
+        with pytest.raises(ValueError, match="persistent"):
+            RunConfig(
+                byzantine=ByzantineSpec(fraction=0.2),
+                faults=FaultPlan((FaultEvent(at=10, count=2),)),
+            )
+
+    def test_byzantine_requires_the_uniform_scheduler(self):
+        from repro.adversary.byzantine import ByzantineSpec
+        from repro.adversary.schedulers import SchedulerSpec
+
+        with pytest.raises(ValueError, match="uniform"):
+            RunConfig(
+                byzantine=ByzantineSpec(fraction=0.2),
+                scheduler=SchedulerSpec(kind="biased", hot_fraction=0.1, hot_weight=3.0),
+            )
+        # The explicit uniform spec is fine.
+        config = RunConfig(
+            byzantine=ByzantineSpec(fraction=0.2),
+            scheduler=SchedulerSpec(kind="uniform"),
+        )
+        assert config.byzantine.fraction == 0.2
+
+    def test_byzantine_excludes_interaction_hooks(self):
+        from repro.adversary.byzantine import ByzantineSpec
+        from repro.engine.hooks import CountingHook
+
+        with pytest.raises(ValueError, match="overlay"):
+            make_simulation(
+                SilentNStateSSR(8),
+                RunConfig(byzantine=ByzantineSpec(fraction=0.2)),
+                hooks=[CountingHook(lambda a, b: True)],
+            )
+
+    def test_trial_batch_rejects_byzantine_configs(self):
+        from repro.adversary.byzantine import ByzantineSpec
+        from repro.engine.compiled import ProtocolCompiler
+        from repro.engine.rng import spawn_rngs
+        from repro.engine.trial_batch import TrialBatchSimulation
+
+        protocol = SilentNStateSSR(8)
+        compiled = ProtocolCompiler().compile(protocol)
+        rngs = spawn_rngs(0, 2)
+        configurations = [
+            SilentNStateSSR(8).initial_configuration(rng) for rng in rngs
+        ]
+        simulation = TrialBatchSimulation(
+            protocol, rngs, configurations=configurations, compiled=compiled
+        )
+        config = RunConfig(
+            engine="compiled",
+            byzantine=ByzantineSpec(fraction=0.25),
+            trial_batch=2,
+        )
+        with pytest.raises(NotImplementedError, match="one at a time"):
+            simulation.run(config)
+
+    def test_byzantine_dict_round_trip(self):
+        from repro.adversary.byzantine import ByzantineSpec
+
+        config = RunConfig(
+            engine="compiled",
+            seed=7,
+            byzantine=ByzantineSpec(fraction=0.35, strategy="random_reply"),
+        )
+        restored = RunConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.byzantine.strategy == "random_reply"
 
 
 class TestMakeSimulation:

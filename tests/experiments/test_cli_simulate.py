@@ -27,6 +27,28 @@ class TestSimulateCommand:
         assert code == 0
         assert "start:         clean" in output
 
+    def test_simulate_reports_adversarial_start_when_sampler_exists(self, capsys):
+        code = main(["simulate", "silent-n-state", "--n", "8", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert "start:         adversarial" in output
+
+    def test_simulate_reports_clean_fallback_honestly(self, capsys, monkeypatch):
+        """Regression: when ``random_configuration`` raises NotImplementedError
+        and the run falls back to the clean initial configuration, the start
+        line must say so instead of claiming an adversarial start."""
+        from repro.core.fratricide import FratricideLeaderElection
+        from repro.engine.protocol import PopulationProtocol
+
+        # Remove the protocol's adversarial sampler so the base class raises.
+        monkeypatch.setattr(
+            FratricideLeaderElection, "random_state", PopulationProtocol.random_state
+        )
+        code = main(["simulate", "fratricide", "--n", "12", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "start:         clean (protocol defines no adversarial states)" in output
+        assert "start:         adversarial" not in output
+
     def test_simulate_reports_leader_for_ranking_protocols(self, capsys):
         main(["simulate", "silent-n-state", "--n", "8", "--seed", "0"])
         output = capsys.readouterr().out

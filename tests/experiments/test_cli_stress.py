@@ -9,7 +9,11 @@ engine.
 import pytest
 
 from repro.cli import main
-from repro.experiments.registry import STRESS_EXPERIMENTS, get_experiment
+from repro.experiments.registry import (
+    BYZANTINE_EXPERIMENTS,
+    STRESS_EXPERIMENTS,
+    get_experiment,
+)
 from repro.experiments.result import ExperimentResult
 
 #: The cheap stress run used by the CLI tests (single trial, tiny bursts).
@@ -58,6 +62,73 @@ class TestStressCommand:
         for identifier in STRESS_EXPERIMENTS:
             spec = get_experiment(identifier)
             assert spec.runner.experiment_identifier == identifier
+
+    def test_unsupported_engine_combo_is_a_clean_error(self, capsys):
+        # recovery_scheduler builds an epoch-partition scheduler, which the
+        # counts engine rejects at RunConfig validation time; the CLI must
+        # surface the message, not a traceback.
+        code = main(["stress", "recovery_scheduler", "--engine", "counts"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "error: recovery_scheduler:" in output
+        assert "epoch-partition scheduler" in output
+
+
+class TestStressByzantine:
+    def test_byzantine_flag_selects_the_byzantine_families(self, capsys):
+        code = main(["stress", "--byzantine", "--n", "8"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        for identifier in BYZANTINE_EXPERIMENTS:
+            assert f"== {identifier}:" in output
+        for identifier in set(STRESS_EXPERIMENTS) - set(BYZANTINE_EXPERIMENTS):
+            assert f"== {identifier}:" not in output
+        assert "max tolerated f" in output
+        assert "theory phases" in output
+
+    def test_byzantine_flag_rejects_non_byzantine_experiments(self, capsys):
+        code = main(["stress", "recovery_burst", "--byzantine"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "not a Byzantine experiment" in output
+
+    def test_byzantine_families_are_stress_experiments(self):
+        assert set(BYZANTINE_EXPERIMENTS) <= set(STRESS_EXPERIMENTS)
+        for identifier in BYZANTINE_EXPERIMENTS:
+            spec = get_experiment(identifier)
+            assert spec.runner.experiment_identifier == identifier
+
+    @pytest.mark.parametrize("engine", ["compiled", "counts"])
+    def test_byzantine_artifacts_round_trip_on_table_engines(
+        self, capsys, tmp_path, engine
+    ):
+        """The acceptance contract: both byzantine experiments run end to end
+        on the table engines, and their artifacts re-render byte-identically
+        through ``repro report``."""
+        out_dir = tmp_path / engine
+        code = main(
+            ["stress", "byzantine_tolerance", "--n", "8", "--engine", engine]
+            + ["--output", str(out_dir)]
+            + FAST_ARGS
+        )
+        assert code == 0
+        run_output = capsys.readouterr().out
+        table_block, separator, _ = run_output.partition("-- artifact:")
+        assert separator
+
+        result = ExperimentResult.load(out_dir / "byzantine_tolerance.json")
+        assert result.engine == engine
+        assert {row["protocol"] for row in result.rows} >= {"silent-n-state"}
+
+        assert main(["report", str(out_dir)]) == 0
+        assert capsys.readouterr().out == table_block
+
+    def test_epsilon_consensus_reports_theory_columns(self, capsys):
+        code = main(["stress", "epsilon_consensus", "--n", "8"] + FAST_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "theory valid (n > 2f)" in output
+        assert "time per theory phase" in output
 
 
 class TestStressArtifacts:

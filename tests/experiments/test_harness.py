@@ -163,3 +163,83 @@ class TestExperimentSpec:
         config = RunConfig(seed=9, engine="compiled", jobs=3)
         spec.run("quick", run=config)
         assert received["run"] is config
+
+
+class TestTrialBatchFallbackWarning:
+    """An ignored ``--trial-batch`` is never silent: run_trials warns once per
+    run, naming the reason, and runs the trials one at a time."""
+
+    def _run(self, **config_fields):
+        from repro.experiments.harness import run_trials
+        from repro.processes.epidemic import TwoWayEpidemicProtocol
+
+        config = RunConfig(
+            seed=2, engine="compiled", stop="correct", trial_batch=4, **config_fields
+        )
+        return run_trials(lambda: TwoWayEpidemicProtocol(16), trials=4, run=config)
+
+    def test_byzantine_fallback_warns_with_reason(self):
+        from repro.adversary.byzantine import ByzantineSpec
+
+        with pytest.warns(RuntimeWarning, match="byzantine overlays run per trial"):
+            results = self._run(byzantine=ByzantineSpec(fraction=0.25))
+        assert len(results) == 4
+
+    def test_scheduler_fallback_warns_with_reason(self):
+        from repro.adversary.schedulers import SchedulerSpec
+
+        with pytest.warns(RuntimeWarning, match="adversarial schedulers run per trial"):
+            self._run(scheduler=SchedulerSpec(kind="biased", hot_fraction=0.1, hot_weight=3.0))
+
+    def test_fault_campaign_fallback_warns_with_reason(self):
+        from repro.adversary.plan import FaultEvent, FaultPlan
+
+        with pytest.warns(RuntimeWarning, match="fault campaigns run per trial"):
+            self._run(faults=FaultPlan((FaultEvent(at=5, kind="reset", count=2),)))
+
+    def test_warning_fires_once_per_run(self):
+        import warnings as warnings_module
+
+        from repro.adversary.byzantine import ByzantineSpec
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            self._run(byzantine=ByzantineSpec(fraction=0.25))
+        fallback = [w for w in caught if "--trial-batch ignored" in str(w.message)]
+        assert len(fallback) == 1
+
+    def test_batchable_config_does_not_warn(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            self._run()
+        assert not [w for w in caught if "--trial-batch" in str(w.message)]
+
+
+class TestByzantineProvenance:
+    def test_spec_run_stamps_byzantine_provenance(self, tmp_path):
+        from repro.adversary.byzantine import ByzantineSpec
+
+        spec = ExperimentSpec(
+            identifier="probe",
+            title="Probe",
+            paper_reference="none",
+            runner=lambda params, run: [{"x": 1}],
+        )
+        config = RunConfig(
+            seed=1, byzantine=ByzantineSpec(fraction=0.2, strategy="random_reply")
+        )
+        result = spec.run("quick", run=config)
+        assert result.byzantine == {"fraction": 0.2, "strategy": "random_reply"}
+        path = result.save(tmp_path / "probe.json")
+        assert ExperimentResult.load(path).byzantine == result.byzantine
+
+    def test_byzantine_provenance_defaults_to_none(self):
+        spec = ExperimentSpec(
+            identifier="probe",
+            title="Probe",
+            paper_reference="none",
+            runner=lambda params, run: [{"x": 1}],
+        )
+        assert spec.run("quick", run=RunConfig(seed=1)).byzantine is None

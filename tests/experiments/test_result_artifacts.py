@@ -61,6 +61,13 @@ TINY_PARAMS = {
         "burst_times": (0.5,),
         "trials": 1,
     },
+    "byzantine_tolerance": {
+        "protocols": ("silent-n-state",),
+        "n": 8,
+        "fractions": (0.2,),
+        "trials": 1,
+    },
+    "epsilon_consensus": {"n": 8, "fractions": (0.2,), "trials": 1},
     "ablation_dormancy": {"n": 10, "dmax_factors": (4.0,), "trials": 1},
     "ablation_timer": {"n": 10, "timer_multipliers": (8.0,), "trials": 1},
     "ablation_sync_range": {"n": 10, "sync_values": (2,), "trials": 1},

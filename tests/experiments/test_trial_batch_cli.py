@@ -75,6 +75,10 @@ class TestTrialBatchCli:
         assert main(["report", str(tmp_path)]) == 0
         assert capsys.readouterr().out == table
 
-    def test_trial_batch_rejected_on_the_loop_engine(self):
-        with pytest.raises(ValueError, match="requires a table engine"):
-            main(["run", EXPERIMENT, "--scale", "quick", "--trial-batch", "4"])
+    def test_trial_batch_rejected_on_the_loop_engine(self, capsys):
+        # RunConfig validation rejects the combo; the CLI reports the
+        # message cleanly instead of surfacing the traceback.
+        code = main(["run", EXPERIMENT, "--scale", "quick", "--trial-batch", "4"])
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "requires a table engine" in output
