@@ -152,6 +152,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "(<identifier>.json; render later with 'repro report DIR')"
         ),
     )
+    run_parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist finished trials and in-flight engine checkpoints to DIR "
+            "while running (single experiment only); a killed run restarted "
+            "with --resume DIR completes with byte-identical artifacts "
+            "(wall_time is zeroed so repeat runs compare equal)"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help=(
+            "resume a --checkpoint run from DIR: finished trials replay from "
+            "disk, the interrupted one restarts from its engine checkpoint; "
+            "refuses DIRs recorded for a different experiment/seed/engine "
+            "(payload digest mismatch)"
+        ),
+    )
 
     stress_parser = subparsers.add_parser(
         "stress",
@@ -274,6 +296,147 @@ def _build_parser() -> argparse.ArgumentParser:
             "(fixed-state-space protocols scale to n=1e8+)"
         ),
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the simulation service (job queue + workers + HTTP API)",
+        description=(
+            "Serve simulations over HTTP: POST /jobs enqueues a run, workers "
+            "execute it with resumable checkpoints, and the artifact lands in "
+            "a content-addressed cache -- identical resubmissions never "
+            "simulate again.  See docs/ARCHITECTURE.md (serve subsystem)."
+        ),
+    )
+    serve_parser.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=".repro-queue",
+        help="queue root directory; jobs, checkpoints and the artifact cache "
+        "live here and survive restarts (default: .repro-queue)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port; 0 picks a free one "
+        "(default: 8765)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="worker threads (default: 1)"
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        dest="max_retries",
+        help="attempts before a job is marked failed for good (default: 3); "
+        "a worker death mid-run costs one retry",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit an experiment run to a repro server"
+    )
+    submit_parser.add_argument(
+        "experiment", help="experiment identifier (see 'repro list')"
+    )
+    submit_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    submit_parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="parameterization to use (default: quick)",
+    )
+    submit_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed (default: 0); required to be an integer so the "
+        "content-addressed cache key is well-defined",
+    )
+    submit_parser.add_argument(
+        "--engine", choices=ENGINES, default="loop",
+        help="execution engine for the run (default: loop)",
+    )
+    submit_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes inside the run (default: 1)",
+    )
+    submit_parser.add_argument(
+        "--trial-batch", type=int, default=1, dest="trial_batch",
+        help="trials per batched engine instance (default: 1)",
+    )
+    submit_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment parameter override (repeatable); VALUE is parsed as "
+        "JSON when possible, else kept as a string -- e.g. "
+        "--param 'ns=[256,1024]' --param trials=5",
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list a repro server's jobs, or show one job's status"
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id to inspect (default: list all jobs)",
+    )
+    jobs_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+
+    fetch_parser = subparsers.add_parser(
+        "fetch", help="download a finished job's artifact from a repro server"
+    )
+    fetch_parser.add_argument("job_id", help="job id whose artifact to fetch")
+    fetch_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    fetch_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the artifact bytes to PATH (byte-identical to the "
+        "server's cache entry) instead of rendering the table",
+    )
+    fetch_parser.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown table"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark baseline utilities"
+    )
+    bench_subparsers = bench_parser.add_subparsers(dest="bench_command", required=True)
+    bench_report_parser = bench_subparsers.add_parser(
+        "report",
+        help="render the cross-PR speed trend from committed BENCH_*.json",
+        description=(
+            "Each BENCH_<area>.json baseline appends a {head, rows} history "
+            "entry on every re-record; this renders those entries as one "
+            "trend table per area, oldest first."
+        ),
+    )
+    bench_report_parser.add_argument(
+        "--area",
+        action="append",
+        default=None,
+        metavar="AREA",
+        help="restrict to one area (repeatable; default: every committed "
+        "baseline)",
+    )
+    bench_report_parser.add_argument(
+        "--root",
+        default=None,
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
+    bench_report_parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables"
+    )
     return parser
 
 
@@ -365,7 +528,30 @@ def _run_one(identifier: str, args, **overrides) -> None:
         jobs=args.jobs,
         trial_batch=getattr(args, "trial_batch", 1),
     )
-    result = spec.run(scale=args.scale, run=config, **overrides)
+    memo_dir = getattr(args, "resume", None) or getattr(args, "checkpoint", None)
+    if memo_dir is None:
+        result = spec.run(scale=args.scale, run=config, **overrides)
+    else:
+        # Checkpointed execution runs through the same resumable path the
+        # serve workers use: finished trials are memoized under DIR, the
+        # in-flight one is checkpointed, and the directory is pinned to the
+        # payload digest so --resume refuses a mismatched run.  The artifact
+        # is canonicalized (wall_time zeroed) so interrupted-and-resumed
+        # runs produce byte-identical output.
+        from repro.serve.cache import job_payload
+        from repro.serve.worker import execute_payload
+
+        directory = Path(memo_dir)
+        if getattr(args, "resume", None) is not None and not (
+            directory / "job.json"
+        ).exists():
+            raise ValueError(
+                f"nothing to resume: no job checkpoint at {directory / 'job.json'} "
+                "(record one first with 'repro run ... --checkpoint DIR')"
+            )
+        result = execute_payload(
+            job_payload(identifier, args.scale, overrides, config), directory
+        )
     _print_result(result, args.markdown)
     if args.output is not None:
         path = result.save(Path(args.output) / f"{result.identifier}.json")
@@ -377,11 +563,24 @@ def _run_all(identifiers, args, **overrides) -> int:
 
     Unsupported combinations (e.g. ``--engine counts`` with an experiment
     that builds an epoch-partition scheduler) fail RunConfig validation
-    before any seeding work; surface the message, not the traceback.
+    before any seeding work; surface the message, not the traceback.  The
+    same contract covers unknown identifiers and checkpoint-directory
+    mismatches from ``--resume``.
     """
+    if getattr(args, "checkpoint", None) or getattr(args, "resume", None):
+        if getattr(args, "checkpoint", None) and getattr(args, "resume", None):
+            print("error: --checkpoint and --resume are mutually exclusive")
+            return 2
+        if len(identifiers) != 1:
+            print("error: --checkpoint/--resume require a single experiment, not 'all'")
+            return 2
     for identifier in identifiers:
         try:
             _run_one(identifier, args, **overrides)
+        except KeyError as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}")
+            return 2
         except ValueError as error:
             print(f"error: {identifier}: {error}")
             return 2
@@ -416,6 +615,188 @@ def _report(args) -> int:
     return 0
 
 
+# -- serve subsystem commands (see docs/ARCHITECTURE.md, "serve subsystem") ----------
+
+
+def _serve(args) -> int:
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        args.queue,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_retries=args.max_retries,
+    )
+    server.start()
+    print(f"serving at {server.url}  (queue: {args.queue}, workers: {args.workers})")
+    print("submit with: repro submit <experiment> --url " + server.url)
+    try:
+        server.serve_forever(already_started=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _client_call(method: str, url: str, base_url: str, payload=None):
+    """One HTTP exchange, with unreachable-server turned into a clean error."""
+    from urllib.error import URLError
+
+    from repro.serve.server import http_json
+
+    try:
+        return http_json(method, url, payload)
+    except URLError as error:
+        reason = getattr(error, "reason", error)
+        raise ValueError(
+            f"cannot reach server at {base_url}: {reason} "
+            "(is 'repro serve' running?)"
+        ) from None
+
+
+def _parse_param_overrides(pairs: List[str]) -> dict:
+    """``KEY=VALUE`` pairs to experiment params; VALUE is JSON when possible."""
+    import json as _json
+
+    params = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"malformed --param {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = _json.loads(value)
+        except _json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _submit(args) -> int:
+    from repro.serve.cache import job_payload
+
+    config = RunConfig(
+        seed=args.seed,
+        engine=args.engine,
+        jobs=args.jobs,
+        trial_batch=args.trial_batch,
+    )
+    try:
+        payload = job_payload(
+            args.experiment, args.scale, _parse_param_overrides(args.param), config
+        )
+        status, body = _client_call("POST", f"{args.url}/jobs", args.url, payload)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    if status != 200:
+        message = body.get("error", body) if isinstance(body, dict) else body
+        print(f"error: {message}")
+        return 2
+    cached = "  (artifact already cached)" if body.get("cached") else ""
+    print(f"job:    {body['job_id']}{cached}")
+    print(f"digest: {body['digest']}")
+    print(f"state:  {body['state']}")
+    print(f"fetch with: repro fetch {body['job_id']} --url {args.url}")
+    return 0
+
+
+def _jobs(args) -> int:
+    if args.job_id is not None:
+        try:
+            status, body = _client_call(
+                "GET", f"{args.url}/jobs/{args.job_id}", args.url
+            )
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
+        if status != 200:
+            message = body.get("error", body) if isinstance(body, dict) else body
+            print(f"error: {message}")
+            return 2
+        progress = body.get("progress", {})
+        print(f"job:     {body['job_id']}")
+        print(f"state:   {body['state']}  (retries: {body['retries']})")
+        print(f"digest:  {body['digest']}")
+        print(f"cached:  {body['cached']}")
+        print(
+            f"trials:  {progress.get('trials_done', 0)} done, "
+            f"{progress.get('inflight', 0)} in flight"
+        )
+        if body.get("error"):
+            print(f"error:   {body['error']}")
+        return 0
+    try:
+        status, body = _client_call("GET", f"{args.url}/jobs", args.url)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    jobs = body.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        {
+            "job": record["job_id"],
+            "experiment": record["payload"]["experiment"],
+            "state": record["state"],
+            "retries": record["retries"],
+            "cached": record["cached"],
+            "error": record.get("error") or "",
+        }
+        for record in jobs
+    ]
+    print(format_table(rows, columns=list(rows[0])))
+    return 0
+
+
+def _fetch(args) -> int:
+    from repro.serve.server import http_get_bytes
+
+    from urllib.error import URLError
+
+    try:
+        status, payload = http_get_bytes(f"{args.url}/jobs/{args.job_id}/artifact")
+    except URLError as error:
+        reason = getattr(error, "reason", error)
+        print(
+            f"error: cannot reach server at {args.url}: {reason} "
+            "(is 'repro serve' running?)"
+        )
+        return 2
+    if status != 200:
+        import json as _json
+
+        try:
+            message = _json.loads(payload).get("error", payload.decode("utf-8"))
+        except (ValueError, AttributeError):
+            message = payload.decode("utf-8", "replace")
+        print(f"error: {message}")
+        return 2
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        print(f"-- artifact: {path} ({len(payload)} bytes)")
+        return 0
+    _print_result(ExperimentResult.from_json(payload.decode("utf-8")), args.markdown)
+    return 0
+
+
+def _bench_report(args) -> int:
+    from repro.experiments.bench_report import REPO_ROOT, render_bench_report
+
+    try:
+        report = render_bench_report(
+            areas=args.area,
+            root=args.root if args.root is not None else REPO_ROOT,
+            markdown=args.markdown,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    print(report, end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     parser = _build_parser()
@@ -439,6 +820,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "simulate":
         return _simulate(args)
+
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "submit":
+        return _submit(args)
+
+    if args.command == "jobs":
+        return _jobs(args)
+
+    if args.command == "fetch":
+        return _fetch(args)
+
+    if args.command == "bench":
+        return _bench_report(args)
 
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -271,6 +271,12 @@ class CountsSimulation:
         self._drift_cap = float(drift_cap)
         self._max_window = None if max_window is None else int(max_window)
         self.window_log: Optional[List[Dict]] = [] if record_windows else None
+        #: Checkpoint hook: called as ``on_check(self)`` at every
+        #: ``check_interval`` boundary inside :meth:`run_until` where the run
+        #: is about to continue.  Must not consume ``self.rng``
+        #: (:meth:`checkpoint_state` does not) or resumed runs lose
+        #: bit-identity with uninterrupted ones.
+        self.on_check: Optional[Callable[["CountsSimulation"], None]] = None
         if scheduler_spec is not None:
             self._install_scheduler_spec(scheduler_spec)
 
@@ -780,6 +786,80 @@ class CountsSimulation:
 
     # -- running until a condition ---------------------------------------------------
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def _checkpoint_guard(self) -> None:
+        """Reject state captures the engine cannot resume bit-identically."""
+        if self._byzantine is not None:
+            raise RuntimeError(
+                "byzantine runs are not checkpointable: the overlay extends "
+                "the histogram per run, outside the captured state"
+            )
+        if self._class_weights.size != 1:
+            raise RuntimeError(
+                "weighted-scheduler runs are not checkpointable: the class "
+                "partition is a closure the checkpoint cannot serialize"
+            )
+
+    def checkpoint_state(self) -> Dict:
+        """JSON-able snapshot from which :meth:`restore_checkpoint_state`
+        resumes **bit-identically**.
+
+        The count vector plus the interaction counter plus the PCG64
+        bit-generator state is the engine's whole dynamic state: the
+        law/structure caches are pure functions of the counts, rebuilt
+        deterministically on the next window.  Window-sizing knobs
+        (``drift_cap``, ``max_window``) are captured too since they shape the
+        remaining random stream.  Consumes no randomness.
+        """
+        self._checkpoint_guard()
+        return {
+            "engine": "counts",
+            "interactions": int(self.interactions),
+            "counts": [int(value) for value in self.state_counts],
+            "drift_cap": float(self._drift_cap),
+            "max_window": None if self._max_window is None else int(self._max_window),
+            "bit_generator": self.rng.bit_generator.state,
+        }
+
+    def restore_checkpoint_state(self, payload: Dict) -> None:
+        """Inverse of :meth:`checkpoint_state` (validates shape and sums)."""
+        if payload.get("engine") != "counts":
+            raise ValueError(
+                f"checkpoint was captured by engine {payload.get('engine')!r}, "
+                "not 'counts'"
+            )
+        self._checkpoint_guard()
+        counts = np.asarray(payload["counts"], dtype=np.int64)
+        num_states = self.compiled.num_states
+        if counts.shape != (num_states,):
+            raise ValueError(
+                f"checkpoint counts must have shape ({num_states},), got {counts.shape}"
+            )
+        if counts.min(initial=0) < 0:
+            raise ValueError("checkpoint counts must be non-negative")
+        if int(counts.sum()) != self.protocol.n:
+            raise ValueError(
+                f"checkpoint counts sum to {int(counts.sum())}, expected "
+                f"population size {self.protocol.n}"
+            )
+        generator_state = dict(payload["bit_generator"])
+        expected = type(self.rng.bit_generator).__name__
+        if generator_state.get("bit_generator") != expected:
+            raise ValueError(
+                f"checkpoint holds {generator_state.get('bit_generator')!r} "
+                f"generator state, engine uses {expected!r}"
+            )
+        self._matrix = counts.reshape(1, -1).copy()
+        self.interactions = int(payload["interactions"])
+        self._drift_cap = float(payload["drift_cap"])
+        max_window = payload["max_window"]
+        self._max_window = None if max_window is None else int(max_window)
+        self.rng.bit_generator.state = generator_state
+        self._law_cache = None
+        self._structure_cache = None
+        self._seed_indices = None
+
     def run_until(
         self,
         predicate: Optional[Callable[[Configuration], bool]] = None,
@@ -828,6 +908,8 @@ class CountsSimulation:
                     reason="cap",
                     engine="counts",
                 )
+            if self.on_check is not None:
+                self.on_check(self)
             remaining = max_interactions - self.interactions
             self.run(min(check_interval, remaining))
 

@@ -75,6 +75,13 @@ class Simulation:
         #: The installed ByzantineOverlay of a ``run(config)`` with a
         #: ByzantineSpec (see :mod:`repro.adversary.byzantine`).
         self._byzantine = None
+        #: Checkpoint hook: called as ``on_check(self)`` at every
+        #: ``check_interval`` boundary inside :meth:`run_until` where the run
+        #: is about to continue.  The loop engine itself is not
+        #: checkpointable (its RNG is consumed per-transition through
+        #: arbitrary protocol code); the attribute exists so callers can
+        #: observe cadence uniformly across engines.
+        self.on_check: Optional[Callable[["Simulation"], None]] = None
 
     # -- basic stepping -----------------------------------------------------------
 
@@ -249,6 +256,8 @@ class Simulation:
                 )
                 self._notify_end()
                 return result
+            if self.on_check is not None:
+                self.on_check(self)
             remaining = max_interactions - self.interactions
             self.run(min(check_interval, remaining))
 

@@ -1,0 +1,112 @@
+"""Cross-PR benchmark trend report from committed ``BENCH_<area>.json`` files.
+
+Every benchmark area records a durable baseline at the repo root (see
+``benchmarks/bench_utils.py``): the current ``rows`` that CI gates read,
+plus a ``history`` list appended on each re-record -- one ``{head, rows}``
+entry per recording, nothing time-dependent.  This module renders that
+history as tables, one per area, so the speed trajectory across PRs is
+readable without digging through git archaeology::
+
+    python -m repro bench report
+    python -m repro bench report --area compiled_engine --markdown
+
+Artifacts written before the ``history`` field exist too; they render as a
+single unattributed entry built from their current ``rows``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.report import format_table, rows_to_markdown
+
+#: Repo root -- where ``BENCH_<area>.json`` baselines are committed.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent.parent
+
+
+def list_bench_areas(root: Union[str, Path] = REPO_ROOT) -> List[str]:
+    """Areas with a committed baseline, sorted (``BENCH_<area>.json``)."""
+    return sorted(
+        path.name[len("BENCH_") : -len(".json")]
+        for path in Path(root).glob("BENCH_*.json")
+    )
+
+
+def load_bench_history(area: str, root: Union[str, Path] = REPO_ROOT) -> List[Dict]:
+    """The recording history for ``area``: a list of ``{head, rows}`` entries.
+
+    Raises ``ValueError`` for an unknown area (no committed baseline).
+    Baselines recorded before the ``history`` field synthesize one entry
+    from their current ``rows`` so every area renders uniformly.
+    """
+    path = Path(root) / f"BENCH_{area}.json"
+    if not path.exists():
+        known = ", ".join(list_bench_areas(root)) or "none"
+        raise ValueError(f"unknown benchmark area {area!r}; known: {known}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"unreadable benchmark baseline {path}: {error}") from None
+    history = payload.get("history") or []
+    if not history:
+        history = [{"head": None, "rows": payload.get("rows", [])}]
+    return [
+        {"head": entry.get("head"), "rows": list(entry.get("rows", []))}
+        for entry in history
+    ]
+
+
+def bench_trend_rows(area: str, root: Union[str, Path] = REPO_ROOT) -> List[Dict]:
+    """History flattened to one table: entry index + short head + row fields."""
+    rows: List[Dict] = []
+    for index, entry in enumerate(load_bench_history(area, root), start=1):
+        head = entry["head"]
+        label = head[:10] if isinstance(head, str) else "(unrecorded)"
+        for row in entry["rows"]:
+            rows.append({"entry": index, "head": label, **row})
+    return rows
+
+
+def _trend_columns(rows: Sequence[Dict]) -> List[str]:
+    columns = ["entry", "head"]
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_bench_report(
+    areas: Optional[Sequence[str]] = None,
+    root: Union[str, Path] = REPO_ROOT,
+    markdown: bool = False,
+) -> str:
+    """The full report: one trend table per area, newest entry last.
+
+    ``areas=None`` renders every committed baseline.  Unknown areas raise
+    ``ValueError`` (the CLI turns that into a clean ``error:`` line).
+    """
+    selected = list(areas) if areas else list_bench_areas(root)
+    if not selected:
+        raise ValueError(f"no BENCH_*.json baselines found under {Path(root)}")
+    sections: List[str] = []
+    for area in selected:
+        rows = bench_trend_rows(area, root)
+        entries = max((row["entry"] for row in rows), default=0)
+        render = rows_to_markdown if markdown else format_table
+        sections.append(
+            f"== bench {area}: {entries} recorded entr"
+            f"{'y' if entries == 1 else 'ies'} ==\n"
+            + render(rows, columns=_trend_columns(rows))
+        )
+    return "\n\n".join(sections) + "\n"
+
+
+__all__ = [
+    "bench_trend_rows",
+    "list_bench_areas",
+    "load_bench_history",
+    "render_bench_report",
+]

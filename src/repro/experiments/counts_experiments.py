@@ -40,6 +40,50 @@ def _one_infected_counts(protocol, compiled, rng) -> np.ndarray:
     return counts
 
 
+@experiment_runner("epidemic_convergence")
+def run_epidemic_convergence(params: Mapping, run: RunConfig) -> List[Dict]:
+    """Convergence law of the two-way epidemic with fully deterministic rows.
+
+    The same sweep as :func:`run_counts_scaling` minus the throughput
+    columns: every row is a pure function of ``(params, run)`` -- no wall
+    clock anywhere -- so artifacts are byte-stable across machines and
+    re-runs.  That makes this the reference workload for the serve
+    subsystem (``repro submit``): content-addressed caching, checkpoint /
+    resume, and worker crash recovery are all asserted by comparing
+    artifact *bytes*, which only a deterministic experiment allows.
+    Honours ``run.engine`` like every harness experiment; per-``n`` seeds
+    are tuple-derived from ``run.seed`` so each row is independent.
+    """
+    opts = read_params(params, ns=(256, 1024), trials=10)
+    ns, trials = opts["ns"], opts["trials"]
+    base_seed = run.seed if isinstance(run.seed, int) else 0
+    rows: List[Dict] = []
+    for n in ns:
+        config = run.replace(seed=(base_seed, n), stop="correct")
+        counts_factory = (
+            _one_infected_counts if run.engine in ("counts", "compiled") else None
+        )
+        results = run_trials(
+            lambda n=n: TwoWayEpidemicProtocol(n),
+            trials=trials,
+            run=config,
+            counts_factory=counts_factory,
+        )
+        times = np.array([result.parallel_time for result in results])
+        rows.append(
+            {
+                "n": n,
+                "engine": run.engine,
+                "trials": trials,
+                "mean parallel time": float(times.mean()),
+                "max parallel time": float(times.max()),
+                "time / ln n": float(times.mean() / np.log(n)),
+                "total interactions": int(sum(r.interactions for r in results)),
+            }
+        )
+    return rows
+
+
 @experiment_runner("counts_table1")
 def run_counts_table1(params: Mapping, run: RunConfig) -> List[Dict]:
     """Table-1-style convergence sweep at populations up to ``n = 1e8``.

@@ -29,6 +29,7 @@ import multiprocessing
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -69,6 +70,35 @@ TrialObserver = Callable[[int, SimulationResult], None]
 #: Holding it in a module global instead of pickling it lets experiments keep
 #: passing plain lambdas as factories.
 _POOL_STATE: Optional[Dict] = None
+
+#: The active trial memo (installed via :func:`trial_memo`); ``None`` runs
+#: every trial live.  A memo makes :func:`run_trials` durable: finished
+#: trials replay from it, the in-flight one checkpoints through it.
+_TRIAL_MEMO = None
+
+
+@contextmanager
+def trial_memo(memo):
+    """Install a durable trial memo for every :func:`run_trials` call inside.
+
+    ``memo`` implements the duck protocol of
+    :class:`repro.serve.worker.TrialMemo`: ``begin_call(trials, config)``
+    names each harness call positionally (experiments are deterministic
+    call sequences, and inner configs may carry unserializable seeds, so
+    *position* is the stable identity); ``lookup``/``record`` replay and
+    persist per-trial :class:`~repro.engine.results.SimulationResult`
+    records; ``inflight_checkpoint``/``checkpoint_hook`` resume and persist
+    the one trial that was interrupted mid-run.  Because trial streams are
+    bit-identical for every ``jobs``/``trial_batch`` layout, a memo written
+    under one layout replays correctly under any other.
+    """
+    global _TRIAL_MEMO
+    previous = _TRIAL_MEMO
+    _TRIAL_MEMO = memo
+    try:
+        yield memo
+    finally:
+        _TRIAL_MEMO = previous
 
 
 def _coerce_run_config(run, legacy: Dict, caller: str) -> RunConfig:
@@ -216,8 +246,17 @@ def _execute_trial(
     compiled: Optional[CompiledProtocol],
     seed_seq: np.random.SeedSequence,
     counts_factory: Optional[CountsFactory] = None,
+    memo_slot=None,
 ) -> SimulationResult:
-    """Run one trial from its own seed sequence (process-agnostic)."""
+    """Run one trial from its own seed sequence (process-agnostic).
+
+    ``memo_slot`` is ``(memo, call_key, index)`` when a :func:`trial_memo`
+    is active: the trial resumes from its persisted in-flight checkpoint
+    (if one matches this config) and keeps checkpointing at every
+    ``check_interval`` boundary.  Seeding happens first either way -- the
+    generator consumption up to ``run()`` must match the uninterrupted
+    path exactly; a restore then *overwrites* the generator state.
+    """
     rng = np.random.default_rng(seed_seq)
     protocol = protocol_factory()
     configuration = (
@@ -234,6 +273,19 @@ def _execute_trial(
         compiled=compiled,
         counts=counts,
     )
+    if memo_slot is not None:
+        memo, call_key, index = memo_slot
+        if hasattr(simulation, "restore_checkpoint_state"):
+            checkpoint = memo.inflight_checkpoint(call_key, index, config)
+            if checkpoint is not None:
+                try:
+                    simulation.restore_checkpoint_state(checkpoint.state)
+                except (ValueError, RuntimeError, KeyError):
+                    pass  # stale or corrupt checkpoint: run from the start
+        if hasattr(simulation, "checkpoint_state"):
+            hook = memo.checkpoint_hook(call_key, index, config)
+            if hook is not None:
+                simulation.on_check = hook
     return simulation.run(config)
 
 
@@ -245,6 +297,7 @@ def _pool_trial(index: int) -> SimulationResult:
             "worker has no inherited trial context; the parallel harness "
             "requires fork-started workers"
         )
+    memo = state["memo"]
     return _execute_trial(
         protocol_factory=state["protocol_factory"],
         configuration_factory=state["configuration_factory"],
@@ -252,6 +305,7 @@ def _pool_trial(index: int) -> SimulationResult:
         compiled=state["compiled"],
         seed_seq=state["seeds"][index],
         counts_factory=state["counts_factory"],
+        memo_slot=(memo, state["call_key"], index) if memo is not None else None,
     )
 
 
@@ -442,42 +496,70 @@ def run_trials(
         list(range(0, trials, config.trial_batch)) if batched else list(range(trials))
     )
 
+    # The memo, when installed, names this call positionally and replays any
+    # trials it already holds; replay hits never reach the pool.
+    memo = _TRIAL_MEMO
+    call_key = memo.begin_call(trials, config) if memo is not None else None
+
+    def unit_replay(start: int) -> Optional[List[SimulationResult]]:
+        """The full unit (batch or single trial) from the memo, or ``None``."""
+        if memo is None:
+            return None
+        size = len(seeds[start : start + config.trial_batch]) if batched else 1
+        cached = [memo.lookup(call_key, start + offset) for offset in range(size)]
+        return cached if all(item is not None for item in cached) else None
+
+    def unit_record(start: int, batch: List[SimulationResult]) -> None:
+        if memo is not None:
+            for offset, result in enumerate(batch):
+                memo.record(call_key, start + offset, result)
+
+    replayed = {start: unit_replay(start) for start in units} if memo is not None else {}
+    pending = [start for start in units if replayed.get(start) is None]
+
     context = None
-    if config.jobs > 1 and len(units) > 1:
+    if config.jobs > 1 and len(pending) > 1:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = None
 
-    if context is None:
-        results: List[SimulationResult] = []
-        if batched:
-            for start in units:
-                batch = _execute_trial_batch(
-                    protocol_factory=protocol_factory,
-                    configuration_factory=configuration_factory,
-                    config=config,
-                    compiled=compiled,
-                    seeds=seeds[start : start + config.trial_batch],
-                    counts_factory=counts_factory,
-                )
-                for offset, result in enumerate(batch):
-                    results.append(result)
-                    if on_trial_done is not None:
-                        on_trial_done(start + offset, result)
-            return results
-        for index, seed_seq in enumerate(seeds):
-            result = _execute_trial(
-                protocol_factory=protocol_factory,
-                configuration_factory=configuration_factory,
-                config=config,
-                compiled=compiled,
-                seed_seq=seed_seq,
-                counts_factory=counts_factory,
-            )
+    def emit(results: List[SimulationResult], start: int, batch: List[SimulationResult]):
+        for offset, result in enumerate(batch):
             results.append(result)
             if on_trial_done is not None:
-                on_trial_done(index, result)
+                on_trial_done(start + offset, result)
+
+    if context is None:
+        results: List[SimulationResult] = []
+        for start in units:
+            batch = replayed.get(start)
+            if batch is None:
+                if batched:
+                    batch = _execute_trial_batch(
+                        protocol_factory=protocol_factory,
+                        configuration_factory=configuration_factory,
+                        config=config,
+                        compiled=compiled,
+                        seeds=seeds[start : start + config.trial_batch],
+                        counts_factory=counts_factory,
+                    )
+                else:
+                    batch = [
+                        _execute_trial(
+                            protocol_factory=protocol_factory,
+                            configuration_factory=configuration_factory,
+                            config=config,
+                            compiled=compiled,
+                            seed_seq=seeds[start],
+                            counts_factory=counts_factory,
+                            memo_slot=(
+                                (memo, call_key, start) if memo is not None else None
+                            ),
+                        )
+                    ]
+                unit_record(start, batch)
+            emit(results, start, batch)
         return results
 
     global _POOL_STATE
@@ -488,29 +570,31 @@ def run_trials(
         "compiled": compiled,
         "seeds": seeds,
         "counts_factory": counts_factory,
+        "memo": memo,
+        "call_key": call_key,
     }
     try:
-        workers = min(config.jobs, len(units))
+        workers = min(config.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
             results = []
             if batched:
                 # One batch per map item: batches are the work unit, so the
                 # pool schedules them whole (batch-per-worker composition).
-                for start, batch in zip(
-                    units, executor.map(_pool_trial_batch, units, chunksize=1)
-                ):
-                    for offset, result in enumerate(batch):
-                        results.append(result)
-                        if on_trial_done is not None:
-                            on_trial_done(start + offset, result)
-                return results
-            chunksize = max(1, trials // (4 * workers))
-            for index, result in enumerate(
-                executor.map(_pool_trial, range(trials), chunksize=chunksize)
-            ):
-                results.append(result)
-                if on_trial_done is not None:
-                    on_trial_done(index, result)
+                pool_iter = executor.map(_pool_trial_batch, pending, chunksize=1)
+            else:
+                chunksize = max(1, len(pending) // (4 * workers))
+                pool_iter = (
+                    [result]
+                    for result in executor.map(_pool_trial, pending, chunksize=chunksize)
+                )
+            # ``pending`` is increasing and the pool yields in input order,
+            # so interleaving replayed units keeps trial order intact.
+            for start in units:
+                batch = replayed.get(start)
+                if batch is None:
+                    batch = next(pool_iter)
+                    unit_record(start, batch)
+                emit(results, start, batch)
             return results
     finally:
         _POOL_STATE = None
@@ -604,4 +688,5 @@ __all__ = [
     "measure_parallel_times",
     "run_trials",
     "sweep_parallel_time",
+    "trial_memo",
 ]

@@ -34,7 +34,11 @@ from repro.experiments.byzantine_experiments import (
     run_byzantine_tolerance,
     run_epsilon_consensus,
 )
-from repro.experiments.counts_experiments import run_counts_scaling, run_counts_table1
+from repro.experiments.counts_experiments import (
+    run_counts_scaling,
+    run_counts_table1,
+    run_epidemic_convergence,
+)
 from repro.experiments.harness import ExperimentSpec
 from repro.experiments.lower_bounds import (
     run_fratricide_failure,
@@ -132,6 +136,22 @@ _register(
         runner=run_epidemic,
         quick_params={"ns": (64, 128, 256), "trials": 100},
         full_params={"ns": (64, 128, 256, 512, 1024), "trials": 500},
+    )
+)
+_register(
+    ExperimentSpec(
+        identifier="epidemic_convergence",
+        title="Two-way epidemic convergence (byte-stable rows, any engine)",
+        paper_reference="Lemma 2.7",
+        runner=run_epidemic_convergence,
+        description=(
+            "Deterministic convergence sweep with no wall-clock columns: "
+            "artifacts are byte-stable, so this is the reference workload "
+            "for the serve subsystem's content-addressed cache and "
+            "checkpoint/resume guarantees (see docs/ARCHITECTURE.md)."
+        ),
+        quick_params={"ns": (256, 1024), "trials": 10},
+        full_params={"ns": (1024, 4096, 16384), "trials": 20},
     )
 )
 _register(

@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: checkpoints, job queue, workers, HTTP API.
+
+The serve subsystem turns the ``RunConfig -> ExperimentResult`` contract
+into a durable service (see ``docs/ARCHITECTURE.md``, "serve subsystem"):
+
+* :mod:`repro.serve.checkpoint` -- deterministic, JSON-round-tripping
+  mid-run snapshots of both table engines, with bit-identical resume.
+* :mod:`repro.serve.queue` -- persistent on-disk job queue
+  (pending/running/done/failed, atomic claims, crash recovery).
+* :mod:`repro.serve.worker` -- workers that memoize finished trials,
+  checkpoint the in-flight one, and survive ``kill -9``.
+* :mod:`repro.serve.cache` -- content-addressed artifact cache keyed on
+  the canonical job payload digest (identical submissions never re-run).
+* :mod:`repro.serve.server` -- stdlib-only threaded HTTP API
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/artifact``).
+"""
+
+from repro.serve.cache import (
+    ArtifactCache,
+    canonicalize_artifact,
+    job_digest,
+    job_id_for,
+    job_payload,
+)
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    EngineCheckpoint,
+    capture_checkpoint,
+    checkpoint_unsupported_reason,
+    config_digest,
+    restore_simulation,
+    resume_run,
+)
+from repro.serve.queue import JOB_STATES, JobQueue, JobRecord, UnknownJobError
+from repro.serve.server import ReproServer, http_get_bytes, http_json
+from repro.serve.worker import TrialMemo, Worker, drain, execute_payload
+
+__all__ = [
+    "ArtifactCache",
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "EngineCheckpoint",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRecord",
+    "ReproServer",
+    "TrialMemo",
+    "UnknownJobError",
+    "Worker",
+    "canonicalize_artifact",
+    "capture_checkpoint",
+    "checkpoint_unsupported_reason",
+    "config_digest",
+    "drain",
+    "execute_payload",
+    "http_get_bytes",
+    "http_json",
+    "job_digest",
+    "job_id_for",
+    "job_payload",
+    "restore_simulation",
+    "resume_run",
+]

@@ -1,0 +1,111 @@
+"""Content-addressed artifact cache for the serve subsystem.
+
+Cache-key derivation
+--------------------
+A job is named by *what it computes*, never by when or where: the sha256
+digest of the canonical (key-sorted, whitespace-free) JSON of ::
+
+    {"experiment": ..., "scale": ..., "params": {...}, "run_config": {...}}
+
+where ``run_config`` is the :meth:`RunConfig.to_dict` provenance form and
+``params`` are the experiment overrides coerced through the same
+``_jsonable`` rules the artifact rows use.  Submitting the same experiment
+with the same parameters and the same (integer) seed therefore always maps
+to the same digest -- and since ``repro`` artifacts are byte-stable modulo
+``wall_time``, the cache stores the **canonicalized** artifact
+(``wall_time`` zeroed) so a cache hit returns byte-identical content to a
+fresh run of the same job.  The job id shown to users is the digest's
+first 16 hex chars.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.engine.run_config import RunConfig
+from repro.experiments.result import ExperimentResult, _jsonable
+from repro.serve.checkpoint import atomic_write_text, canonical_json
+
+#: Hex length of the short job id (prefix of the full sha256 digest).
+JOB_ID_LENGTH = 16
+
+
+def job_payload(
+    experiment: str,
+    scale: str,
+    params: Optional[Mapping],
+    config: RunConfig,
+) -> Dict:
+    """The canonical description of one job (the digest input)."""
+    return {
+        "experiment": experiment,
+        "scale": scale,
+        "params": {str(key): _jsonable(value) for key, value in dict(params or {}).items()},
+        "run_config": config.to_dict(),
+    }
+
+
+def job_digest(payload: Dict) -> str:
+    """Full sha256 digest of a canonical job payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def job_id_for(payload: Dict) -> str:
+    """Short content-derived job id (digest prefix)."""
+    return job_digest(payload)[:JOB_ID_LENGTH]
+
+
+def canonicalize_artifact(result: ExperimentResult) -> ExperimentResult:
+    """The cacheable form of an artifact: ``wall_time`` zeroed.
+
+    Wall time is the single nondeterministic provenance field; everything
+    else in an artifact is a pure function of the job payload.  Zeroing it
+    (rather than storing whatever one run measured) makes cached bytes a
+    stable function of the digest, so direct runs, worker runs, and resumed
+    runs of the same job all compare byte-identically.
+    """
+    payload = result.to_dict()
+    payload["provenance"]["wall_time"] = 0.0
+    return ExperimentResult.from_dict(payload)
+
+
+class ArtifactCache:
+    """Digest-addressed store of canonicalized experiment artifacts."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def has(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def get_bytes(self, digest: str) -> bytes:
+        """Raw artifact bytes (what the HTTP artifact endpoint serves)."""
+        path = self.path_for(digest)
+        if not path.exists():
+            raise KeyError(f"no cached artifact for digest {digest}")
+        return path.read_bytes()
+
+    def get(self, digest: str) -> ExperimentResult:
+        return ExperimentResult.from_json(self.get_bytes(digest).decode("utf-8"))
+
+    def put(self, digest: str, result: ExperimentResult) -> Path:
+        """Store the canonicalized artifact under its digest (atomic)."""
+        return atomic_write_text(
+            self.path_for(digest), canonicalize_artifact(result).to_json()
+        )
+
+
+__all__ = [
+    "ArtifactCache",
+    "JOB_ID_LENGTH",
+    "canonicalize_artifact",
+    "job_digest",
+    "job_id_for",
+    "job_payload",
+]

@@ -1,0 +1,278 @@
+"""Persistent on-disk job queue.
+
+Queue states and layout
+-----------------------
+A job moves ``pending -> running -> done`` (or back to ``pending`` on
+failure until ``max_retries`` is exhausted, then ``failed``).  The queue is
+a directory::
+
+    <root>/jobs/<id>.json     one JSON record per job (payload + state)
+    <root>/pending/<id>       empty marker files, one directory per state
+    <root>/running/<id>
+    <root>/done/<id>
+    <root>/failed/<id>
+    <root>/checkpoints/<id>/  per-job trial results + in-flight checkpoints
+
+State transitions move the *marker* with ``os.replace`` -- atomic on POSIX
+-- so two workers can never claim the same job, and a ``kill -9`` mid-run
+leaves an honest trail: the marker stays in ``running/`` with the dead
+worker's pid in the record, and :meth:`JobQueue.recover_stale` (run by
+every worker before claiming) detects the dead pid and requeues the job.
+The requeued run replays from the job's checkpoint directory, so the work
+already done -- finished trials and the in-flight engine checkpoint --
+survives the crash and the final artifact is byte-identical to an
+uninterrupted run (see :mod:`repro.serve.worker`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.engine.run_config import RunConfig
+from repro.serve.cache import job_digest, job_id_for, job_payload
+from repro.serve.checkpoint import atomic_write_text
+
+#: The lifecycle states a job record can be in.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+#: Format tag on persisted job records.
+JOB_RECORD_FORMAT = "repro.job-record/v1"
+
+
+class UnknownJobError(ValueError):
+    """Lookup of a job id the queue has never seen."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid running (signal-0 probe)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def validate_payload(payload: Dict) -> Dict:
+    """Normalize a submitted job description, failing fast on bad input.
+
+    Returns the canonical payload (the digest input).  Raises
+    ``ValueError`` with a user-facing message for every rejection: unknown
+    experiment, bad scale, malformed RunConfig, or a non-integer seed --
+    content addressing requires the run to be a pure function of the
+    payload, which a fresh-entropy seed is not.
+    """
+    from repro.experiments.registry import get_experiment
+
+    if not isinstance(payload, dict):
+        raise ValueError("job payload must be a JSON object")
+    unknown = set(payload) - {"experiment", "scale", "params", "run_config"}
+    if unknown:
+        raise ValueError(f"unknown job payload keys: {sorted(unknown)}")
+    experiment = payload.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise ValueError("job payload needs an 'experiment' identifier")
+    try:
+        get_experiment(experiment)
+    except KeyError as error:
+        raise ValueError(str(error).strip("'\"")) from None
+    scale = payload.get("scale", "quick")
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise ValueError(f"params must be an object, got {type(params).__name__}")
+    run_config = payload.get("run_config") or {}
+    if not isinstance(run_config, dict):
+        raise ValueError(f"run_config must be an object, got {type(run_config).__name__}")
+    config = RunConfig.from_dict(run_config)
+    if not isinstance(config.seed, int):
+        raise ValueError(
+            "jobs must carry an integer run_config.seed: the artifact cache "
+            "is content-addressed, so the run must be a pure function of the "
+            "submitted payload"
+        )
+    return job_payload(experiment, scale, params, config)
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state (persisted as ``jobs/<id>.json``)."""
+
+    job_id: str
+    digest: str
+    payload: Dict
+    state: str = "pending"
+    retries: int = 0
+    error: Optional[str] = None
+    cached: bool = False
+    worker_pid: Optional[int] = field(default=None)
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": JOB_RECORD_FORMAT,
+            "job_id": self.job_id,
+            "digest": self.digest,
+            "payload": self.payload,
+            "state": self.state,
+            "retries": self.retries,
+            "error": self.error,
+            "cached": self.cached,
+            "worker_pid": self.worker_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobRecord":
+        tag = payload.get("format")
+        if tag != JOB_RECORD_FORMAT:
+            raise ValueError(f"not a job record (format={tag!r})")
+        return cls(
+            job_id=payload["job_id"],
+            digest=payload["digest"],
+            payload=dict(payload["payload"]),
+            state=payload.get("state", "pending"),
+            retries=int(payload.get("retries", 0)),
+            error=payload.get("error"),
+            cached=bool(payload.get("cached", False)),
+            worker_pid=payload.get("worker_pid"),
+        )
+
+
+class JobQueue:
+    """Directory-backed queue with atomic claims and crash recovery."""
+
+    def __init__(self, root: Union[str, Path], max_retries: int = 3):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        self.root = Path(root)
+        self.max_retries = max_retries
+        for name in ("jobs", "checkpoints") + JOB_STATES:
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+
+    # -- record storage --------------------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / f"{job_id}.json"
+
+    def _write(self, record: JobRecord) -> None:
+        atomic_write_text(
+            self._record_path(record.job_id),
+            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self._record_path(job_id)
+        if not path.exists():
+            raise UnknownJobError(f"unknown job id {job_id!r}")
+        return JobRecord.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def list_jobs(self) -> List[JobRecord]:
+        return [
+            self.get(entry.stem)
+            for entry in sorted((self.root / "jobs").glob("*.json"))
+        ]
+
+    def _move_marker(self, job_id: str, src: str, dst: str) -> bool:
+        try:
+            os.replace(self.root / src / job_id, self.root / dst / job_id)
+        except FileNotFoundError:
+            return False
+        return True
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def submit(self, payload: Dict) -> JobRecord:
+        """Validate and enqueue a job; identical resubmission dedups by id."""
+        payload = validate_payload(payload)
+        digest = job_digest(payload)
+        job_id = job_id_for(payload)
+        try:
+            return self.get(job_id)
+        except UnknownJobError:
+            pass
+        record = JobRecord(job_id=job_id, digest=digest, payload=payload)
+        self._write(record)
+        (self.root / "pending" / job_id).touch()
+        return record
+
+    def claim(self, worker_pid: int) -> Optional[JobRecord]:
+        """Atomically move one pending job to running (``None`` if empty)."""
+        for marker in sorted((self.root / "pending").iterdir()):
+            if not self._move_marker(marker.name, "pending", "running"):
+                continue  # another worker won the race
+            record = self.get(marker.name)
+            record.state = "running"
+            record.worker_pid = worker_pid
+            self._write(record)
+            return record
+        return None
+
+    def finish(self, job_id: str, cached: bool = False) -> JobRecord:
+        record = self.get(job_id)
+        record.state = "done"
+        record.cached = cached
+        record.error = None
+        record.worker_pid = None
+        self._write(record)
+        self._move_marker(job_id, "running", "done")
+        return record
+
+    def fail(self, job_id: str, error: str) -> JobRecord:
+        """Record a failure: requeue while retries remain, else fail for good."""
+        record = self.get(job_id)
+        record.retries += 1
+        record.error = error
+        record.worker_pid = None
+        record.state = "failed" if record.retries > self.max_retries else "pending"
+        self._write(record)
+        self._move_marker(job_id, "running", record.state)
+        return record
+
+    def recover_stale(self) -> List[str]:
+        """Requeue running jobs whose worker process is gone (crash recovery).
+
+        Returns the requeued job ids.  A recovered job costs one retry --
+        repeated crashes on the same job eventually land it in ``failed``
+        instead of looping forever.
+        """
+        recovered = []
+        for marker in sorted((self.root / "running").iterdir()):
+            try:
+                record = self.get(marker.name)
+            except UnknownJobError:
+                continue
+            if record.state != "running":
+                continue  # finished between listing and read
+            if record.worker_pid is not None and _pid_alive(record.worker_pid):
+                continue
+            self.fail(record.job_id, "worker died mid-run")
+            recovered.append(record.job_id)
+        return recovered
+
+    # -- checkpoint storage ----------------------------------------------------------
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """Per-job directory for trial results and in-flight checkpoints."""
+        path = self.root / "checkpoints" / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def clear_checkpoints(self, job_id: str) -> None:
+        """Drop a finished job's checkpoint directory (artifact is cached)."""
+        shutil.rmtree(self.root / "checkpoints" / job_id, ignore_errors=True)
+
+
+__all__ = [
+    "JOB_RECORD_FORMAT",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRecord",
+    "UnknownJobError",
+    "validate_payload",
+]

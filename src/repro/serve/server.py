@@ -1,0 +1,236 @@
+"""Stdlib-only threaded HTTP front end for the job queue.
+
+API
+---
+* ``POST /jobs`` -- submit ``{"experiment", "scale", "params",
+  "run_config"}``; returns the content-derived job id (identical
+  submissions dedup to the same id).  400 with ``{"error": ...}`` on
+  invalid payloads.
+* ``GET /jobs`` -- all job records.
+* ``GET /jobs/<id>`` -- one record plus live progress (finished trials and
+  in-flight checkpoints from the job's checkpoint directory).  404 on
+  unknown ids.
+* ``GET /jobs/<id>/artifact`` -- the cached ``ExperimentResult`` JSON,
+  byte-identical to a direct ``repro run`` of the same payload (modulo the
+  zeroed ``wall_time``).  409 while the job is not done.
+* ``GET /healthz`` -- liveness probe.
+
+The server owns a :class:`~repro.serve.queue.JobQueue`, an
+:class:`~repro.serve.cache.ArtifactCache` under ``<queue>/artifacts``, and
+an in-process pool of worker threads; the HTTP layer is a stock
+``ThreadingHTTPServer`` so everything runs on the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+from urllib import request as urllib_request
+from urllib.error import HTTPError
+
+from repro.serve.cache import ArtifactCache
+from repro.serve.queue import JobQueue, UnknownJobError
+from repro.serve.worker import TrialMemo, Worker
+
+
+class ReproServer:
+    """The queue + cache + worker pool behind one HTTP listener."""
+
+    def __init__(
+        self,
+        queue_root: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        workers: int = 1,
+        max_retries: int = 3,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.queue = JobQueue(queue_root, max_retries=max_retries)
+        self.cache = ArtifactCache(Path(queue_root) / "artifacts")
+        self._stop = threading.Event()
+        self._threads = []
+        self.workers = [Worker(self.queue, self.cache) for _ in range(workers)]
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # no per-request stderr noise
+                pass
+
+            def _send_json(self, status: int, payload: Dict) -> None:
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_bytes(self, status: int, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_POST(self) -> None:
+                if self.path.rstrip("/") != "/jobs":
+                    self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+                    return
+                length = int(self.headers.get("Content-Length") or 0)
+                try:
+                    payload = json.loads(self.rfile.read(length) or b"{}")
+                except json.JSONDecodeError as error:
+                    self._send_json(400, {"error": f"request body is not JSON: {error}"})
+                    return
+                try:
+                    record = server.queue.submit(payload)
+                except ValueError as error:
+                    self._send_json(400, {"error": str(error)})
+                    return
+                self._send_json(
+                    200,
+                    {
+                        "job_id": record.job_id,
+                        "digest": record.digest,
+                        "state": record.state,
+                        "cached": server.cache.has(record.digest),
+                    },
+                )
+
+            def do_GET(self) -> None:
+                parts = [part for part in self.path.split("/") if part]
+                if parts == ["healthz"]:
+                    self._send_json(200, {"ok": True})
+                    return
+                if parts == ["jobs"]:
+                    self._send_json(
+                        200,
+                        {"jobs": [record.to_dict() for record in server.queue.list_jobs()]},
+                    )
+                    return
+                if len(parts) >= 2 and parts[0] == "jobs":
+                    try:
+                        record = server.queue.get(parts[1])
+                    except UnknownJobError as error:
+                        self._send_json(404, {"error": str(error)})
+                        return
+                    if len(parts) == 2:
+                        status = record.to_dict()
+                        status["progress"] = TrialMemo(
+                            server.queue.checkpoint_dir(record.job_id)
+                        ).progress()
+                        self._send_json(200, status)
+                        return
+                    if parts[2] == "artifact" and len(parts) == 3:
+                        if record.state != "done":
+                            self._send_json(
+                                409,
+                                {
+                                    "error": f"job {record.job_id} is "
+                                    f"{record.state}, not done",
+                                    "state": record.state,
+                                },
+                            )
+                            return
+                        try:
+                            body = server.cache.get_bytes(record.digest)
+                        except KeyError as error:
+                            self._send_json(500, {"error": str(error)})
+                            return
+                        self._send_bytes(200, body)
+                        return
+                self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+        self.http = ThreadingHTTPServer((host, port), Handler)
+
+    @property
+    def host(self) -> str:
+        return self.http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Start the worker pool and the HTTP listener (all daemon threads)."""
+        for index, worker in enumerate(self.workers):
+            thread = threading.Thread(
+                target=worker.run_forever,
+                args=(self._stop,),
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        http_thread = threading.Thread(
+            target=self.http.serve_forever, name="repro-http", daemon=True
+        )
+        http_thread.start()
+        self._threads.append(http_thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.http.shutdown()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+        self.http.server_close()
+
+    def serve_forever(self, already_started: bool = False) -> None:
+        """Foreground mode for ``repro serve`` (Ctrl-C stops cleanly)."""
+        if not already_started:
+            self.start()
+        try:
+            self._stop.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+
+def http_json(
+    method: str, url: str, payload: Optional[Dict] = None, timeout: float = 30.0
+) -> Tuple[int, object]:
+    """Tiny JSON-over-HTTP client: ``(status, parsed body or raw text)``.
+
+    HTTP error statuses are returned, not raised (their JSON bodies carry
+    the server's ``error`` message); transport failures (connection
+    refused, DNS) still raise ``urllib.error.URLError`` for the caller.
+    """
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib_request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib_request.urlopen(request, timeout=timeout) as response:
+            status, body = response.status, response.read()
+    except HTTPError as error:
+        status, body = error.code, error.read()
+    try:
+        return status, json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return status, body.decode("utf-8", errors="replace")
+
+
+def http_get_bytes(url: str, timeout: float = 30.0) -> Tuple[int, bytes]:
+    """GET ``url`` returning ``(status, raw bytes)`` -- for artifact fetches.
+
+    Artifacts are compared and persisted byte-for-byte, so the client must
+    not round-trip them through a JSON parse.  HTTP error statuses are
+    returned with their body bytes; transport failures raise ``URLError``.
+    """
+    try:
+        with urllib_request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except HTTPError as error:
+        return error.code, error.read()
+
+
+__all__ = ["ReproServer", "http_get_bytes", "http_json"]

@@ -1,0 +1,283 @@
+"""Workers: execute queued jobs with resumable, memoized trials.
+
+Durability model
+----------------
+An experiment run is a deterministic sequence of :func:`~repro.experiments.
+harness.run_trials` calls, each a deterministic list of trials.  The
+:class:`TrialMemo` persists that structure into the job's checkpoint
+directory: every harness call gets a positional key (``call0001``, ...),
+every finished trial its exact :class:`~repro.engine.results.
+SimulationResult` dict, and the trial currently in flight an
+:class:`~repro.serve.checkpoint.EngineCheckpoint` refreshed at every
+``check_interval`` boundary.  Kill the worker at any point and the re-run
+replays the same call/trial sequence: finished trials load from disk
+(bit-exact), the interrupted trial resumes from its engine checkpoint, and
+everything after runs fresh -- so the final artifact is byte-identical to
+an uninterrupted run.
+
+Positional call keys (not config-derived ones) matter because experiments
+like ``optimal_silent`` hand the inner harness tuple seeds and Generator
+objects, which serialize as ``None`` -- position in the replayed sequence
+is the only stable identity.  The memo therefore must only ever be
+replayed against the *same* job payload; :func:`write_job_meta` pins the
+directory to the payload digest so a mismatched replay is refused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.engine.results import SimulationResult
+from repro.engine.run_config import RunConfig
+from repro.experiments.result import ExperimentResult
+from repro.serve.cache import ArtifactCache, canonicalize_artifact, job_digest
+from repro.serve.checkpoint import (
+    CheckpointError,
+    EngineCheckpoint,
+    atomic_write_text,
+    capture_checkpoint,
+    checkpoint_unsupported_reason,
+    config_digest,
+)
+from repro.serve.queue import JobQueue
+
+#: Format tag on the job-meta file pinning a checkpoint dir to its payload.
+JOB_META_FORMAT = "repro.job-checkpoint/v1"
+
+
+class TrialMemo:
+    """Durable per-trial replay log for one job (see the module docstring).
+
+    Implements the duck protocol :func:`repro.experiments.harness.run_trials`
+    consumes under :func:`repro.experiments.harness.trial_memo`:
+    ``begin_call`` names each harness call, ``lookup``/``record`` replay and
+    persist finished trials, and ``inflight_checkpoint``/``checkpoint_hook``
+    carry the interrupted trial's engine state across process deaths.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    # -- call / trial addressing -----------------------------------------------------
+
+    def begin_call(self, trials: int, config: RunConfig) -> str:
+        """Name the next ``run_trials`` call in the deterministic sequence."""
+        with self._lock:
+            self._calls += 1
+            return f"call{self._calls:04d}"
+
+    def _trial_path(self, call_key: str, index: int) -> Path:
+        return self.root / f"{call_key}-trial{index:05d}.json"
+
+    def _inflight_path(self, call_key: str, index: int) -> Path:
+        return self.root / f"{call_key}-trial{index:05d}.ckpt.json"
+
+    # -- finished trials -------------------------------------------------------------
+
+    def lookup(self, call_key: str, index: int) -> Optional[SimulationResult]:
+        """A previously recorded trial result, or ``None`` (corrupt = miss)."""
+        path = self._trial_path(call_key, index)
+        if not path.exists():
+            return None
+        try:
+            return SimulationResult.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def record(self, call_key: str, index: int, result: SimulationResult) -> None:
+        atomic_write_text(
+            self._trial_path(call_key, index),
+            json.dumps(result.to_dict(), sort_keys=True) + "\n",
+        )
+        try:
+            self._inflight_path(call_key, index).unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- in-flight checkpoints -------------------------------------------------------
+
+    def inflight_checkpoint(
+        self, call_key: str, index: int, config: RunConfig
+    ) -> Optional[EngineCheckpoint]:
+        """The interrupted trial's engine checkpoint, if one is valid here."""
+        path = self._inflight_path(call_key, index)
+        if not path.exists():
+            return None
+        try:
+            checkpoint = EngineCheckpoint.load(path)
+        except CheckpointError:
+            return None
+        if checkpoint.config_digest != config_digest(config):
+            return None
+        return checkpoint
+
+    def checkpoint_hook(
+        self, call_key: str, index: int, config: RunConfig
+    ) -> Optional[Callable]:
+        """An ``on_check`` hook persisting this trial's state, or ``None``."""
+        if checkpoint_unsupported_reason(config) is not None:
+            return None
+        path = self._inflight_path(call_key, index)
+
+        def hook(simulation) -> None:
+            try:
+                capture_checkpoint(simulation, config).save(path)
+            except CheckpointError:
+                # An engine-side guard tripped (e.g. a custom scheduler was
+                # installed mid-plan): stop trying, the trial runs through.
+                simulation.on_check = None
+
+        return hook
+
+    def progress(self) -> Dict[str, int]:
+        """Counts of persisted trials and live in-flight checkpoints."""
+        trials = sum(
+            1
+            for entry in self.root.glob("call*-trial*.json")
+            if not entry.name.endswith(".ckpt.json")
+        )
+        inflight = sum(1 for _ in self.root.glob("call*-trial*.ckpt.json"))
+        return {"trials_done": trials, "inflight": inflight}
+
+
+# -- job meta ------------------------------------------------------------------------
+
+
+def write_job_meta(directory: Union[str, Path], payload: Dict) -> Path:
+    """Pin a checkpoint directory to the job payload it replays."""
+    return atomic_write_text(
+        Path(directory) / "job.json",
+        json.dumps(
+            {"format": JOB_META_FORMAT, "payload": payload, "digest": job_digest(payload)},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+
+
+def load_job_meta(directory: Union[str, Path]) -> Dict:
+    """Read and verify a checkpoint directory's job meta (the payload)."""
+    path = Path(directory) / "job.json"
+    if not path.exists():
+        raise CheckpointError(f"no job meta at {path}; not a job checkpoint directory")
+    try:
+        meta = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"unreadable job meta at {path}: {error}") from None
+    if meta.get("format") != JOB_META_FORMAT:
+        raise CheckpointError(f"not a job checkpoint (format={meta.get('format')!r})")
+    payload = meta.get("payload")
+    if not isinstance(payload, dict) or meta.get("digest") != job_digest(payload):
+        raise CheckpointError(
+            "job meta digest mismatch: the checkpoint directory does not "
+            "match the payload it claims to replay"
+        )
+    return payload
+
+
+# -- job execution -------------------------------------------------------------------
+
+
+def execute_payload(payload: Dict, memo_root: Union[str, Path]) -> ExperimentResult:
+    """Run one job payload with trial memoization rooted at ``memo_root``.
+
+    Idempotent and resumable: re-running after a crash replays finished
+    trials from the memo and resumes the interrupted one from its engine
+    checkpoint.  Returns the canonicalized artifact (``wall_time`` zeroed).
+    """
+    from repro.experiments.harness import trial_memo
+    from repro.experiments.registry import get_experiment
+
+    memo_root = Path(memo_root)
+    existing = memo_root / "job.json"
+    if existing.exists():
+        recorded = load_job_meta(memo_root)
+        if job_digest(recorded) != job_digest(payload):
+            raise CheckpointError(
+                "checkpoint directory belongs to a different job "
+                f"({job_digest(recorded)[:16]}... != {job_digest(payload)[:16]}...)"
+            )
+    else:
+        write_job_meta(memo_root, payload)
+    spec = get_experiment(payload["experiment"])
+    config = RunConfig.from_dict(payload["run_config"])
+    with trial_memo(TrialMemo(memo_root)):
+        result = spec.run(scale=payload["scale"], run=config, **payload.get("params", {}))
+    return canonicalize_artifact(result)
+
+
+class Worker:
+    """Pulls jobs off a queue and executes them against the artifact cache."""
+
+    def __init__(self, queue: JobQueue, cache: ArtifactCache):
+        self.queue = queue
+        self.cache = cache
+        #: Jobs this worker actually simulated (cache misses).
+        self.simulations_run = 0
+        #: Jobs satisfied from the content-addressed cache without simulating.
+        self.cache_hits = 0
+
+    def run_once(self) -> Optional[str]:
+        """Recover stale jobs, then process at most one (its id, or ``None``)."""
+        self.queue.recover_stale()
+        record = self.queue.claim(os.getpid())
+        if record is None:
+            return None
+        try:
+            if self.cache.has(record.digest):
+                self.cache_hits += 1
+                self.queue.finish(record.job_id, cached=True)
+                self.queue.clear_checkpoints(record.job_id)
+                return record.job_id
+            artifact = self.cache_artifact(record)
+            self.cache.put(record.digest, artifact)
+            self.queue.finish(record.job_id, cached=False)
+            self.queue.clear_checkpoints(record.job_id)
+        except Exception as error:  # noqa: BLE001 -- failures become job state
+            self.queue.fail(record.job_id, f"{type(error).__name__}: {error}")
+        return record.job_id
+
+    def cache_artifact(self, record) -> ExperimentResult:
+        """Simulate the job (resuming from its checkpoints if any exist)."""
+        artifact = execute_payload(record.payload, self.queue.checkpoint_dir(record.job_id))
+        self.simulations_run += 1
+        return artifact
+
+    def run_forever(self, stop: threading.Event, poll_interval: float = 0.05) -> None:
+        """Drain the queue until ``stop`` is set, idling between polls."""
+        while not stop.is_set():
+            if self.run_once() is None:
+                stop.wait(poll_interval)
+
+
+def drain(queue: JobQueue, cache: ArtifactCache, timeout: float = 60.0) -> Worker:
+    """Run one worker until the queue has no pending/running jobs (tests/CLI)."""
+    worker = Worker(queue, cache)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if worker.run_once() is None:
+            states = {record.state for record in queue.list_jobs()}
+            if not states & {"pending", "running"}:
+                return worker
+            time.sleep(0.01)
+    raise TimeoutError(f"queue did not drain within {timeout}s")
+
+
+__all__ = [
+    "JOB_META_FORMAT",
+    "TrialMemo",
+    "Worker",
+    "drain",
+    "execute_payload",
+    "load_job_meta",
+    "write_job_meta",
+]

@@ -79,9 +79,11 @@ class TestCli:
         assert code == 0
         assert "|" in capsys.readouterr().out
 
-    def test_run_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            main(["run", "does_not_exist"])
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "does_not_exist"]) == 2
+        output = capsys.readouterr().out
+        assert output.startswith("error: unknown experiment 'does_not_exist'")
+        assert "known:" in output
 
     def test_run_forwards_jobs_flag(self, capsys):
         from repro.experiments.harness import ExperimentSpec

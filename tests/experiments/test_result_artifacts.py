@@ -32,6 +32,7 @@ TINY_PARAMS = {
     "fratricide_failure": {"n": 12, "horizon_factor": 10.0},
     "epidemic": {"ns": (32,), "trials": 5},
     "counts_scaling": {"ns": (64,), "trials": 2},
+    "epidemic_convergence": {"ns": (64,), "trials": 2},
     "counts_table1": {"ns": (64,), "trials": 2},
     "roll_call": {"ns": (16,), "trials": 3},
     "all_agents_interact": {"ns": (32,), "trials": 5},

@@ -1,0 +1,156 @@
+"""Engine checkpoints: JSON round trips and the bit-identical resume guarantee.
+
+The contract under test (docs/ARCHITECTURE.md, "serve subsystem"): a table-
+engine run checkpointed at any ``check_interval`` boundary, serialized to
+JSON, and resumed in a *fresh* engine produces the same
+``SimulationResult``, the same final state vector, and the same final
+PCG64 generator state as the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.run_config import RunConfig, make_simulation
+from repro.processes.epidemic import TwoWayEpidemicProtocol
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    EngineCheckpoint,
+    capture_checkpoint,
+    checkpoint_unsupported_reason,
+    config_digest,
+    restore_simulation,
+    resume_run,
+)
+
+TABLE_ENGINES = ("compiled", "counts")
+
+
+def _config(engine, seed=7, check_interval=128):
+    return RunConfig(engine=engine, stop="correct", seed=seed, check_interval=check_interval)
+
+
+def _capture_at(protocol_factory, config, at_interactions):
+    """Run to completion, snapshotting at the first boundary >= the target."""
+    protocol = protocol_factory()
+    simulation = make_simulation(protocol, config)
+    captured = []
+
+    def hook(live):
+        if live.interactions >= at_interactions and not captured:
+            captured.append(capture_checkpoint(live, config))
+
+    simulation.on_check = hook
+    result = simulation.run(config)
+    assert captured, "run converged before the checkpoint target"
+    return protocol, simulation, result, captured[0]
+
+
+def _final_state(simulation, engine):
+    if engine == "counts":
+        return np.asarray(simulation.state_counts)
+    return simulation._indices.copy()
+
+
+class TestResumeBitIdentity:
+    @pytest.mark.parametrize("engine", TABLE_ENGINES)
+    @pytest.mark.parametrize("boundary", (128, 384))
+    def test_resume_matches_uninterrupted_run(self, engine, boundary):
+        config = _config(engine)
+        protocol, full_sim, full_result, checkpoint = _capture_at(
+            lambda: TwoWayEpidemicProtocol(192), config, boundary
+        )
+        assert checkpoint.interactions % config.check_interval == 0
+        assert checkpoint.interactions >= boundary
+
+        # The JSON round trip is part of the guarantee: resume what a file
+        # (or another process) would see, not the in-memory object.
+        reloaded = EngineCheckpoint.from_json(checkpoint.to_json())
+        resumed_sim = restore_simulation(TwoWayEpidemicProtocol(192), reloaded, config)
+        resumed_result = resumed_sim.run(config)
+
+        assert resumed_result.to_dict() == full_result.to_dict()
+        assert np.array_equal(
+            _final_state(resumed_sim, engine), _final_state(full_sim, engine)
+        )
+        assert resumed_sim.rng.bit_generator.state == full_sim.rng.bit_generator.state
+
+    @pytest.mark.parametrize("engine", TABLE_ENGINES)
+    def test_resume_run_helper(self, engine):
+        config = _config(engine)
+        _, _, full_result, checkpoint = _capture_at(
+            lambda: TwoWayEpidemicProtocol(192), config, 128
+        )
+        resumed = resume_run(TwoWayEpidemicProtocol(192), checkpoint, config)
+        assert resumed.to_dict() == full_result.to_dict()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_identical(self):
+        config = _config("compiled")
+        _, _, _, checkpoint = _capture_at(lambda: TwoWayEpidemicProtocol(96), config, 128)
+        text = checkpoint.to_json()
+        reloaded = EngineCheckpoint.from_json(text)
+        assert reloaded == checkpoint
+        assert reloaded.to_json() == text
+        assert reloaded.to_dict()["format"] == CHECKPOINT_FORMAT
+
+    def test_save_load(self, tmp_path):
+        config = _config("counts")
+        _, _, _, checkpoint = _capture_at(lambda: TwoWayEpidemicProtocol(96), config, 128)
+        path = checkpoint.save(tmp_path / "ck.json")
+        assert EngineCheckpoint.load(path) == checkpoint
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            EngineCheckpoint.load(tmp_path / "absent.json")
+
+    def test_foreign_json_is_rejected(self):
+        with pytest.raises(CheckpointError, match="format"):
+            EngineCheckpoint.from_json('{"hello": "world"}')
+        with pytest.raises(CheckpointError, match="not a JSON object"):
+            EngineCheckpoint.from_json("[1, 2]")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            EngineCheckpoint.from_json("{nope")
+
+
+class TestRefusals:
+    def test_digest_mismatch_is_refused(self):
+        config = _config("compiled")
+        _, _, _, checkpoint = _capture_at(lambda: TwoWayEpidemicProtocol(96), config, 128)
+        other = _config("compiled", seed=8)
+        assert config_digest(other) != config_digest(config)
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            restore_simulation(TwoWayEpidemicProtocol(96), checkpoint, other)
+
+    def test_population_mismatch_is_refused(self):
+        config = _config("compiled")
+        _, _, _, checkpoint = _capture_at(lambda: TwoWayEpidemicProtocol(96), config, 128)
+        with pytest.raises(CheckpointError, match="population"):
+            restore_simulation(TwoWayEpidemicProtocol(128), checkpoint, config)
+
+    def test_loop_engine_is_not_checkpointable(self):
+        config = RunConfig(engine="loop", stop="correct", seed=1)
+        protocol = TwoWayEpidemicProtocol(32)
+        simulation = make_simulation(protocol, config)
+        with pytest.raises(CheckpointError, match="not checkpointable"):
+            capture_checkpoint(simulation, config)
+
+    def test_unsupported_reasons(self):
+        assert checkpoint_unsupported_reason(_config("compiled")) is None
+        assert checkpoint_unsupported_reason(_config("counts")) is None
+        assert "loop" in checkpoint_unsupported_reason(RunConfig(engine="loop"))
+        batched = RunConfig(engine="counts", trial_batch=4)
+        assert "trial-batched" in checkpoint_unsupported_reason(batched)
+
+
+class TestConfigDigest:
+    def test_digest_is_stable_under_dict_round_trip(self):
+        config = _config("counts", seed=11)
+        clone = RunConfig.from_dict(config.to_dict())
+        assert config_digest(clone) == config_digest(config)
+
+    def test_digest_separates_plans(self):
+        base = _config("compiled", seed=1)
+        assert config_digest(base) != config_digest(_config("compiled", seed=2))
+        assert config_digest(base) != config_digest(_config("counts", seed=1))

@@ -1,0 +1,216 @@
+"""CLI surface of the serve subsystem: submit/jobs/fetch, --checkpoint/--resume,
+bench report -- including the PR-8 fail-fast contract (exit 2, ``error: ...``,
+never a traceback)."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine.run_config import RunConfig
+from repro.experiments.registry import get_experiment
+from repro.serve.cache import canonicalize_artifact
+from repro.serve.server import ReproServer
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = ReproServer(tmp_path / "queue", port=0, workers=2)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def _wait_done(capsys, url, job_id, timeout=120):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        code, out = run_cli(capsys, "jobs", job_id, "--url", url)
+        assert code == 0, out
+        if "state:   done" in out or "state:   failed" in out:
+            return out
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} never finished")
+
+
+class TestServeClient:
+    def test_submit_jobs_fetch_round_trip(self, capsys, tmp_path, server):
+        code, out = run_cli(
+            capsys,
+            "submit", "epidemic_convergence", "--url", server.url,
+            "--engine", "counts", "--seed", "5",
+            "--param", "ns=[64]", "--param", "trials=2",
+        )
+        assert code == 0, out
+        job_id = out.splitlines()[0].split()[1]
+
+        status = _wait_done(capsys, server.url, job_id)
+        assert "state:   done" in status
+
+        code, listing = run_cli(capsys, "jobs", "--url", server.url)
+        assert code == 0 and job_id in listing
+
+        target = tmp_path / "artifact.json"
+        code, out = run_cli(
+            capsys, "fetch", job_id, "--url", server.url, "--output", str(target)
+        )
+        assert code == 0, out
+        direct = get_experiment("epidemic_convergence").run(
+            "quick", run=RunConfig(seed=5, engine="counts"), ns=[64], trials=2
+        )
+        assert target.read_bytes() == canonicalize_artifact(direct).to_json().encode()
+
+        # without --output the artifact renders as a table
+        code, out = run_cli(capsys, "fetch", job_id, "--url", server.url)
+        assert code == 0 and "epidemic_convergence" in out
+
+    def test_duplicate_submission_reports_cached(self, capsys, server):
+        argv = (
+            "submit", "epidemic_convergence", "--url", server.url,
+            "--engine", "counts", "--seed", "6",
+            "--param", "ns=[64]", "--param", "trials=2",
+        )
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        _wait_done(capsys, server.url, out.splitlines()[0].split()[1])
+        code, out = run_cli(capsys, *argv)
+        assert code == 0 and "already cached" in out
+
+    def test_unknown_job_id_fails_fast(self, capsys, server):
+        for argv in (("jobs", "nope"), ("fetch", "nope")):
+            code, out = run_cli(capsys, *argv, "--url", server.url)
+            assert code == 2
+            assert out.startswith("error: unknown job id"), out
+
+    def test_bad_submission_fails_fast(self, capsys, server):
+        code, out = run_cli(capsys, "submit", "nope", "--url", server.url)
+        assert code == 2 and out.startswith("error: unknown experiment")
+        code, out = run_cli(
+            capsys, "submit", "epidemic_convergence", "--url", server.url,
+            "--param", "malformed",
+        )
+        assert code == 2 and "KEY=VALUE" in out
+
+    def test_unreachable_server_fails_fast(self, capsys):
+        dead = "http://127.0.0.1:1"
+        for argv in (
+            ("submit", "epidemic_convergence"),
+            ("jobs",),
+            ("jobs", "someid"),
+            ("fetch", "someid"),
+        ):
+            code, out = run_cli(capsys, *argv, "--url", dead)
+            assert code == 2
+            assert out.startswith("error: cannot reach server"), (argv, out)
+
+
+class TestCheckpointResume:
+    def test_resume_replays_byte_identically(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        base = (
+            "run", "epidemic_convergence", "--engine", "compiled", "--seed", "3",
+        )
+        code, out = run_cli(
+            capsys, *base, "--checkpoint", str(ck), "--output", str(tmp_path / "a")
+        )
+        assert code == 0, out
+        code, out = run_cli(
+            capsys, *base, "--resume", str(ck), "--output", str(tmp_path / "b")
+        )
+        assert code == 0, out
+        first = (tmp_path / "a" / "epidemic_convergence.json").read_bytes()
+        second = (tmp_path / "b" / "epidemic_convergence.json").read_bytes()
+        assert first == second
+        # wall_time is canonicalized so the comparison is meaningful
+        assert json.loads(first)["provenance"]["wall_time"] == 0.0
+
+    def test_resume_digest_mismatch_fails_fast(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        code, _ = run_cli(
+            capsys, "run", "epidemic_convergence", "--engine", "compiled",
+            "--seed", "3", "--checkpoint", str(ck),
+        )
+        assert code == 0
+        code, out = run_cli(
+            capsys, "run", "epidemic_convergence", "--engine", "counts",
+            "--seed", "3", "--resume", str(ck),
+        )
+        assert code == 2
+        assert out.startswith("error:") and "different job" in out
+
+    def test_resume_without_checkpoint_fails_fast(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "run", "epidemic_convergence", "--resume", str(tmp_path / "void")
+        )
+        assert code == 2 and "nothing to resume" in out
+
+    def test_checkpoint_excludes_all_and_resume(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "run", "all", "--checkpoint", str(tmp_path / "ck"))
+        assert code == 2 and "single experiment" in out
+        code, out = run_cli(
+            capsys, "run", "epidemic_convergence",
+            "--checkpoint", str(tmp_path / "a"), "--resume", str(tmp_path / "b"),
+        )
+        assert code == 2 and "mutually exclusive" in out
+
+    def test_unknown_experiment_fails_fast(self, capsys):
+        code, out = run_cli(capsys, "run", "nope")
+        assert code == 2
+        assert out.startswith("error: unknown experiment")
+
+
+class TestBenchReport:
+    def _baseline(self, root, area, history):
+        (root / f"BENCH_{area}.json").write_text(
+            json.dumps({"area": area, "rows": [], "history": history})
+        )
+
+    def test_trend_renders_every_history_entry(self, capsys, tmp_path):
+        self._baseline(
+            tmp_path,
+            "demo",
+            [
+                {"head": "a" * 40, "rows": [{"n": 1, "speedup": 2.0}]},
+                {"head": "b" * 40, "rows": [{"n": 1, "speedup": 3.0}]},
+            ],
+        )
+        code, out = run_cli(capsys, "bench", "report", "--root", str(tmp_path))
+        assert code == 0
+        assert "== bench demo: 2 recorded entries ==" in out
+        assert "aaaaaaaaaa" in out and "bbbbbbbbbb" in out
+
+    def test_legacy_baseline_without_history(self, capsys, tmp_path):
+        (tmp_path / "BENCH_old.json").write_text(
+            json.dumps({"area": "old", "rows": [{"n": 7, "speedup": 1.5}]})
+        )
+        code, out = run_cli(capsys, "bench", "report", "--root", str(tmp_path))
+        assert code == 0
+        assert "== bench old: 1 recorded entry ==" in out
+        assert "(unrecorded)" in out
+
+    def test_unknown_area_fails_fast(self, capsys, tmp_path):
+        self._baseline(tmp_path, "demo", [])
+        code, out = run_cli(
+            capsys, "bench", "report", "--root", str(tmp_path), "--area", "nope"
+        )
+        assert code == 2
+        assert out.startswith("error: unknown benchmark area")
+        assert "demo" in out  # the known areas are listed
+
+    def test_committed_baselines_render(self, capsys):
+        """The real repo-root BENCH_*.json files all render."""
+        code, out = run_cli(capsys, "bench", "report")
+        assert code == 0
+        assert out.count("== bench ") >= 7
+
+    def test_markdown_mode(self, capsys, tmp_path):
+        self._baseline(tmp_path, "demo", [{"head": None, "rows": [{"n": 1}]}])
+        code, out = run_cli(
+            capsys, "bench", "report", "--root", str(tmp_path), "--markdown"
+        )
+        assert code == 0 and "| entry | head" in out

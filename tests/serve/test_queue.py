@@ -1,0 +1,174 @@
+"""Job queue lifecycle: validation, atomic claims, retries, crash recovery."""
+
+import os
+import subprocess
+
+import pytest
+
+from repro.engine.run_config import RunConfig
+from repro.serve.queue import (
+    JOB_STATES,
+    JobQueue,
+    JobRecord,
+    UnknownJobError,
+    validate_payload,
+)
+
+
+def _payload(seed=1, trials=2, engine="counts"):
+    return {
+        "experiment": "epidemic_convergence",
+        "scale": "quick",
+        "params": {"ns": [64], "trials": trials},
+        "run_config": RunConfig(seed=seed, engine=engine).to_dict(),
+    }
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed to belong to no live process."""
+    probe = subprocess.Popen(["sleep", "0"])
+    probe.wait()
+    return probe.pid
+
+
+class TestValidation:
+    def test_canonical_payload_round_trips(self):
+        canonical = validate_payload(_payload())
+        assert canonical == validate_payload(canonical)
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            validate_payload(dict(_payload(), experiment="nope"))
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown job payload keys"):
+            validate_payload(dict(_payload(), surprise=1))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            validate_payload(dict(_payload(), scale="huge"))
+
+    def test_rejects_non_integer_seed(self):
+        payload = _payload()
+        payload["run_config"]["seed"] = None
+        with pytest.raises(ValueError, match="integer run_config.seed"):
+            validate_payload(payload)
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_payload(["not", "a", "dict"])
+
+
+class TestLifecycle:
+    def test_submit_creates_pending_record(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(_payload())
+        assert record.state == "pending"
+        assert record.job_id == record.digest[:16]
+        assert (tmp_path / "pending" / record.job_id).exists()
+        assert queue.get(record.job_id).state == "pending"
+
+    def test_identical_resubmission_dedups(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(_payload())
+        second = queue.submit(_payload())
+        assert second.job_id == first.job_id
+        assert len(queue.list_jobs()) == 1
+        assert len(list((tmp_path / "pending").iterdir())) == 1
+
+    def test_different_payloads_get_different_ids(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        ids = {queue.submit(_payload(seed=seed)).job_id for seed in range(3)}
+        assert len(ids) == 3
+
+    def test_claim_moves_to_running(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        submitted = queue.submit(_payload())
+        claimed = queue.claim(worker_pid=os.getpid())
+        assert claimed.job_id == submitted.job_id
+        assert claimed.state == "running"
+        assert claimed.worker_pid == os.getpid()
+        assert (tmp_path / "running" / claimed.job_id).exists()
+        assert queue.claim(worker_pid=os.getpid()) is None  # queue drained
+
+    def test_finish_marks_done(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(_payload())
+        queue.claim(worker_pid=os.getpid())
+        finished = queue.finish(record.job_id, cached=True)
+        assert finished.state == "done"
+        assert finished.cached is True
+        assert finished.worker_pid is None
+        assert (tmp_path / "done" / record.job_id).exists()
+
+    def test_fail_requeues_until_retries_exhausted(self, tmp_path):
+        queue = JobQueue(tmp_path, max_retries=2)
+        record = queue.submit(_payload())
+        for attempt in range(1, 3):
+            queue.claim(worker_pid=os.getpid())
+            failed = queue.fail(record.job_id, f"boom {attempt}")
+            assert failed.state == "pending"
+            assert failed.retries == attempt
+        queue.claim(worker_pid=os.getpid())
+        final = queue.fail(record.job_id, "boom 3")
+        assert final.state == "failed"
+        assert final.retries == 3
+        assert (tmp_path / "failed" / record.job_id).exists()
+        assert queue.claim(worker_pid=os.getpid()) is None
+
+    def test_get_unknown_job(self, tmp_path):
+        with pytest.raises(UnknownJobError, match="unknown job id"):
+            JobQueue(tmp_path).get("doesnotexist")
+
+    def test_job_states_constant_matches_directories(self, tmp_path):
+        JobQueue(tmp_path)
+        for state in JOB_STATES:
+            assert (tmp_path / state).is_dir()
+
+
+class TestCrashRecovery:
+    def test_dead_worker_is_requeued(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(_payload())
+        queue.claim(worker_pid=_dead_pid())
+        assert queue.recover_stale() == [record.job_id]
+        requeued = queue.get(record.job_id)
+        assert requeued.state == "pending"
+        assert requeued.retries == 1
+        assert requeued.error == "worker died mid-run"
+        assert (tmp_path / "pending" / record.job_id).exists()
+
+    def test_live_worker_is_left_alone(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(_payload())
+        queue.claim(worker_pid=os.getpid())
+        assert queue.recover_stale() == []
+        assert queue.get(record.job_id).state == "running"
+
+    def test_repeated_crashes_eventually_fail(self, tmp_path):
+        queue = JobQueue(tmp_path, max_retries=1)
+        record = queue.submit(_payload())
+        for _ in range(2):
+            queue.claim(worker_pid=_dead_pid())
+            queue.recover_stale()
+        assert queue.get(record.job_id).state == "failed"
+
+
+class TestRecordRoundTrip:
+    def test_record_dict_round_trip(self):
+        record = JobRecord(
+            job_id="abc", digest="abcdef", payload=_payload(), state="running",
+            retries=1, error="boom", cached=False, worker_pid=123,
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_foreign_dict_is_rejected(self):
+        with pytest.raises(ValueError, match="not a job record"):
+            JobRecord.from_dict({"job_id": "abc"})
+
+    def test_checkpoint_dir_lifecycle(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        path = queue.checkpoint_dir("abc")
+        (path / "call0001-trial00000.json").write_text("{}")
+        queue.clear_checkpoints("abc")
+        assert not path.exists()

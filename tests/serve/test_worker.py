@@ -1,0 +1,197 @@
+"""Workers: memoized resumable execution, cache hits, kill -9 survival.
+
+The load-bearing assertions are byte-comparisons: a resumed, recovered, or
+cache-served artifact must equal the uninterrupted direct run byte for
+byte.  ``epidemic_convergence`` is the reference workload because its rows
+are a pure function of ``(params, run_config)`` -- no wall clock.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.run_config import RunConfig
+from repro.experiments.registry import get_experiment
+from repro.serve.cache import ArtifactCache, canonicalize_artifact, job_payload
+from repro.serve.checkpoint import CheckpointError
+from repro.serve.queue import JobQueue
+from repro.serve.worker import TrialMemo, Worker, drain, execute_payload
+
+SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+
+def _payload(seed=1, engine="counts", ns=(64,), trials=3, **config_overrides):
+    config = RunConfig(seed=seed, engine=engine, **config_overrides)
+    return job_payload(
+        "epidemic_convergence", "quick", {"ns": list(ns), "trials": trials}, config
+    )
+
+
+def _direct_bytes(payload) -> bytes:
+    """The reference artifact: a plain in-process run, canonicalized."""
+    spec = get_experiment(payload["experiment"])
+    config = RunConfig.from_dict(payload["run_config"])
+    result = spec.run(scale=payload["scale"], run=config, **payload["params"])
+    return canonicalize_artifact(result).to_json().encode("utf-8")
+
+
+class TestExecutePayload:
+    @pytest.mark.parametrize("engine", ("compiled", "counts"))
+    def test_artifact_matches_direct_run(self, tmp_path, engine):
+        payload = _payload(engine=engine)
+        artifact = execute_payload(payload, tmp_path / "memo")
+        assert artifact.to_json().encode("utf-8") == _direct_bytes(payload)
+
+    def test_memo_replay_is_byte_identical(self, tmp_path):
+        payload = _payload()
+        first = execute_payload(payload, tmp_path / "memo")
+        # Second pass replays every trial from disk -- still byte-identical.
+        second = execute_payload(payload, tmp_path / "memo")
+        assert second.to_json() == first.to_json()
+
+    def test_partial_memo_resumes_to_identical_bytes(self, tmp_path):
+        """Finished-trial subset + fresh execution == uninterrupted run."""
+        payload = _payload(trials=4)
+        complete = tmp_path / "complete"
+        reference = execute_payload(payload, complete).to_json()
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        shutil.copy(complete / "job.json", partial / "job.json")
+        trial_files = sorted(complete.glob("call*-trial*.json"))
+        assert len(trial_files) >= 4
+        for entry in trial_files[: len(trial_files) // 2]:
+            shutil.copy(entry, partial / entry.name)
+        assert execute_payload(payload, partial).to_json() == reference
+
+    def test_jobs_layout_does_not_change_rows(self, tmp_path):
+        """Per-trial streams are layout-independent: same rows for any --jobs."""
+        serial = execute_payload(_payload(jobs=1), tmp_path / "serial")
+        fanned = execute_payload(_payload(jobs=2), tmp_path / "fanned")
+        assert fanned.rows == serial.rows
+
+    def test_memo_written_under_one_layout_replays_under_another(self, tmp_path):
+        """The memo stores per-trial results, not per-process ones."""
+        serial_payload, fanned_payload = _payload(jobs=1), _payload(jobs=2)
+        memo = tmp_path / "memo"
+        execute_payload(serial_payload, memo)
+        # Re-pin the directory to the jobs=2 payload and replay under it:
+        # every trial must come back from disk with identical rows.
+        from repro.serve.worker import write_job_meta
+
+        write_job_meta(memo, fanned_payload)
+        replayed = execute_payload(fanned_payload, memo)
+        assert replayed.rows == execute_payload(serial_payload, tmp_path / "ref").rows
+
+    def test_mismatched_memo_dir_is_refused(self, tmp_path):
+        execute_payload(_payload(seed=1), tmp_path / "memo")
+        with pytest.raises(CheckpointError, match="different job"):
+            execute_payload(_payload(seed=2), tmp_path / "memo")
+
+
+class TestWorker:
+    def test_drain_produces_cached_artifact(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        cache = ArtifactCache(tmp_path / "cache")
+        payload = _payload()
+        record = queue.submit(payload)
+        worker = drain(queue, cache, timeout=120)
+        assert queue.get(record.job_id).state == "done"
+        assert worker.simulations_run == 1
+        assert cache.get_bytes(record.digest) == _direct_bytes(payload)
+        # checkpoints are dropped once the artifact is cached
+        assert not (tmp_path / "queue" / "checkpoints" / record.job_id).exists()
+
+    def test_resubmission_is_a_pure_cache_hit(self, tmp_path):
+        """Same payload, fresh queue, shared cache: zero simulations."""
+        cache = ArtifactCache(tmp_path / "cache")
+        payload = _payload()
+        first_queue = JobQueue(tmp_path / "q1")
+        first_queue.submit(payload)
+        drain(first_queue, cache, timeout=120)
+        second_queue = JobQueue(tmp_path / "q2")
+        record = second_queue.submit(payload)
+        worker = drain(second_queue, cache, timeout=120)
+        assert worker.simulations_run == 0
+        assert worker.cache_hits == 1
+        assert second_queue.get(record.job_id).state == "done"
+        assert second_queue.get(record.job_id).cached is True
+
+    def test_failing_job_lands_in_failed(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue", max_retries=0)
+        cache = ArtifactCache(tmp_path / "cache")
+        # A payload that validates but cannot execute on its engine:
+        # optimal_silent exceeds the compiled engine's state-space cap.
+        payload = job_payload(
+            "optimal_silent",
+            "quick",
+            {"ns": [16], "trials": 1},
+            RunConfig(seed=0, engine="compiled"),
+        )
+        record = queue.submit(payload)
+        Worker(queue, cache).run_once()
+        failed = queue.get(record.job_id)
+        assert failed.state == "failed"
+        assert failed.error and "CompilationError" in failed.error
+
+
+class TestKillRecovery:
+    def test_sigkilled_worker_job_completes_byte_identically(self, tmp_path):
+        """kill -9 mid-campaign; a fresh worker finishes with the same bytes."""
+        payload = _payload(
+            seed=3, engine="compiled", ns=(4096,), trials=4, check_interval=256
+        )
+        queue_root, cache_root = tmp_path / "queue", tmp_path / "cache"
+        queue = JobQueue(queue_root)
+        cache = ArtifactCache(cache_root)
+        record = queue.submit(payload)
+        ckpt_dir = queue.checkpoint_dir(record.job_id)
+
+        script = textwrap.dedent(
+            f"""
+            from repro.serve.cache import ArtifactCache
+            from repro.serve.queue import JobQueue
+            from repro.serve.worker import Worker
+            Worker(JobQueue({str(queue_root)!r}), ArtifactCache({str(cache_root)!r})).run_once()
+            """
+        )
+        env = dict(os.environ, PYTHONPATH=str(SRC_ROOT))
+        victim = subprocess.Popen([sys.executable, "-c", script], env=env)
+        try:
+            # Wait until the worker has an in-flight engine checkpoint on
+            # disk, then kill it without any chance to clean up.
+            memo = TrialMemo(ckpt_dir)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                progress = memo.progress()
+                if progress["inflight"] or progress["trials_done"]:
+                    break
+                if victim.poll() is not None:
+                    pytest.fail("worker exited before checkpointing anything")
+                time.sleep(0.01)
+            else:
+                pytest.fail("worker never wrote a checkpoint")
+            victim.kill()
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        # The crash left an honest trail: still running, dead pid.
+        stale = queue.get(record.job_id)
+        assert stale.state == "running"
+        assert stale.worker_pid == victim.pid
+
+        worker = drain(queue, cache, timeout=180)
+        recovered = queue.get(record.job_id)
+        assert recovered.state == "done"
+        assert recovered.retries == 1  # the crash cost exactly one retry
+        assert worker.simulations_run == 1
+        assert cache.get_bytes(record.digest) == _direct_bytes(payload)
