@@ -54,7 +54,7 @@ from repro.engine import (
     run_trials,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchSimulation",

@@ -77,6 +77,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import batch_seed_sequence
 from repro.engine.state import AgentState
+from repro.telemetry import metrics as _metrics
 
 #: Hostile-table strategies understood by :class:`ByzantineSpec`.
 BYZANTINE_STRATEGIES = ("worst_case", "random_reply", "cheat_then_punish")
@@ -329,6 +330,7 @@ class ByzantineOverlay:
             base_counts, self.spec.count(total)
         ).astype(np.int64)
         self.marked_counts = marked
+        _metrics.record_byzantine_install(int(marked.sum()))
         return marked
 
     def mark_indices(self, indices: np.ndarray, marked_counts: np.ndarray) -> np.ndarray:

@@ -48,6 +48,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.results import SimulationResult
 from repro.engine.rng import spawn_seed_sequences
+from repro.telemetry import metrics as _metrics
 from repro.engine.state import AgentState
 
 #: Keys the campaign writes into ``SimulationResult.extra``.
@@ -165,6 +166,7 @@ class FaultCampaign:
             ),
         )
         self.checkpoints.append(checkpoint)
+        _metrics.record_fault_injection(event.kind, len(victims))
         return checkpoint
 
     def apply_to_batch(self, index: int, simulation) -> FaultCheckpoint:
@@ -201,6 +203,7 @@ class FaultCampaign:
             signature_counts=signature_counts,
         )
         self.checkpoints.append(checkpoint)
+        _metrics.record_fault_injection(event.kind, len(victims))
         return checkpoint
 
     # -- result annotation -------------------------------------------------------------

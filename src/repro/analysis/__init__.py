@@ -44,6 +44,11 @@ from repro.analysis.tail_bounds import (
     janson_lower_tail,
     janson_upper_tail,
 )
+from repro.analysis.trace_summary import (
+    TRACE_AREAS,
+    render_trace_summary,
+    summarize_trace,
+)
 from repro.analysis.theory import (
     TABLE1_ROWS,
     Table1Row,
@@ -65,6 +70,7 @@ __all__ = [
     "render_series",
     "sparkline",
     "TABLE1_ROWS",
+    "TRACE_AREAS",
     "Table1Row",
     "chernoff_interaction_bound",
     "classify_growth",
@@ -88,6 +94,8 @@ __all__ = [
     "predicted_parallel_time",
     "recovered_fraction",
     "recovery_curve",
+    "render_trace_summary",
+    "summarize_trace",
     "recovery_interactions",
     "recovery_parallel_time",
     "recovery_statistics",

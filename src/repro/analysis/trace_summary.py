@@ -1,0 +1,177 @@
+"""Offline trace analysis for ``repro trace FILE``.
+
+Consumes the record list produced by
+:func:`repro.telemetry.tracing.read_trace` and reduces it to the numbers
+an operator actually asks of a finished run: how long each phase took,
+aggregate throughput (interactions per wall-clock second), per-engine
+trial totals, and the window-size histogram recovered from the final
+``metrics`` snapshot record.
+
+The renderer is sectioned by *area* (``run``, ``phases``, ``trials``,
+``windows``); an unknown area raises :class:`TraceError`, which the CLI
+maps to its ``error:`` + exit-2 contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.tracing import TraceError
+
+#: The metric areas ``repro trace --area`` accepts.
+TRACE_AREAS = ("run", "phases", "trials", "windows")
+
+
+def summarize_trace(records: Sequence[Dict]) -> Dict:
+    """Reduce a validated record list to one summary dict (JSON-able)."""
+    header = records[0]
+    runs = [r for r in records if r.get("kind") == "run"]
+    experiments = [r for r in records if r.get("kind") == "experiment"]
+    calls = [r for r in records if r.get("kind") == "harness_call"]
+    trials = [r for r in records if r.get("kind") == "trial"]
+    jobs = [r for r in records if r.get("kind") == "job"]
+    snapshots = [r for r in records if r.get("kind") == "metrics"]
+
+    interactions = sum(int(r.get("interactions", 0)) for r in trials)
+    run_seconds = sum(float(r.get("dur", 0.0)) for r in runs)
+    if run_seconds <= 0.0:
+        # Serve traces have job spans but no run span; fall back to them.
+        run_seconds = sum(float(r.get("dur", 0.0)) for r in jobs)
+
+    by_engine: Dict[str, Dict] = {}
+    for record in trials:
+        engine = str(record.get("engine", "?"))
+        slot = by_engine.setdefault(engine, {"trials": 0, "interactions": 0})
+        slot["trials"] += 1
+        slot["interactions"] += int(record.get("interactions", 0))
+
+    phases = [
+        {
+            "phase": str(r.get("experiment", r.get("label", "?"))),
+            "seconds": round(float(r.get("dur", 0.0)), 6),
+        }
+        for r in experiments
+    ]
+    harness_calls = [
+        {
+            "call": str(r.get("call", "?")),
+            "engine": str(r.get("engine", "?")),
+            "trials": int(r.get("trials", 0)),
+            "seconds": round(float(r.get("dur", 0.0)), 6),
+        }
+        for r in calls
+    ]
+
+    return {
+        "run_id": header.get("run_id"),
+        "version": header.get("version"),
+        "records": len(records),
+        "runs": len(runs),
+        "jobs": len(jobs),
+        "run_seconds": round(run_seconds, 6),
+        "trials": len(trials),
+        "interactions": interactions,
+        "interactions_per_second": (
+            round(interactions / run_seconds, 3) if run_seconds > 0 else None
+        ),
+        "engines": {engine: by_engine[engine] for engine in sorted(by_engine)},
+        "phases": phases,
+        "harness_calls": harness_calls,
+        "window_histogram": (
+            _window_histogram(snapshots[-1]) if snapshots else {}
+        ),
+    }
+
+
+def _window_histogram(snapshot_record: Dict) -> Dict[str, Dict]:
+    """Per-engine window-size buckets out of a ``metrics`` snapshot record."""
+    snapshot = snapshot_record.get("snapshot") or {}
+    family = (snapshot.get("families") or {}).get("repro_window_size")
+    if family is None:
+        return {}
+    bounds = [float(bound) for bound in family.get("buckets", [])] + [math.inf]
+    histogram: Dict[str, Dict] = {}
+    for sample in snapshot.get("samples", []):
+        if sample.get("name") != "repro_window_size":
+            continue
+        engine = str(sample.get("labels", {}).get("engine", "?"))
+        histogram[engine] = {
+            "bounds": [("+Inf" if b == math.inf else int(b)) for b in bounds],
+            "counts": [int(count) for count in sample.get("buckets", [])],
+            "count": int(sample.get("count", 0)),
+            "sum": float(sample.get("sum", 0.0)),
+        }
+    return histogram
+
+
+def render_trace_summary(summary: Dict, area: Optional[str] = None) -> str:
+    """The ``repro trace`` report; ``area`` narrows to one section."""
+    if area is not None and area not in TRACE_AREAS:
+        raise TraceError(
+            f"unknown metric area {area!r}: choose from {', '.join(TRACE_AREAS)}"
+        )
+    from repro.experiments.report import format_table  # deferred: import cycle
+    sections: List[str] = []
+    if area in (None, "run"):
+        lines = [
+            f"run_id:          {summary.get('run_id')}",
+            f"records:         {summary.get('records')}",
+            f"trials:          {summary.get('trials')}",
+            f"interactions:    {summary.get('interactions')}",
+            f"wall time (s):   {summary.get('run_seconds')}",
+        ]
+        rate = summary.get("interactions_per_second")
+        lines.append(
+            f"interactions/s:  {rate if rate is not None else 'n/a (no run span)'}"
+        )
+        sections.append("\n".join(lines))
+    if area in (None, "phases"):
+        rows = summary.get("phases") or []
+        sections.append(
+            format_table(rows, columns=["phase", "seconds"], title="per-phase wall time")
+            if rows
+            else "per-phase wall time\n(no experiment spans)"
+        )
+    if area in (None, "trials"):
+        rows = [
+            {"engine": engine, **stats}
+            for engine, stats in (summary.get("engines") or {}).items()
+        ]
+        sections.append(
+            format_table(
+                rows, columns=["engine", "trials", "interactions"], title="trials by engine"
+            )
+            if rows
+            else "trials by engine\n(no trial records)"
+        )
+    if area in (None, "windows"):
+        histogram = summary.get("window_histogram") or {}
+        if not histogram:
+            sections.append("window histogram\n(no metrics snapshot in trace)")
+        else:
+            rows = []
+            for engine, data in sorted(histogram.items()):
+                for bound, count in zip(data["bounds"], data["counts"]):
+                    if count:
+                        rows.append(
+                            {"engine": engine, "window <=": bound, "windows": count}
+                        )
+                rows.append(
+                    {
+                        "engine": engine,
+                        "window <=": "total",
+                        "windows": data["count"],
+                    }
+                )
+            sections.append(
+                format_table(
+                    rows,
+                    columns=["engine", "window <=", "windows"],
+                    title="window histogram",
+                )
+            )
+    return "\n\n".join(sections)
+
+
+__all__ = ["TRACE_AREAS", "render_trace_summary", "summarize_trace"]

@@ -174,6 +174,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "(payload digest mismatch)"
         ),
     )
+    run_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a structured JSONL trace of the run to FILE (spans for "
+            "experiments, harness calls, and trials plus a final metrics "
+            "snapshot); summarize later with 'repro trace FILE'.  Tracing "
+            "never touches engine RNG -- artifacts are byte-identical with "
+            "and without it"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect per-stage wall time (scheduler draw / table apply / "
+            "stop check) at the engines' check-interval cadence and print a "
+            "stage breakdown after the run; implies telemetry collection "
+            "but, like --trace, leaves results bit-identical"
+        ),
+    )
 
     stress_parser = subparsers.add_parser(
         "stress",
@@ -437,6 +459,26 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_report_parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown tables"
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarize a JSONL trace written by 'repro run --trace' or serve",
+        description=(
+            "Reads a repro.trace/v1 JSONL file and reports per-phase wall "
+            "time, trial throughput (interactions per second), and the "
+            "window-size histogram captured in the trace's metrics snapshot."
+        ),
+    )
+    trace_parser.add_argument("file", help="trace file (JSONL) to summarize")
+    trace_parser.add_argument(
+        "--area",
+        default=None,
+        metavar="AREA",
+        help=(
+            "restrict the summary to one area: "
+            "run, phases, trials, or windows (default: all)"
+        ),
+    )
     return parser
 
 
@@ -521,6 +563,10 @@ def _print_result(result: ExperimentResult, markdown: bool) -> None:
 
 
 def _run_one(identifier: str, args, **overrides) -> None:
+    import time as _time
+
+    from repro.telemetry import tracing as _tracing
+
     spec = get_experiment(identifier)
     config = RunConfig(
         seed=args.seed if args.seed is not None else 0,
@@ -528,6 +574,8 @@ def _run_one(identifier: str, args, **overrides) -> None:
         jobs=args.jobs,
         trial_batch=getattr(args, "trial_batch", 1),
     )
+    tracer = _tracing.current_tracer()
+    experiment_started = _time.perf_counter()
     memo_dir = getattr(args, "resume", None) or getattr(args, "checkpoint", None)
     if memo_dir is None:
         result = spec.run(scale=args.scale, run=config, **overrides)
@@ -551,6 +599,15 @@ def _run_one(identifier: str, args, **overrides) -> None:
             )
         result = execute_payload(
             job_payload(identifier, args.scale, overrides, config), directory
+        )
+    if tracer is not None:
+        tracer.emit(
+            "experiment",
+            experiment=identifier,
+            scale=args.scale,
+            engine=config.engine,
+            rows=len(result.rows),
+            dur=round(_time.perf_counter() - experiment_started, 6),
         )
     _print_result(result, args.markdown)
     if args.output is not None:
@@ -584,6 +641,88 @@ def _run_all(identifiers, args, **overrides) -> int:
         except ValueError as error:
             print(f"error: {identifier}: {error}")
             return 2
+    return 0
+
+
+def _run_with_telemetry(identifiers, args, **overrides) -> int:
+    """Run experiments, instrumenting when ``--trace``/``--profile`` ask.
+
+    A plain run takes the uninstrumented `_run_all` path untouched.  An
+    instrumented one enables the metrics registry (plus per-stage timing
+    for ``--profile``) and installs a trace writer for the duration; the
+    trace ends with a ``run`` span and a full metrics snapshot so ``repro
+    trace`` can reconstruct throughput and window histograms offline.
+    Neither mode touches engine RNG -- artifacts are byte-identical with
+    telemetry on or off (test-gated).
+    """
+    import time as _time
+
+    from repro.telemetry import metrics as _metrics
+    from repro.telemetry import tracing as _tracing
+
+    trace_path = getattr(args, "trace", None)
+    profile = bool(getattr(args, "profile", False))
+    if trace_path is None and not profile:
+        return _run_all(identifiers, args, **overrides)
+    _metrics.reset_registry()
+    with _metrics.telemetry_session(profile=profile):
+        tracer = previous = None
+        if trace_path is not None:
+            tracer = _tracing.TraceWriter(trace_path)
+            previous = _tracing.set_tracer(tracer)
+        started = _time.perf_counter()
+        try:
+            exit_code = _run_all(identifiers, args, **overrides)
+            snapshot = _metrics.registry().snapshot()
+            if tracer is not None:
+                tracer.emit(
+                    "run",
+                    experiments=list(identifiers),
+                    exit_code=exit_code,
+                    dur=round(_time.perf_counter() - started, 6),
+                )
+                tracer.emit("metrics", snapshot=snapshot)
+        finally:
+            if tracer is not None:
+                _tracing.set_tracer(previous)
+                tracer.close()
+        if profile:
+            from repro.experiments.report import format_table as _format_table
+
+            print(
+                _format_table(
+                    _metrics.stage_breakdown(snapshot),
+                    columns=["engine", "stage", "seconds"],
+                    title="stage breakdown (wall seconds at check cadence)",
+                )
+            )
+        if tracer is not None:
+            print(f"-- trace: {trace_path} ({tracer.records_written} records)\n")
+    return exit_code
+
+
+def _trace(args) -> int:
+    """``repro trace FILE``: summarize a JSONL trace offline."""
+    from repro.analysis.trace_summary import render_trace_summary, summarize_trace
+    from repro.telemetry.tracing import TraceError, read_trace
+
+    try:
+        records = read_trace(args.file)
+        summary = summarize_trace(records)
+        report = render_trace_summary(summary, area=args.area)
+    except (TraceError, OSError) as error:
+        print(f"error: {error}")
+        return 2
+    try:
+        print(report)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| grep -q``) closed the pipe early;
+        # the summary was computed fine, so don't turn that into a failure.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't re-raise and print a spurious traceback.
+        import os as _os
+
+        _os.dup2(_os.open(_os.devnull, _os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -730,6 +869,13 @@ def _jobs(args) -> int:
         print(f"error: {error}")
         return 2
     jobs = body.get("jobs", [])
+    depths = body.get("depths")
+    stale = set(body.get("stale") or [])
+    if depths:
+        print(
+            "queue:  "
+            + "  ".join(f"{state}={depths.get(state, 0)}" for state in depths)
+        )
     if not jobs:
         print("no jobs")
         return 0
@@ -737,7 +883,8 @@ def _jobs(args) -> int:
         {
             "job": record["job_id"],
             "experiment": record["payload"]["experiment"],
-            "state": record["state"],
+            "state": record["state"]
+            + (" (stale)" if record["job_id"] in stale else ""),
             "retries": record["retries"],
             "cached": record["cached"],
             "error": record.get("error") or "",
@@ -745,6 +892,11 @@ def _jobs(args) -> int:
         for record in jobs
     ]
     print(format_table(rows, columns=list(rows[0])))
+    if stale:
+        print(
+            f"warning: {len(stale)} running job(s) have a dead worker pid "
+            f"({', '.join(sorted(stale))}); the next worker claim requeues them"
+        )
     return 0
 
 
@@ -810,7 +962,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         identifiers = list_experiments() if args.experiment == "all" else [args.experiment]
-        return _run_all(identifiers, args)
+        return _run_with_telemetry(identifiers, args)
 
     if args.command == "stress":
         return _stress(args)
@@ -835,6 +987,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         return _bench_report(args)
+
+    if args.command == "trace":
+        return _trace(args)
 
     parser.error(f"unknown command {args.command!r}")
     return 2

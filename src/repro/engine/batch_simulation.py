@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import base64
 import binascii
+import time
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -51,6 +52,7 @@ from repro.engine.rng import RngLike, make_rng
 from repro.engine.run_config import RunConfig
 from repro.engine.scheduler import PairScheduler, UniformPairScheduler
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
+from repro.telemetry import metrics as _metrics
 
 #: Stop-condition kinds understood by :meth:`BatchSimulation.run_until_*`.
 _STOP_KINDS = ("correct", "stabilized", "silent")
@@ -290,6 +292,7 @@ class BatchSimulation:
                 f"num_interactions must be non-negative, got {num_interactions}"
             )
         remaining = num_interactions
+        profile = _metrics._PROFILING
         while remaining > 0:
             dense = self._active_fraction > 0.125
             # Dense windows are chained through completely, so a large window
@@ -303,11 +306,22 @@ class BatchSimulation:
             # time-inhomogeneous schedulers (epoch partition) re-align their
             # phase clock with the applied count before every draw.
             self.scheduler.sync(self.interactions)
+            marker = time.perf_counter() if profile else 0.0
             initiators, responders = self.scheduler.pair_batch(window)
+            if profile:
+                now = time.perf_counter()
+                _metrics.record_stage_seconds("compiled", "scheduler_draw", now - marker)
+                marker = now
             if dense:
                 applied = self._consume_dense(initiators, responders, window)
             else:
                 applied = self._consume_sparse(initiators, responders, window)
+            if profile:
+                _metrics.record_stage_seconds(
+                    "compiled", "table_apply", time.perf_counter() - marker
+                )
+            if _metrics._ENABLED:
+                _metrics.record_window("compiled", applied)
             self.interactions += applied
             remaining -= applied
         return None
@@ -755,7 +769,17 @@ class BatchSimulation:
             return bool(predicate(self.configuration))
 
         while True:
-            if stopped():
+            if _metrics._PROFILING:
+                marker = time.perf_counter()
+                hit = stopped()
+                _metrics.record_stage_seconds(
+                    "compiled", "stop_check", time.perf_counter() - marker
+                )
+            else:
+                hit = stopped()
+            if _metrics._ENABLED:
+                _metrics.record_stop_check("compiled")
+            if hit:
                 return SimulationResult(
                     n=n,
                     interactions=self.interactions,

@@ -68,6 +68,7 @@ Limits
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -79,6 +80,7 @@ from repro.engine.results import SimulationResult
 from repro.engine.rng import RngLike, make_rng
 from repro.engine.run_config import COUNTS_EPOCH_MESSAGE, RunConfig
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
+from repro.telemetry import metrics as _metrics
 
 #: Default bound on the expected fraction of a cell's count consumed by one
 #: window (the tau-leap accuracy knob; 1 keeps windows maximal, ->0 approaches
@@ -584,15 +586,25 @@ class CountsSimulation:
 
     def _advance(self, remaining: int) -> int:
         """Consume one window (at most ``remaining`` interactions)."""
+        profile = _metrics._PROFILING
+        marker = time.perf_counter() if profile else 0.0
         law = self._window_law()
+        if profile:
+            now = time.perf_counter()
+            _metrics.record_stage_seconds("counts", "scheduler_draw", now - marker)
+            marker = now
         if law["total_active"] <= 0.0:
             # No scheduled pair can change a state: the rest of the budget is
             # null draws and commutes into one jump.
             self._log_window(remaining, None)
+            if _metrics._ENABLED:
+                _metrics.record_window("counts", remaining)
             return remaining
 
         cap = law["cap"]
         window = remaining if cap >= float(remaining) else max(int(cap), 1)
+        if _metrics._ENABLED and cap < float(remaining):
+            _metrics.record_drift_cap()
         window = min(window, _HARD_WINDOW_CAP)
         if self._max_window is not None:
             window = min(window, self._max_window)
@@ -602,7 +614,15 @@ class CountsSimulation:
             # the exact single-interaction law and can never overdraw (the
             # pair probabilities already vanish for underfilled cells), so
             # the halving terminates.
+            if _metrics._ENABLED:
+                _metrics.record_halving()
             window = max(window // 2, 1)
+        if profile:
+            _metrics.record_stage_seconds(
+                "counts", "table_apply", time.perf_counter() - marker
+            )
+        if _metrics._ENABLED:
+            _metrics.record_window("counts", window)
         return window
 
     def _try_window(self, window: int, law: Dict) -> bool:
@@ -892,7 +912,17 @@ class CountsSimulation:
             return bool(predicate(self.configuration))
 
         while True:
-            if stopped():
+            if _metrics._PROFILING:
+                marker = time.perf_counter()
+                hit = stopped()
+                _metrics.record_stage_seconds(
+                    "counts", "stop_check", time.perf_counter() - marker
+                )
+            else:
+                hit = stopped()
+            if _metrics._ENABLED:
+                _metrics.record_stop_check("counts")
+            if hit:
                 return SimulationResult(
                     n=n,
                     interactions=self.interactions,

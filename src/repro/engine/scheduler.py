@@ -42,6 +42,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.engine.rng import RngLike, make_rng
+from repro.telemetry import metrics as _metrics
 
 
 def draw_uniform_pairs(
@@ -143,6 +144,8 @@ class PairScheduler(abc.ABC):
         if self._cursor >= len(self._initiators):
             self._initiators, self._responders = self.pair_batch(self._batch_size)
             self._cursor = 0
+            if _metrics._ENABLED:
+                _metrics.record_scheduler_refill()
         i = int(self._initiators[self._cursor])
         j = int(self._responders[self._cursor])
         self._cursor += 1

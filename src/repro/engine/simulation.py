@@ -14,6 +14,7 @@ use :class:`~repro.engine.batch_simulation.BatchSimulation` instead -- see
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.engine.results import SimulationResult, TrialStatistics
 from repro.engine.rng import RngLike, make_rng, spawn_rngs
 from repro.engine.run_config import RunConfig
 from repro.engine.scheduler import PairScheduler, UniformPairScheduler
+from repro.telemetry import metrics as _metrics
 
 #: Default cap on interactions, expressed as a multiple of ``n ** 3``: the
 #: quadratic-*parallel-time* baseline protocol (``Silent-n-state-SSR``,
@@ -244,7 +246,17 @@ class Simulation:
             raise ValueError(f"check_interval must be positive, got {check_interval}")
 
         while True:
-            if predicate(self.configuration):
+            if _metrics._PROFILING:
+                marker = time.perf_counter()
+                hit = predicate(self.configuration)
+                _metrics.record_stage_seconds(
+                    "loop", "stop_check", time.perf_counter() - marker
+                )
+            else:
+                hit = predicate(self.configuration)
+            if _metrics._ENABLED:
+                _metrics.record_stop_check("loop")
+            if hit:
                 result = SimulationResult(
                     n=n, interactions=self.interactions, stopped=True, reason=reason
                 )
@@ -258,8 +270,18 @@ class Simulation:
                 return result
             if self.on_check is not None:
                 self.on_check(self)
-            remaining = max_interactions - self.interactions
-            self.run(min(check_interval, remaining))
+            chunk = min(check_interval, max_interactions - self.interactions)
+            if _metrics._PROFILING:
+                marker = time.perf_counter()
+                self.run(chunk)
+                _metrics.record_stage_seconds(
+                    "loop", "table_apply", time.perf_counter() - marker
+                )
+            else:
+                self.run(chunk)
+            # The loop engine has no windows; count a chunk per check instead.
+            if _metrics._ENABLED:
+                _metrics.record_window("loop", chunk)
 
     def run_until_correct(self, **kwargs) -> SimulationResult:
         """Run until the protocol's correctness predicate holds (convergence)."""

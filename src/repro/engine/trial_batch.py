@@ -109,6 +109,7 @@ from repro.engine.rng import RngLike, make_rng
 from repro.engine.run_config import RunConfig
 from repro.engine.scheduler import draw_uniform_pair_matrix
 from repro.engine.simulation import DEFAULT_CAP_CUBIC_FACTOR
+from repro.telemetry import metrics as _metrics
 
 #: Fixed per-trial pair-buffer length.  Part of the compiled RNG-stream
 #: regime: refills happen every ``TRIAL_CHUNK`` consumed pairs of a trial,
@@ -370,6 +371,8 @@ class TrialBatchSimulation:
                 self._buf_init[exhausted] = refill_init + offsets
                 self._buf_resp[exhausted] = refill_resp + offsets
                 self._cursor[exhausted] = 0
+                if _metrics._ENABLED:
+                    _metrics.record_scheduler_refill(len(exhausted))
 
             cursor = self._cursor[live]
             widths = np.minimum(chunk - cursor, next_check[live] - self._applied[live])
@@ -456,11 +459,17 @@ class TrialBatchSimulation:
             self._cursor[live] = cursor + t_end_local
             self._applied[live] += t_end_local
             self._ema[live] += 0.25 * (t_end_local - self._ema[live])
+            if _metrics._ENABLED:
+                # One aggregate window per vectorized round across all live
+                # trials -- per-trial windows would cost a Python loop here.
+                _metrics.record_window("compiled", int(t_end_local.sum()))
 
             at_boundary = np.nonzero(self._applied[live] >= next_check[live])[0]
             for index in at_boundary:
                 trial = int(live[index])
                 applied = int(self._applied[trial])
+                if _metrics._ENABLED:
+                    _metrics.record_stop_check("compiled")
                 if self._stopped(trial, predicate, counts_predicate):
                     freeze(trial, True, reason)
                 elif applied >= cap:
@@ -645,6 +654,10 @@ class CountsTrialBatchSimulation:
             capped = np.maximum(np.minimum(drift_window, 1e18), 1.0).astype(np.int64)
             # Silent trials (no active probability) jump straight to their
             # next boundary: the remaining draws are all null and commute.
+            if _metrics._ENABLED:
+                _metrics.record_drift_cap(
+                    int(np.count_nonzero((total_active > 0.0) & (capped < windows)))
+                )
             windows = np.where(total_active > 0.0, np.minimum(windows, capped), windows)
             if self._max_window is not None:
                 windows = np.minimum(windows, self._max_window)
@@ -667,6 +680,8 @@ class CountsTrialBatchSimulation:
                 # trials halve and resample; feasible trials keep their draw.
                 overdrawn = (used > self._matrix[live[sample]]).any(axis=1)
                 feasible = ~overdrawn
+                if _metrics._ENABLED:
+                    _metrics.record_halving(int(np.count_nonzero(overdrawn)))
                 events[sample[feasible]] = drawn[feasible]
                 consumed[sample[feasible]] = used[feasible]
                 windows[sample[overdrawn]] = np.maximum(
@@ -694,11 +709,15 @@ class CountsTrialBatchSimulation:
                 )
             self._matrix[live] += delta
             self._applied[live] += windows
+            if _metrics._ENABLED:
+                _metrics.record_window("counts", int(windows.sum()))
 
             at_boundary = np.nonzero(self._applied[live] >= next_check[live])[0]
             for index in at_boundary:
                 trial = int(live[index])
                 applied = int(self._applied[trial])
+                if _metrics._ENABLED:
+                    _metrics.record_stop_check("counts")
                 if self._stopped(trial, predicate, counts_predicate):
                     freeze(trial, True, reason)
                 elif applied >= cap:

@@ -51,6 +51,8 @@ from repro.experiments.api import (
     warn_deprecated_once,
 )
 from repro.experiments.result import ExperimentResult
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
 
 ProtocolFactory = Callable[[int], PopulationProtocol]
 ConfigurationFactory = Callable[[PopulationProtocol, np.random.Generator], Configuration]
@@ -500,6 +502,8 @@ def run_trials(
     # trials it already holds; replay hits never reach the pool.
     memo = _TRIAL_MEMO
     call_key = memo.begin_call(trials, config) if memo is not None else None
+    tracer = _tracing.current_tracer()
+    call_started = time.perf_counter()
 
     def unit_replay(start: int) -> Optional[List[SimulationResult]]:
         """The full unit (batch or single trial) from the memo, or ``None``."""
@@ -527,8 +531,32 @@ def run_trials(
     def emit(results: List[SimulationResult], start: int, batch: List[SimulationResult]):
         for offset, result in enumerate(batch):
             results.append(result)
+            _metrics.record_trial(result.engine, result.interactions)
+            if tracer is not None:
+                tracer.emit(
+                    "trial",
+                    call=call_key,
+                    trial=start + offset,
+                    engine=result.engine,
+                    n=result.n,
+                    interactions=result.interactions,
+                    stopped=result.stopped,
+                    reason=result.reason,
+                )
             if on_trial_done is not None:
                 on_trial_done(start + offset, result)
+
+    def finish(results: List[SimulationResult]) -> List[SimulationResult]:
+        if tracer is not None:
+            tracer.emit(
+                "harness_call",
+                call=call_key,
+                trials=trials,
+                engine=config.engine,
+                jobs=config.jobs,
+                dur=round(time.perf_counter() - call_started, 6),
+            )
+        return results
 
     if context is None:
         results: List[SimulationResult] = []
@@ -560,7 +588,7 @@ def run_trials(
                     ]
                 unit_record(start, batch)
             emit(results, start, batch)
-        return results
+        return finish(results)
 
     global _POOL_STATE
     _POOL_STATE = {
@@ -595,7 +623,7 @@ def run_trials(
                     batch = next(pool_iter)
                     unit_record(start, batch)
                 emit(results, start, batch)
-            return results
+            return finish(results)
     finally:
         _POOL_STATE = None
 

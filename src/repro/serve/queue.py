@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -113,6 +114,8 @@ class JobRecord:
     error: Optional[str] = None
     cached: bool = False
     worker_pid: Optional[int] = field(default=None)
+    #: Unix time the current run started (set on claim, cleared on finish/fail).
+    started_at: Optional[float] = field(default=None)
 
     def to_dict(self) -> Dict:
         return {
@@ -125,6 +128,7 @@ class JobRecord:
             "error": self.error,
             "cached": self.cached,
             "worker_pid": self.worker_pid,
+            "started_at": self.started_at,
         }
 
     @classmethod
@@ -141,6 +145,7 @@ class JobRecord:
             error=payload.get("error"),
             cached=bool(payload.get("cached", False)),
             worker_pid=payload.get("worker_pid"),
+            started_at=payload.get("started_at"),
         )
 
 
@@ -209,6 +214,7 @@ class JobQueue:
             record = self.get(marker.name)
             record.state = "running"
             record.worker_pid = worker_pid
+            record.started_at = time.time()
             self._write(record)
             return record
         return None
@@ -219,6 +225,7 @@ class JobQueue:
         record.cached = cached
         record.error = None
         record.worker_pid = None
+        record.started_at = None
         self._write(record)
         self._move_marker(job_id, "running", "done")
         return record
@@ -229,10 +236,38 @@ class JobQueue:
         record.retries += 1
         record.error = error
         record.worker_pid = None
+        record.started_at = None
         record.state = "failed" if record.retries > self.max_retries else "pending"
         self._write(record)
         self._move_marker(job_id, "running", record.state)
         return record
+
+    def depths(self) -> Dict[str, int]:
+        """Marker-file count per state (the live queue-depth gauge)."""
+        return {
+            state: sum(1 for _ in (self.root / state).iterdir())
+            for state in JOB_STATES
+        }
+
+    def stale_running(self) -> List[str]:
+        """Running jobs whose worker process is gone -- probe only.
+
+        The same dead-pid test :meth:`recover_stale` uses, but without the
+        requeue side effect, so ``repro jobs`` and ``GET /jobs`` can flag
+        orphaned work between worker claims.
+        """
+        stale = []
+        for marker in sorted((self.root / "running").iterdir()):
+            try:
+                record = self.get(marker.name)
+            except UnknownJobError:
+                continue
+            if record.state != "running":
+                continue  # finished between listing and read
+            if record.worker_pid is not None and _pid_alive(record.worker_pid):
+                continue
+            stale.append(record.job_id)
+        return stale
 
     def recover_stale(self) -> List[str]:
         """Requeue running jobs whose worker process is gone (crash recovery).

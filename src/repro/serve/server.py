@@ -13,7 +13,16 @@ API
 * ``GET /jobs/<id>/artifact`` -- the cached ``ExperimentResult`` JSON,
   byte-identical to a direct ``repro run`` of the same payload (modulo the
   zeroed ``wall_time``).  409 while the job is not done.
-* ``GET /healthz`` -- liveness probe.
+* ``GET /healthz`` -- liveness plus version, uptime, queue depths, and
+  jobs-served counters.
+* ``GET /metrics`` -- the telemetry registry in Prometheus text format
+  (queue-depth and stale-running gauges refreshed at scrape time).
+
+Telemetry is always on while the server runs: :meth:`ReproServer.start`
+enables the metrics registry and installs an append-mode trace writer at
+``<queue>/trace.jsonl`` (restored on :meth:`ReproServer.stop`), so worker
+claims, jobs, and trials stream into one correlated JSONL log that
+``repro trace`` can summarize.
 
 The server owns a :class:`~repro.serve.queue.JobQueue`, an
 :class:`~repro.serve.cache.ArtifactCache` under ``<queue>/artifacts``, and
@@ -25,6 +34,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -33,7 +43,9 @@ from urllib.error import HTTPError
 
 from repro.serve.cache import ArtifactCache
 from repro.serve.queue import JobQueue, UnknownJobError
-from repro.serve.worker import TrialMemo, Worker
+from repro.serve.worker import TrialMemo, Worker, estimate_total_trials
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
 
 
 class ReproServer:
@@ -53,7 +65,14 @@ class ReproServer:
         self.cache = ArtifactCache(Path(queue_root) / "artifacts")
         self._stop = threading.Event()
         self._threads = []
-        self.workers = [Worker(self.queue, self.cache) for _ in range(workers)]
+        self.workers = [
+            Worker(self.queue, self.cache, name=f"worker-{index}")
+            for index in range(workers)
+        ]
+        self.started_at = time.time()
+        self.tracer: Optional[_tracing.TraceWriter] = None
+        self._previous_tracer: Optional[_tracing.TraceWriter] = None
+        self._metrics_were_enabled = False
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -76,6 +95,7 @@ class ReproServer:
                 self.wfile.write(body)
 
             def do_POST(self) -> None:
+                _metrics.record_http_request("jobs")
                 if self.path.rstrip("/") != "/jobs":
                     self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
                     return
@@ -102,13 +122,49 @@ class ReproServer:
 
             def do_GET(self) -> None:
                 parts = [part for part in self.path.split("/") if part]
+                _metrics.record_http_request(parts[0] if parts else "/")
                 if parts == ["healthz"]:
-                    self._send_json(200, {"ok": True})
+                    from repro import __version__
+
+                    depths = server.queue.depths()
+                    self._send_json(
+                        200,
+                        {
+                            "ok": True,
+                            "version": __version__,
+                            "uptime_seconds": round(time.time() - server.started_at, 3),
+                            "queue": depths,
+                            "jobs_served": {
+                                "simulated": sum(
+                                    worker.simulations_run for worker in server.workers
+                                ),
+                                "cache_hits": sum(
+                                    worker.cache_hits for worker in server.workers
+                                ),
+                                "done": depths.get("done", 0),
+                                "failed": depths.get("failed", 0),
+                            },
+                        },
+                    )
+                    return
+                if parts == ["metrics"]:
+                    body = server.render_metrics().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
                     return
                 if parts == ["jobs"]:
                     self._send_json(
                         200,
-                        {"jobs": [record.to_dict() for record in server.queue.list_jobs()]},
+                        {
+                            "jobs": [record.to_dict() for record in server.queue.list_jobs()],
+                            "depths": server.queue.depths(),
+                            "stale": server.queue.stale_running(),
+                        },
                     )
                     return
                 if len(parts) >= 2 and parts[0] == "jobs":
@@ -119,9 +175,16 @@ class ReproServer:
                         return
                     if len(parts) == 2:
                         status = record.to_dict()
-                        status["progress"] = TrialMemo(
+                        progress = TrialMemo(
                             server.queue.checkpoint_dir(record.job_id)
                         ).progress()
+                        if record.state == "running" and record.started_at is not None:
+                            progress.update(
+                                _throughput_eta(
+                                    record, progress["trials_done"], time.time()
+                                )
+                            )
+                        status["progress"] = progress
                         self._send_json(200, status)
                         return
                     if parts[2] == "artifact" and len(parts) == 3:
@@ -158,8 +221,38 @@ class ReproServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def render_metrics(self) -> str:
+        """The registry as Prometheus text, with live gauges refreshed."""
+        registry = _metrics.registry()
+        for state, depth in self.queue.depths().items():
+            _metrics.set_queue_depth(state, depth)
+        if _metrics.enabled():
+            registry.gauge(
+                "repro_queue_stale_running",
+                "Running jobs whose worker pid is dead (probe, not requeue).",
+            ).set(len(self.queue.stale_running()))
+            registry.gauge(
+                "repro_server_uptime_seconds", "Seconds since the server started."
+            ).set(time.time() - self.started_at)
+        return registry.render_prometheus()
+
     def start(self) -> None:
-        """Start the worker pool and the HTTP listener (all daemon threads)."""
+        """Start the worker pool and the HTTP listener (all daemon threads).
+
+        Telemetry is always on for a serving process: the metrics registry
+        is enabled and an append-mode tracer is installed at
+        ``<queue>/trace.jsonl``; both are restored by :meth:`stop` so
+        embedding callers (tests) never leak global state.
+        """
+        self._metrics_were_enabled = _metrics.enabled()
+        # /metrics reports this server's lifetime: drop whatever a previous
+        # in-process server (or an instrumented run) left in the global
+        # registry, then enable collection.
+        _metrics.reset_registry()
+        _metrics.enable()
+        self.tracer = _tracing.TraceWriter(self.queue.root / "trace.jsonl", append=True)
+        self._previous_tracer = _tracing.set_tracer(self.tracer)
+        self.started_at = time.time()
         for index, worker in enumerate(self.workers):
             thread = threading.Thread(
                 target=worker.run_forever,
@@ -182,6 +275,12 @@ class ReproServer:
             thread.join(timeout=10.0)
         self._threads = []
         self.http.server_close()
+        if self.tracer is not None:
+            _tracing.set_tracer(self._previous_tracer)
+            self.tracer.close()
+            self.tracer = None
+        if not self._metrics_were_enabled:
+            _metrics.disable()
 
     def serve_forever(self, already_started: bool = False) -> None:
         """Foreground mode for ``repro serve`` (Ctrl-C stops cleanly)."""
@@ -193,6 +292,28 @@ class ReproServer:
             pass
         finally:
             self.stop()
+
+
+def _throughput_eta(record, trials_done: int, now: float) -> Dict:
+    """ETA fields for a running job from its finished-trial throughput.
+
+    ``estimated_total_trials`` and ``eta_seconds`` are best-effort (``None``
+    when the payload's parameters don't expose a trial count or no trial
+    has finished yet); ``elapsed_seconds`` and ``trials_per_second`` are
+    always present so clients can do their own arithmetic.
+    """
+    elapsed = max(now - record.started_at, 1e-9)
+    rate = trials_done / elapsed
+    total = estimate_total_trials(record.payload)
+    eta = None
+    if total is not None and rate > 0.0:
+        eta = round(max(total - trials_done, 0) / rate, 3)
+    return {
+        "elapsed_seconds": round(elapsed, 3),
+        "trials_per_second": round(rate, 3),
+        "estimated_total_trials": total,
+        "eta_seconds": eta,
+    }
 
 
 def http_json(

@@ -45,6 +45,8 @@ from repro.serve.checkpoint import (
     config_digest,
 )
 from repro.serve.queue import JobQueue
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
 
 #: Format tag on the job-meta file pinning a checkpoint dir to its payload.
 JOB_META_FORMAT = "repro.job-checkpoint/v1"
@@ -129,7 +131,9 @@ class TrialMemo:
 
         def hook(simulation) -> None:
             try:
+                started = time.perf_counter()
                 capture_checkpoint(simulation, config).save(path)
+                _metrics.record_checkpoint_seconds(time.perf_counter() - started)
             except CheckpointError:
                 # An engine-side guard tripped (e.g. a custom scheduler was
                 # installed mid-plan): stop trying, the trial runs through.
@@ -215,12 +219,41 @@ def execute_payload(payload: Dict, memo_root: Union[str, Path]) -> ExperimentRes
     return canonicalize_artifact(result)
 
 
+def estimate_total_trials(payload: Dict) -> Optional[int]:
+    """Best-effort total trial count for a job payload (the ETA denominator).
+
+    Merges the experiment's scale parameters with the payload overrides and
+    multiplies ``trials`` by the length of every sequence-valued parameter
+    (each entry of an ``ns``-style sweep runs its own trials).  ``None``
+    when the parameters don't follow that convention -- the ETA is then
+    simply omitted from ``GET /jobs/<id>``.
+    """
+    try:
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment(payload["experiment"])
+    except Exception:  # noqa: BLE001 -- estimation must never break status
+        return None
+    scale = payload.get("scale", "quick")
+    params = dict(spec.quick_params if scale == "quick" else spec.full_params)
+    params.update(payload.get("params") or {})
+    trials = params.get("trials")
+    if not isinstance(trials, int) or trials < 1:
+        return None
+    total = trials
+    for key, value in params.items():
+        if key != "trials" and isinstance(value, (list, tuple)):
+            total *= max(len(value), 1)
+    return total
+
+
 class Worker:
     """Pulls jobs off a queue and executes them against the artifact cache."""
 
-    def __init__(self, queue: JobQueue, cache: ArtifactCache):
+    def __init__(self, queue: JobQueue, cache: ArtifactCache, name: Optional[str] = None):
         self.queue = queue
         self.cache = cache
+        self.name = name or f"worker-{os.getpid()}"
         #: Jobs this worker actually simulated (cache misses).
         self.simulations_run = 0
         #: Jobs satisfied from the content-addressed cache without simulating.
@@ -232,18 +265,45 @@ class Worker:
         record = self.queue.claim(os.getpid())
         if record is None:
             return None
+        tracer = _tracing.current_tracer()
+        if tracer is not None:
+            tracer.emit("claim", job=record.job_id, worker=self.name)
+        started = time.perf_counter()
+        outcome, cached = "done", False
         try:
+            # Clear the memo *before* flipping the record to done: the
+            # artifact is already cached, so a crash in between merely
+            # replays the (deterministic) job, while the reverse order lets
+            # a status poll observe state=done with stale progress counts.
             if self.cache.has(record.digest):
                 self.cache_hits += 1
-                self.queue.finish(record.job_id, cached=True)
+                cached = True
+                _metrics.record_cache_hit()
                 self.queue.clear_checkpoints(record.job_id)
+                self.queue.finish(record.job_id, cached=True)
                 return record.job_id
-            artifact = self.cache_artifact(record)
+            if tracer is not None:
+                with tracer.context(job=record.job_id):
+                    artifact = self.cache_artifact(record)
+            else:
+                artifact = self.cache_artifact(record)
             self.cache.put(record.digest, artifact)
-            self.queue.finish(record.job_id, cached=False)
             self.queue.clear_checkpoints(record.job_id)
+            self.queue.finish(record.job_id, cached=False)
         except Exception as error:  # noqa: BLE001 -- failures become job state
+            outcome = "failed"
             self.queue.fail(record.job_id, f"{type(error).__name__}: {error}")
+        finally:
+            _metrics.record_job_done(outcome)
+            if tracer is not None:
+                tracer.emit(
+                    "job",
+                    job=record.job_id,
+                    worker=self.name,
+                    outcome=outcome,
+                    cached=cached,
+                    dur=round(time.perf_counter() - started, 6),
+                )
         return record.job_id
 
     def cache_artifact(self, record) -> ExperimentResult:
@@ -255,6 +315,7 @@ class Worker:
     def run_forever(self, stop: threading.Event, poll_interval: float = 0.05) -> None:
         """Drain the queue until ``stop`` is set, idling between polls."""
         while not stop.is_set():
+            _metrics.heartbeat(self.name)
             if self.run_once() is None:
                 stop.wait(poll_interval)
 
@@ -277,6 +338,7 @@ __all__ = [
     "TrialMemo",
     "Worker",
     "drain",
+    "estimate_total_trials",
     "execute_payload",
     "load_job_meta",
     "write_job_meta",

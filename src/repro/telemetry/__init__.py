@@ -1,0 +1,33 @@
+"""Process-local telemetry: metrics registry + structured JSONL tracing.
+
+Two deliberately independent layers:
+
+* :mod:`repro.telemetry.metrics` -- counters/gauges/histograms keyed by
+  name + labels, snapshot/merge for cross-process aggregation, and a
+  Prometheus text renderer (served by ``GET /metrics`` in repro serve).
+* :mod:`repro.telemetry.tracing` -- append-only JSONL event streams
+  (run -> experiment -> harness call -> trial, job -> claim -> trial)
+  written by ``repro run --trace`` and always-on in serve workers, and
+  summarized offline by ``repro trace``.
+
+Both are **off by default and zero-cost on the hot path**: every probe
+checks a module flag before touching the registry, probes fire only on
+the existing ``check_interval``/window-boundary cadence (never per
+interaction), and no probe ever draws from an engine RNG -- telemetry on
+vs off is bit-identical by construction and gated by tests.
+"""
+
+from repro.telemetry import metrics, tracing
+from repro.telemetry.metrics import MetricsRegistry, registry, telemetry_session
+from repro.telemetry.tracing import TraceError, TraceWriter, current_tracer, read_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceError",
+    "TraceWriter",
+    "current_tracer",
+    "metrics",
+    "read_trace",
+    "registry",
+    "telemetry_session",
+]

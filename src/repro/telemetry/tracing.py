@@ -1,0 +1,195 @@
+"""Structured JSONL tracing: run -> experiment -> trial, job -> claim -> trial.
+
+A trace is an append-only JSONL file.  The first line is a header record::
+
+    {"kind": "header", "format": "repro.trace/v1", "run_id": ..., ...}
+
+and every subsequent line is one event: a ``ts`` wall-clock stamp, the
+``run_id`` correlation key, any fields pushed by enclosing
+:meth:`TraceWriter.context` scopes (serve workers tag records with their
+``job`` id this way), and the event's own fields.  Durations come from
+``time.perf_counter`` and land in a ``dur`` field (seconds).
+
+Writers are thread-safe (one lock around write+flush; context stacks are
+thread-local so concurrent worker threads never cross-tag records) and
+deliberately know nothing about engines -- probes hand them plain dicts.
+``repro trace FILE`` summarizes a trace offline via
+:mod:`repro.analysis.trace_summary`; malformed files raise
+:class:`TraceError`, which the CLI maps to ``error:`` + exit 2.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Format tag carried by every trace header line.
+TRACE_FORMAT = "repro.trace/v1"
+
+
+class TraceError(ValueError):
+    """A file that is not a well-formed repro trace."""
+
+
+def _repro_version() -> str:
+    from repro import __version__  # deferred: repro.__init__ imports engines
+
+    return __version__
+
+
+class TraceWriter:
+    """Append-only JSONL trace emitter with thread-local context scopes."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        run_id: Optional[str] = None,
+        append: bool = False,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._stream = open(self.path, "a" if append else "w", encoding="utf-8")
+        self._closed = False
+        self.records_written = 0
+        self.emit("header", format=TRACE_FORMAT, version=_repro_version())
+
+    # -- emission ----------------------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Write one event line (``kind`` + context + fields); no-op when closed."""
+        if self._closed:
+            return
+        record: Dict = {"kind": kind, "ts": round(time.time(), 6), "run_id": self.run_id}
+        for frame in getattr(self._local, "stack", ()):
+            record.update(frame)
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.records_written += 1
+
+    @contextmanager
+    def context(self, **fields) -> Iterator[None]:
+        """Tag every event emitted by *this thread* inside the scope."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(fields)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    @contextmanager
+    def span(self, kind: str, **fields) -> Iterator[Dict]:
+        """Emit ``kind`` with a measured ``dur`` when the scope exits.
+
+        Yields a dict the caller may stuff extra result fields into; they
+        are merged into the closing event.
+        """
+        extra: Dict = {}
+        started = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            self.emit(
+                kind, dur=round(time.perf_counter() - started, 6), **{**fields, **extra}
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._stream.flush()
+                self._stream.close()
+
+
+# -- the process-wide tracer -----------------------------------------------------------
+
+_TRACER: Optional[TraceWriter] = None
+
+
+def current_tracer() -> Optional[TraceWriter]:
+    return _TRACER
+
+
+def set_tracer(tracer: Optional[TraceWriter]) -> Optional[TraceWriter]:
+    """Install the process tracer, returning the previous one (for restore)."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+@contextmanager
+def trace_to(path: Union[str, Path], **writer_kwargs) -> Iterator[TraceWriter]:
+    """Write a trace to ``path`` for the scope, restoring the prior tracer."""
+    writer = TraceWriter(path, **writer_kwargs)
+    previous = set_tracer(writer)
+    try:
+        yield writer
+    finally:
+        set_tracer(previous)
+        writer.close()
+
+
+# -- reading ---------------------------------------------------------------------------
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict]:
+    """Parse a trace file, validating the header; raises :class:`TraceError`.
+
+    Every line must be a JSON object with a ``kind``; the first must be a
+    ``header`` carrying the :data:`TRACE_FORMAT` tag.  Blank lines are
+    tolerated (a crashed writer can leave one).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no such trace file: {path}")
+    records: List[Dict] = []
+    with open(path, encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise TraceError(f"{path}: line {number} is not JSON ({error})") from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise TraceError(
+                    f"{path}: line {number} is not a trace record (need an "
+                    "object with a 'kind')"
+                )
+            records.append(record)
+    if not records:
+        raise TraceError(f"{path}: empty trace file")
+    first = records[0]
+    if first.get("kind") != "header" or first.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"{path}: not a repro trace (first line must be a header with "
+            f"format={TRACE_FORMAT!r})"
+        )
+    return records
+
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceError",
+    "TraceWriter",
+    "current_tracer",
+    "read_trace",
+    "set_tracer",
+    "trace_to",
+]

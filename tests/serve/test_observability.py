@@ -1,0 +1,185 @@
+"""Serve observability: queue depths, stale probes, /metrics, ETA fields."""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.run_config import RunConfig
+from repro.serve.cache import job_payload
+from repro.serve.queue import JobQueue
+from repro.serve.server import ReproServer, _throughput_eta, http_json
+from repro.serve.worker import Worker, estimate_total_trials
+from repro.telemetry import metrics
+
+
+def _payload(seed=5, trials=2, ns=(64,)):
+    return job_payload(
+        "epidemic_convergence",
+        "quick",
+        {"ns": list(ns), "trials": trials},
+        RunConfig(seed=seed, engine="counts"),
+    )
+
+
+def _wait_done(url, job_id, timeout=120):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = http_json("GET", f"{url}/jobs/{job_id}")
+        assert status == 200
+        if body["state"] in ("done", "failed"):
+            return body
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} never finished")
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = ReproServer(tmp_path / "queue", port=0, workers=1)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestQueueProbes:
+    def test_depths_track_marker_files(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        assert queue.depths() == {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        record = queue.submit(_payload())
+        assert queue.depths()["pending"] == 1
+        queue.claim(worker_pid=os.getpid())
+        assert queue.depths() == {"pending": 0, "running": 1, "done": 0, "failed": 0}
+        queue.finish(record.job_id)
+        assert queue.depths() == {"pending": 0, "running": 0, "done": 1, "failed": 0}
+
+    def test_claim_stamps_started_at_and_finish_clears_it(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        queue.submit(_payload())
+        before = time.time()
+        record = queue.claim(worker_pid=os.getpid())
+        assert before <= record.started_at <= time.time()
+        assert queue.get(record.job_id).started_at == record.started_at
+        assert queue.finish(record.job_id).started_at is None
+
+    def test_stale_running_flags_dead_pid_without_requeue(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        queue.submit(_payload())
+        record = queue.claim(worker_pid=os.getpid())
+        assert queue.stale_running() == []  # our own pid is alive
+
+        record.worker_pid = 2**22 + 12345  # vanishingly unlikely to exist
+        queue._write(record)
+        assert queue.stale_running() == [record.job_id]
+        # Probe only: the job is still running, nothing was requeued.
+        assert queue.get(record.job_id).state == "running"
+        assert queue.depths()["running"] == 1
+
+
+class TestEstimateTotalTrials:
+    def test_sweep_multiplies_trials_by_sequence_params(self):
+        assert estimate_total_trials(_payload(trials=3, ns=(64, 128))) == 6
+
+    def test_scale_defaults_fill_missing_params(self):
+        payload = job_payload(
+            "epidemic_convergence", "quick", {}, RunConfig(seed=1, engine="counts")
+        )
+        # quick defaults: ns=(256, 1024), trials=10.
+        assert estimate_total_trials(payload) == 20
+
+    def test_unknown_experiment_returns_none(self):
+        assert estimate_total_trials({"experiment": "nope"}) is None
+
+    def test_non_integer_trials_returns_none(self):
+        payload = _payload()
+        payload["params"]["trials"] = "lots"
+        assert estimate_total_trials(payload) is None
+
+
+class TestThroughputEta:
+    def test_fields_with_known_total(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        queue.submit(_payload(trials=4))
+        record = queue.claim(worker_pid=os.getpid())
+        eta = _throughput_eta(record, trials_done=2, now=record.started_at + 10.0)
+        assert eta["elapsed_seconds"] == 10.0
+        assert eta["trials_per_second"] == 0.2
+        assert eta["estimated_total_trials"] == 4
+        assert eta["eta_seconds"] == 10.0  # 2 remaining at 0.2/s
+
+    def test_no_finished_trials_means_no_eta(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        queue.submit(_payload())
+        record = queue.claim(worker_pid=os.getpid())
+        eta = _throughput_eta(record, trials_done=0, now=record.started_at + 5.0)
+        assert eta["trials_per_second"] == 0.0
+        assert eta["eta_seconds"] is None
+
+
+class TestServerEndpoints:
+    def test_jobs_listing_carries_depths_and_stale(self, server):
+        status, body = http_json("GET", f"{server.url}/jobs")
+        assert status == 200
+        assert body["depths"] == {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        assert body["stale"] == []
+
+    def test_metrics_scrape_is_prometheus_text(self, server):
+        import urllib.request
+
+        status, body = http_json("POST", f"{server.url}/jobs", _payload())
+        assert status == 200
+        _wait_done(server.url, body["job_id"])
+
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=30) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{outcome="done"} 1' in text
+        assert 'repro_queue_depth{state="done"} 1' in text
+        assert "repro_server_uptime_seconds" in text
+        assert "repro_queue_stale_running 0" in text
+        # The worker's trial probes flow into the same registry.
+        assert 'repro_trials_total{engine="counts"} 2' in text
+        assert "repro_window_size_bucket" in text
+        assert "repro_worker_heartbeat_seconds" in text
+
+    def test_running_job_status_exposes_eta_fields(self, server):
+        # A claimed record with started_at set renders the throughput block;
+        # synthesize one directly so the test never races a real worker.
+        queue = server.queue
+        queue.submit(_payload(seed=99, trials=4))
+        record = queue.claim(worker_pid=os.getpid())
+        status, body = http_json("GET", f"{server.url}/jobs/{record.job_id}")
+        assert status == 200
+        progress = body["progress"]
+        assert progress["elapsed_seconds"] >= 0.0
+        assert progress["estimated_total_trials"] == 4
+        assert "trials_per_second" in progress and "eta_seconds" in progress
+        queue.finish(record.job_id)  # leave the shared server clean
+
+    def test_trace_file_written_and_telemetry_restored(self, tmp_path):
+        instance = ReproServer(tmp_path / "queue", port=0, workers=1)
+        was_enabled = metrics.enabled()
+        instance.start()
+        try:
+            assert metrics.enabled()
+            status, body = http_json("POST", f"{instance.url}/jobs", _payload(seed=7))
+            assert status == 200
+            _wait_done(instance.url, body["job_id"])
+        finally:
+            instance.stop()
+        assert metrics.enabled() == was_enabled
+
+        from repro.telemetry.tracing import read_trace
+
+        records = read_trace(tmp_path / "queue" / "trace.jsonl")
+        kinds = [record["kind"] for record in records]
+        assert kinds[0] == "header"
+        assert "claim" in kinds and "job" in kinds and "trial" in kinds
+        job_record = next(r for r in records if r["kind"] == "job")
+        assert job_record["outcome"] == "done"
+        assert job_record["worker"] == "worker-0"
+        # Worker trial records are context-tagged with their job id.
+        trial = next(r for r in records if r["kind"] == "trial")
+        assert trial["job"] == body["job_id"]

@@ -92,7 +92,20 @@ class TestFlows:
         assert [job["job_id"] for job in listing["jobs"]] == [body["job_id"]]
 
     def test_healthz(self, server):
-        assert http_json("GET", f"{server.url}/healthz") == (200, {"ok": True})
+        import repro
+
+        status, body = http_json("GET", f"{server.url}/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["version"] == repro.__version__
+        assert body["uptime_seconds"] >= 0.0
+        assert body["queue"] == {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        assert body["jobs_served"] == {
+            "simulated": 0,
+            "cache_hits": 0,
+            "done": 0,
+            "failed": 0,
+        }
 
 
 class TestFailureStatuses:

@@ -1,0 +1,92 @@
+"""The telemetry bit-identity guarantee, test-gated as promised in ISSUE/docs.
+
+Telemetry must be a pure observer: enabling metrics, per-stage profiling,
+and tracing together must leave every engine's RNG stream untouched and
+every artifact byte-identical.  The matrix covers the three engines, both
+``--jobs`` layouts, and telemetry on vs off.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine.rng import make_rng
+from repro.engine.run_config import RunConfig, make_simulation
+from repro.experiments.registry import get_experiment
+from repro.processes.epidemic import TwoWayEpidemicProtocol
+from repro.serve.cache import canonicalize_artifact
+from repro.telemetry import metrics, tracing
+
+ENGINES = ("loop", "compiled", "counts")
+
+#: Reduced epidemic_convergence parameters: small but multi-trial and
+#: multi-population so the harness seed-derivation paths are all exercised.
+PARAMS = {"ns": [64], "trials": 4}
+
+
+def run_artifact(engine: str, jobs: int, telemetry_on: bool, tmp_path) -> bytes:
+    spec = get_experiment("epidemic_convergence")
+    config = RunConfig(seed=11, engine=engine, jobs=jobs)
+    if not telemetry_on:
+        result = spec.run(scale="quick", run=config, **PARAMS)
+    else:
+        metrics.reset_registry()
+        trace_path = tmp_path / f"{engine}-{jobs}.jsonl"
+        with metrics.telemetry_session(profile=True):
+            with tracing.trace_to(trace_path):
+                result = spec.run(scale="quick", run=config, **PARAMS)
+        assert len(tracing.read_trace(trace_path)) > 1  # trials were traced
+        snapshot = metrics.registry().snapshot()
+        assert any(
+            sample["name"] == "repro_trials_total"
+            for sample in snapshot["samples"]
+        )  # metrics were collected, not just enabled
+    return canonicalize_artifact(result).to_json().encode("utf-8")
+
+
+@pytest.mark.parametrize("engine,jobs", itertools.product(ENGINES, (1, 2)))
+def test_artifacts_identical_with_and_without_telemetry(engine, jobs, tmp_path):
+    plain = run_artifact(engine, jobs, telemetry_on=False, tmp_path=tmp_path)
+    instrumented = run_artifact(engine, jobs, telemetry_on=True, tmp_path=tmp_path)
+    assert plain == instrumented
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_rng_stream_untouched_by_telemetry(engine):
+    """Stronger than artifact equality: the generator state itself matches."""
+
+    def converge(telemetry_on: bool):
+        protocol = TwoWayEpidemicProtocol(64)
+        rng = make_rng(23)
+        config = RunConfig(seed=23, engine=engine, stop="correct")
+        simulation = make_simulation(protocol, config, rng=rng)
+        if telemetry_on:
+            metrics.reset_registry()
+            with metrics.telemetry_session(profile=True):
+                result = simulation.run(config)
+        else:
+            result = simulation.run(config)
+        return result, rng.bit_generator.state
+
+    plain_result, plain_state = converge(telemetry_on=False)
+    traced_result, traced_state = converge(telemetry_on=True)
+    assert plain_result.interactions == traced_result.interactions
+    assert plain_result.parallel_time == traced_result.parallel_time
+    assert plain_result.stopped == traced_result.stopped
+    assert plain_state == traced_state
+
+
+@pytest.mark.parametrize("engine", ("compiled", "counts"))
+def test_trial_batch_identical_with_and_without_telemetry(engine, tmp_path):
+    """The trial-batched vectorized paths are observers too."""
+    spec = get_experiment("epidemic_convergence")
+    config = RunConfig(seed=11, engine=engine, trial_batch=2)
+    plain = canonicalize_artifact(
+        spec.run(scale="quick", run=config, **PARAMS)
+    ).to_json()
+    metrics.reset_registry()
+    with metrics.telemetry_session(profile=True):
+        instrumented = canonicalize_artifact(
+            spec.run(scale="quick", run=config, **PARAMS)
+        ).to_json()
+    assert plain == instrumented

@@ -1,0 +1,182 @@
+"""Trace writer/reader: format, context scopes, spans, malformed inputs."""
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro.telemetry.tracing import (
+    TRACE_FORMAT,
+    TraceError,
+    TraceWriter,
+    current_tracer,
+    read_trace,
+    set_tracer,
+    trace_to,
+)
+
+
+class TestWriter:
+    def test_header_first_with_format_and_version(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        TraceWriter(path).close()
+        records = read_trace(path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["format"] == TRACE_FORMAT
+        assert records[0]["version"] == repro.__version__
+
+    def test_events_carry_run_id_and_fields(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, run_id="abc123")
+        writer.emit("trial", engine="loop", interactions=42)
+        writer.close()
+        header, trial = read_trace(path)
+        assert header["run_id"] == trial["run_id"] == "abc123"
+        assert trial["engine"] == "loop"
+        assert trial["interactions"] == 42
+        assert trial["ts"] >= header["ts"]
+
+    def test_context_tags_scope_only(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        with writer.context(job="j1"):
+            writer.emit("claim")
+            with writer.context(worker="w0"):
+                writer.emit("trial")
+        writer.emit("outside")
+        writer.close()
+        _, claim, trial, outside = read_trace(path)
+        assert claim["job"] == "j1" and "worker" not in claim
+        assert trial["job"] == "j1" and trial["worker"] == "w0"
+        assert "job" not in outside
+
+    def test_context_is_thread_local(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        barrier = threading.Barrier(2)
+
+        def tagged(job):
+            with writer.context(job=job):
+                barrier.wait(timeout=10)  # both threads inside their scopes
+                writer.emit("trial", source=job)
+
+        threads = [threading.Thread(target=tagged, args=(j,)) for j in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        writer.close()
+        trials = [r for r in read_trace(path) if r["kind"] == "trial"]
+        assert len(trials) == 2
+        for record in trials:
+            assert record["job"] == record["source"]  # never cross-tagged
+
+    def test_span_measures_duration_and_merges_extra(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        with writer.span("job", job="j1") as extra:
+            extra["outcome"] = "done"
+        writer.close()
+        record = read_trace(path)[-1]
+        assert record["kind"] == "job"
+        assert record["dur"] >= 0.0
+        assert record["outcome"] == "done"
+
+    def test_append_mode_preserves_existing_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = TraceWriter(path, run_id="one")
+        first.emit("trial")
+        first.close()
+        second = TraceWriter(path, run_id="two", append=True)
+        second.emit("trial")
+        second.close()
+        run_ids = [r["run_id"] for r in read_trace(path)]
+        assert run_ids == ["one", "one", "two", "two"]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        writer.close()
+        writer.emit("late")
+        assert len(read_trace(path)) == 1
+
+    def test_records_written_counter(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        assert writer.records_written == 1  # the header
+        writer.emit("trial")
+        writer.close()
+        assert writer.records_written == 2
+
+    def test_non_json_fields_fall_back_to_str(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        writer.emit("trial", where=path)  # Path is not JSON-serializable
+        writer.close()
+        assert read_trace(path)[-1]["where"] == str(path)
+
+
+class TestGlobalTracer:
+    def test_set_tracer_returns_previous(self, tmp_path):
+        assert current_tracer() is None
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        try:
+            assert set_tracer(writer) is None
+            assert current_tracer() is writer
+        finally:
+            assert set_tracer(None) is writer
+            writer.close()
+
+    def test_trace_to_scope_restores(self, tmp_path):
+        with trace_to(tmp_path / "trace.jsonl") as writer:
+            assert current_tracer() is writer
+            writer.emit("trial")
+        assert current_tracer() is None
+        assert len(read_trace(tmp_path / "trace.jsonl")) == 2
+
+
+class TestReader:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="no such trace file"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty trace file"):
+            read_trace(path)
+
+    def test_non_json_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "header"}\nnot json\n')
+        with pytest.raises(TraceError, match="line 2 is not JSON"):
+            read_trace(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(TraceError, match="not a trace record"):
+            read_trace(path)
+
+    def test_record_without_kind(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ts": 1}\n')
+        with pytest.raises(TraceError, match="not a trace record"):
+            read_trace(path)
+
+    def test_first_record_must_be_tagged_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "trial"}\n')
+        with pytest.raises(TraceError, match="not a repro trace"):
+            read_trace(path)
+        path.write_text(json.dumps({"kind": "header", "format": "other/v9"}) + "\n")
+        with pytest.raises(TraceError, match="not a repro trace"):
+            read_trace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        writer.emit("trial")
+        writer.close()
+        path.write_text(path.read_text().replace("\n", "\n\n"))
+        assert len(read_trace(path)) == 2
